@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate every table and figure of the paper's Section V.
+Scale is controlled by ``REPRO_SCALE`` (small | medium | paper) and the
+number of repeated runs by ``REPRO_REPEATS`` -- see
+:mod:`repro.experiments.config`.  Each benchmark writes its rendered
+table/figure to ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.circuits import RingOscillator, SramReadPath
+from repro.circuits.modeling import FusionProblem
+from repro.experiments import make_ring_oscillator, make_sram, scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Early-stage models are expensive (OMP on 3000 schematic samples) and
+# reusable across benchmarks in one session; cache them per (circuit, metric).
+_EARLY_CACHE: Dict[Tuple[str, str], np.ndarray] = {}
+
+
+@pytest.fixture(scope="session")
+def ring_oscillator() -> RingOscillator:
+    return make_ring_oscillator()
+
+
+@pytest.fixture(scope="session")
+def sram() -> SramReadPath:
+    return make_sram()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def cached_early_coefficients(
+    testbench, metric: str, early_samples: int, max_terms: int, seed: int = 100
+) -> np.ndarray:
+    """Session-cached early-stage model fit (OMP on schematic samples)."""
+    key = (testbench.name, metric, scale())
+    if key not in _EARLY_CACHE:
+        problem = FusionProblem(testbench, metric)
+        rng = np.random.default_rng(seed)
+        _EARLY_CACHE[key] = problem.fit_early_model(
+            early_samples, rng, method="omp", max_terms=max_terms
+        )
+    return _EARLY_CACHE[key]

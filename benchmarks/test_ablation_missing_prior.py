@@ -1,0 +1,83 @@
+"""Ablation: handling of late-stage-only basis functions (Section IV-B).
+
+Layout-parasitic variables exist only in the post-layout model.  The paper
+prescribes an uninformative (infinite-variance) prior for them.  Two
+tempting shortcuts are compared against that treatment:
+
+* pinning the unknown coefficients to zero (over-trusting the early model
+  -- the parasitic contribution can never be learned);
+* dropping the parasitic basis functions altogether (same bias, smaller
+  model).
+
+The uninformative treatment must win, because the parasitic wire caps do
+move the RO frequency.
+"""
+
+import numpy as np
+
+from conftest import cached_early_coefficients, save_result
+from repro.bmf import BmfRegressor, GaussianCoefficientPrior, nonzero_mean_prior
+from repro.circuits import Stage
+from repro.circuits.modeling import FusionProblem
+from repro.montecarlo import simulate_dataset
+from repro.regression import relative_error
+
+METRIC = "frequency"
+TRAIN = 200
+
+
+def test_ablation_missing_prior(benchmark, ring_oscillator):
+    problem = FusionProblem(ring_oscillator, METRIC)
+    alpha_early = cached_early_coefficients(ring_oscillator, METRIC, 3000, 300)
+    aligned = problem.align_early_coefficients(alpha_early)
+    missing = problem.missing_indices()
+
+    rng = np.random.default_rng(115)
+    train = simulate_dataset(ring_oscillator, Stage.POST_LAYOUT, TRAIN, rng, [METRIC])
+    test = simulate_dataset(ring_oscillator, Stage.POST_LAYOUT, 300, rng, [METRIC])
+    design = problem.late_basis.design_matrix(train.x)
+    design_test = problem.late_basis.design_matrix(test.x)
+    target = train.metric(METRIC)
+    target_test = test.metric(METRIC)
+
+    def fit_with_prior(prior: GaussianCoefficientPrior) -> float:
+        model = BmfRegressor(
+            problem.late_basis, priors=[prior], prior_kind="nonzero-mean"
+        )
+        model.fit_design(design, target)
+        return relative_error(design_test @ model.coefficients_, target_test)
+
+    def run():
+        base = nonzero_mean_prior(aligned)
+        uninformative = base.with_missing(missing)
+
+        pinned_scale = base.scale.copy()
+        pinned_scale[missing] = 0.0  # coefficient frozen at its mean (zero)
+        pinned = GaussianCoefficientPrior(base.mean, pinned_scale, "pinned")
+
+        shared = len(aligned) - len(missing)
+        dropped_model = BmfRegressor(
+            problem.late_basis.restricted_to(range(shared)),
+            priors=[nonzero_mean_prior(aligned[:shared])],
+            prior_kind="nonzero-mean",
+        )
+        dropped_model.fit_design(design[:, :shared], target)
+        dropped_error = relative_error(
+            design_test[:, :shared] @ dropped_model.coefficients_, target_test
+        )
+        return {
+            "uninformative (paper, eq. 50/51)": fit_with_prior(uninformative),
+            "pinned to zero": fit_with_prior(pinned),
+            "columns dropped": dropped_error,
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"Missing-prior ablation ({METRIC}, K={TRAIN})"]
+    for name, error in errors.items():
+        lines.append(f"  {name:<32s} {error * 100:.4f}%")
+    save_result("ablation_missing_prior", "\n".join(lines))
+
+    paper = errors["uninformative (paper, eq. 50/51)"]
+    assert paper <= errors["pinned to zero"]
+    assert paper <= errors["columns dropped"]

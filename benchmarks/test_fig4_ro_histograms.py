@@ -1,0 +1,43 @@
+"""Fig. 4: histograms of post-layout Monte Carlo samples for the RO.
+
+The paper's Fig. 4 shows (a) power, (b) phase noise, (c) frequency
+histograms of the post-layout simulation samples -- roughly Gaussian,
+single-moded, with a few percent relative spread.  We regenerate all three
+as ASCII histograms and check their statistical shape.
+"""
+
+import numpy as np
+
+from conftest import save_result
+from repro.circuits import Stage
+from repro.experiments import metric_histogram
+
+
+def test_fig4_ro_histograms(benchmark, ring_oscillator):
+    rng = np.random.default_rng(107)
+
+    def run():
+        return {
+            metric: metric_histogram(
+                ring_oscillator, metric, 3000, rng, stage=Stage.POST_LAYOUT
+            )
+            for metric in ring_oscillator.metrics
+        }
+
+    histograms = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(h.format() for h in histograms.values())
+    save_result("fig4_ro_histograms", text)
+
+    for metric, histogram in histograms.items():
+        total = int(histogram.counts.sum())
+        assert total == 3000
+        # Single-moded, centered bulk: the top bin is not at the edges.
+        peak_bin = int(np.argmax(histogram.counts))
+        assert 0 < peak_bin < len(histogram.counts) - 1, metric
+        # A few-percent relative spread for power/frequency, sub-percent
+        # for the dB-scaled phase noise (as in the paper's plots).
+        rel = histogram.std / abs(histogram.mean)
+        if metric == "phase_noise":
+            assert rel < 0.02
+        else:
+            assert 0.01 < rel < 0.15

@@ -1,0 +1,38 @@
+"""Fig. 7: histogram of post-layout Monte Carlo read-delay samples (SRAM).
+
+The paper's Fig. 7 shows a single-moded, slightly right-skewed read-delay
+distribution (the leakage race and sense-amp offset stretch the slow
+tail).  We regenerate it and check those properties.
+"""
+
+import numpy as np
+
+from conftest import save_result
+from repro.circuits import Stage
+from repro.experiments import metric_histogram
+
+
+def test_fig7_sram_histogram(benchmark, sram):
+    rng = np.random.default_rng(108)
+
+    def run():
+        return metric_histogram(
+            sram, "read_delay", 3000, rng, stage=Stage.POST_LAYOUT
+        )
+
+    histogram = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig7_sram_histogram", histogram.format())
+
+    assert int(histogram.counts.sum()) == 3000
+    peak_bin = int(np.argmax(histogram.counts))
+    assert 0 < peak_bin < len(histogram.counts) - 1
+    # A few-percent relative spread, like the paper's plot.
+    rel = histogram.std / histogram.mean
+    assert 0.01 < rel < 0.15
+    # Right skew from the leakage race: reconstruct skewness from bins.
+    centers = 0.5 * (histogram.edges[:-1] + histogram.edges[1:])
+    weights = histogram.counts / histogram.counts.sum()
+    mean = float(np.sum(weights * centers))
+    std = float(np.sqrt(np.sum(weights * (centers - mean) ** 2)))
+    skew = float(np.sum(weights * ((centers - mean) / std) ** 3))
+    assert skew > -0.2, "read delay should not be left-skewed"

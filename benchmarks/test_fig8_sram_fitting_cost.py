@@ -1,0 +1,39 @@
+"""Fig. 8: fitting cost of the SRAM read-delay model -- OMP vs BMF-PS
+(fast solver).
+
+As in the paper, the conventional Cholesky solver is omitted here: at the
+SRAM problem size it "becomes computationally infeasible" (Section V-B);
+the fast-solver BMF-PS curve is compared against OMP instead.  We assert
+that the fast-solver fit stays cheap and grows gently with K.
+"""
+
+import numpy as np
+
+from conftest import save_result
+from repro.experiments import run_fitting_cost
+
+METRIC = "read_delay"
+
+
+def test_fig8_sram_fitting_cost(benchmark, sram):
+    def run():
+        return run_fitting_cost(
+            sram,
+            METRIC,
+            sample_counts=(100, 300, 500, 700, 900),
+            rng=np.random.default_rng(111),
+            include_conventional=False,
+            omp_max_terms=300,
+        )
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig8_sram_fitting_cost", curve.format())
+
+    fast = curve.seconds["BMF-PS (fast solver)"]
+    omp = curve.seconds["OMP"]
+    # Both fitting costs must be a tiny fraction of even one accounted
+    # post-layout simulation (349 s/sample), as in the paper's Table VI.
+    assert np.all(fast < 349.0)
+    assert np.all(omp < 349.0)
+    # OMP's greedy selection dominates BMF's kernel solves at large K.
+    assert fast[-1] < omp[-1]

@@ -1,0 +1,63 @@
+"""Table I: relative modeling error of POWER for the ring oscillator.
+
+Paper reference (32 nm SOI RO, 7177 variables, 50 repeats):
+
+    K    | OMP    | BMF-ZM | BMF-NZM | BMF-PS
+    100  | 2.7187 | 0.7466 | 0.5558  | 0.5558
+    900  | 0.8671 | 0.4501 | 0.4525  | 0.4518
+
+Shape requirements verified here: errors decrease with K; every BMF
+variant beats OMP at small K by a multiple; BMF-PS tracks the better of
+ZM/NZM; BMF-PS at K=100 is comparable to OMP at K=900.
+"""
+
+import numpy as np
+
+from conftest import cached_early_coefficients, save_result
+from repro.experiments import (
+    early_samples,
+    repeats,
+    run_error_table,
+    scale,
+    table_sample_counts,
+)
+
+METRIC = "power"
+
+
+def test_table1_ro_power(benchmark, ring_oscillator):
+    alpha_early = cached_early_coefficients(
+        ring_oscillator, METRIC, early_samples(), max_terms=300
+    )
+
+    def run():
+        return run_error_table(
+            ring_oscillator,
+            METRIC,
+            sample_counts=table_sample_counts(),
+            repeats=repeats(),
+            rng=np.random.default_rng(101),
+            alpha_early=alpha_early,
+            omp_max_terms=300,
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table1_ro_power", table.format())
+
+    counts = table.sample_counts
+    first, last = counts[0], counts[-1]
+    i0, i9 = 0, len(counts) - 1
+    for method in table.errors:
+        assert table.errors[method][i9] < table.errors[method][i0], (
+            f"{method} error must decrease from K={first} to K={last}"
+        )
+    # BMF beats OMP by a clear factor at small K.
+    assert table.errors["BMF-PS"][i0] < 0.75 * table.errors["OMP"][i0]
+    # Prior selection tracks the better prior at every K.
+    for i in range(len(counts)):
+        best = min(table.errors["BMF-ZM"][i], table.errors["BMF-NZM"][i])
+        assert table.errors["BMF-PS"][i] <= 1.3 * best
+    # BMF at K=100 rivals OMP at K=900 (strict at paper scale; the small
+    # problem lets OMP catch up more at K=900, hence the looser factor).
+    factor = 1.75 if scale() == "small" else 1.2
+    assert table.errors["BMF-PS"][i0] <= factor * table.errors["OMP"][i9]

@@ -1,0 +1,58 @@
+"""Table III: relative modeling error of FREQUENCY for the ring oscillator.
+
+Paper reference:
+
+    K    | OMP    | BMF-ZM | BMF-NZM | BMF-PS
+    100  | 1.8346 | 0.5800 | 0.6664  | 0.6069
+    900  | 0.7471 | 0.2487 | 0.2500  | 0.2487
+
+Note the paper's observation on this metric: the *zero-mean* prior beats
+the nonzero-mean one (the opposite of the power metric), demonstrating
+that the optimal prior is case-dependent -- which is exactly why BMF-PS
+exists.  We assert the case-independence property (PS tracks the winner)
+rather than which variant wins, since the winner depends on the synthetic
+layout realization.
+"""
+
+import numpy as np
+
+from conftest import cached_early_coefficients, save_result
+from repro.experiments import (
+    early_samples,
+    repeats,
+    run_error_table,
+    scale,
+    table_sample_counts,
+)
+
+METRIC = "frequency"
+
+
+def test_table3_ro_frequency(benchmark, ring_oscillator):
+    alpha_early = cached_early_coefficients(
+        ring_oscillator, METRIC, early_samples(), max_terms=300
+    )
+
+    def run():
+        return run_error_table(
+            ring_oscillator,
+            METRIC,
+            sample_counts=table_sample_counts(),
+            repeats=repeats(),
+            rng=np.random.default_rng(103),
+            alpha_early=alpha_early,
+            omp_max_terms=300,
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table3_ro_frequency", table.format())
+
+    i0, i9 = 0, len(table.sample_counts) - 1
+    for method in table.errors:
+        assert table.errors[method][i9] < table.errors[method][i0]
+    assert table.errors["BMF-PS"][i0] < 0.75 * table.errors["OMP"][i0]
+    for i in range(len(table.sample_counts)):
+        best = min(table.errors["BMF-ZM"][i], table.errors["BMF-NZM"][i])
+        assert table.errors["BMF-PS"][i] <= 1.3 * best
+    factor = 1.75 if scale() == "small" else 1.2
+    assert table.errors["BMF-PS"][i0] <= factor * table.errors["OMP"][i9]

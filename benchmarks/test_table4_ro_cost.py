@@ -1,0 +1,60 @@
+"""Table IV: modeling error and cost for the RO -- OMP@900 vs BMF-PS@100.
+
+Paper reference (the headline result):
+
+                                    | OMP    | BMF-PS (fast solver)
+    # of post-layout samples        | 900    | 100
+    Modeling error for power        | 0.8671%| 0.5558%
+    Modeling error for phase noise  | 0.1053%| 0.0982%
+    Modeling error for frequency    | 0.7471%| 0.6069%
+    Simulation cost (Hour)          | 12.58  | 1.40
+    Total modeling cost (Hour)      | 12.62  | 1.40      -> 9x speedup
+
+Simulation cost is accounted with the per-sample cost model back-solved
+from this very table (50.3 s/post-layout sample); fitting cost is measured
+wall-clock.  The 9x total-cost speedup is sample-count-driven and must
+reproduce exactly; the "without surrendering accuracy" claim is checked
+with a scale-dependent tolerance (see DESIGN.md section 3).
+"""
+
+import numpy as np
+
+from conftest import cached_early_coefficients, save_result
+from repro.experiments import RO_COST_MODEL, run_cost_comparison, scale
+
+METRICS = ("power", "phase_noise", "frequency")
+
+
+def test_table4_ro_cost(benchmark, ring_oscillator):
+    early = {
+        metric: cached_early_coefficients(ring_oscillator, metric, 3000, 300)
+        for metric in METRICS
+    }
+
+    def run():
+        return run_cost_comparison(
+            ring_oscillator,
+            METRICS,
+            RO_COST_MODEL,
+            baseline_samples=900,
+            fused_samples=100,
+            rng=np.random.default_rng(104),
+            omp_max_terms=300,
+            early_coefficients=early,
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table4_ro_cost", comparison.format())
+
+    # The 9x speedup of the paper (12.62h vs 1.40h) is reproduced by the
+    # sample-count ratio plus the (small) measured fitting cost.
+    assert comparison.speedup > 8.5
+    assert abs(comparison.baseline.simulation_hours - 12.58) < 0.01
+    assert abs(comparison.fused.simulation_hours - 1.398) < 0.01
+    # Accuracy is not surrendered (looser at small scale where OMP@900 can
+    # saturate the smaller variable count).
+    factor = 1.75 if scale() == "small" else 1.2
+    for metric in METRICS:
+        assert comparison.fused.errors[metric] <= factor * (
+            comparison.baseline.errors[metric]
+        ), metric

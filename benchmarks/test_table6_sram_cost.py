@@ -1,0 +1,44 @@
+"""Table VI: modeling error and cost for the SRAM -- OMP@400 vs BMF-PS@100.
+
+Paper reference:
+
+                                    | OMP     | BMF-PS (fast solver)
+    # of post-layout samples        | 400     | 100
+    Modeling error for read delay   | 1.1330% | 1.0804%
+    Simulation cost (Hour)          | 38.77   | 9.69
+    Total modeling cost (Hour)      | 38.80   | 9.70     -> 4x speedup
+"""
+
+import numpy as np
+
+from conftest import cached_early_coefficients, save_result
+from repro.experiments import SRAM_COST_MODEL, run_cost_comparison, scale
+
+METRIC = "read_delay"
+
+
+def test_table6_sram_cost(benchmark, sram):
+    early = {METRIC: cached_early_coefficients(sram, METRIC, 3000, 400)}
+
+    def run():
+        return run_cost_comparison(
+            sram,
+            (METRIC,),
+            SRAM_COST_MODEL,
+            baseline_samples=400,
+            fused_samples=100,
+            rng=np.random.default_rng(106),
+            omp_max_terms=400,
+            early_coefficients=early,
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table6_sram_cost", comparison.format())
+
+    assert comparison.speedup > 3.8
+    assert abs(comparison.baseline.simulation_hours - 38.77) < 0.01
+    assert abs(comparison.fused.simulation_hours - 9.69) < 0.01
+    factor = 1.5 if scale() == "small" else 1.15
+    assert comparison.fused.errors[METRIC] <= factor * (
+        comparison.baseline.errors[METRIC]
+    )

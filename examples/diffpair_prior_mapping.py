@@ -1,0 +1,79 @@
+"""Prior mapping for multifinger devices (Section IV-A), on a real netlist.
+
+The input offset voltage of a differential pair is simulated with the
+package's MNA (SPICE-lite) engine.  At the schematic stage each input
+transistor is one device; after layout each is drawn with two fingers, and
+every finger has its own threshold-mismatch variable -- so the post-layout
+model has *different basis functions* than the schematic model.
+
+The paper's prior-mapping rule (eq. 49) distributes each schematic
+coefficient over its finger set as ``beta = alpha_E / sqrt(T)``.  This
+example shows that the mapped prior lets BMF fit the post-layout offset
+model from *fewer samples than it has coefficients*, where plain least
+squares cannot even be formulated.
+
+Run:  python examples/diffpair_prior_mapping.py     (~30 seconds)
+"""
+
+import math
+
+import numpy as np
+
+from repro import BmfRegressor, DifferentialPair, Stage
+from repro.basis import OrthonormalBasis
+from repro.bmf import map_prior_coefficients, uninformative_prior
+from repro.regression import LeastSquaresRegressor, relative_error
+
+
+def main():
+    rng = np.random.default_rng(19)
+    dp = DifferentialPair(fingers=2)
+    metric = "offset_voltage"
+
+    # --- schematic stage: plenty of cheap samples, plain least squares ---
+    early_basis = OrthonormalBasis.linear(dp.num_vars(Stage.SCHEMATIC))
+    x_early = dp.sample(Stage.SCHEMATIC, 200, rng)
+    f_early = dp.simulate(Stage.SCHEMATIC, x_early, metric)
+    early = LeastSquaresRegressor(early_basis).fit(x_early, f_early)
+    print("schematic offset model (eq. 36):")
+    labels = ["const", "vth(M1)", "vth(M2)", "R1", "R2"]
+    for label, coefficient in zip(labels, early.coefficients_):
+        print(f"  {label:<8s} {coefficient * 1e3:+8.4f} mV/sigma")
+
+    # --- map the prior onto the two-finger post-layout basis (eq. 49) ----
+    mapping = map_prior_coefficients(early_basis, early.coefficients_, dp.finger_map())
+    print(f"\nmapped {early_basis.size} schematic coefficients onto "
+          f"{mapping.late_basis.size} post-layout basis functions")
+    m1 = early.coefficients_[1]
+    print(f"  e.g. vth(M1) {m1 * 1e3:+.4f} mV -> each finger "
+          f"{m1 / math.sqrt(2) * 1e3:+.4f} mV  (alpha / sqrt(2))")
+
+    # --- post-layout stage: fewer samples than coefficients --------------
+    num_late = 5  # the mapped basis has 7 coefficients!
+    x_late = dp.sample(Stage.POST_LAYOUT, num_late, rng)
+    f_late = dp.simulate(Stage.POST_LAYOUT, x_late, metric)
+    x_test = dp.sample(Stage.POST_LAYOUT, 300, rng)
+    f_test = dp.simulate(Stage.POST_LAYOUT, x_test, metric)
+
+    fused = BmfRegressor(mapping.late_basis, mapping.beta, prior_kind="select")
+    fused.fit(x_late, f_late)
+    fused_error = relative_error(fused.predict(x_test), f_test)
+
+    blind = BmfRegressor(
+        mapping.late_basis,
+        priors=[uninformative_prior(mapping.late_basis.size)],
+        prior_kind="zero-mean",
+    )
+    blind.fit(x_late, f_late)
+    blind_error = relative_error(blind.predict(x_test), f_test)
+
+    print(f"\npost-layout model from {num_late} samples "
+          f"({mapping.late_basis.size} unknown coefficients):")
+    print(f"  BMF with mapped prior : {fused_error:.4%} error "
+          f"({fused.chosen_prior_.name})")
+    print(f"  no prior knowledge    : {blind_error:.4%} error")
+    print("  plain least squares   : not even solvable (underdetermined)")
+
+
+if __name__ == "__main__":
+    main()

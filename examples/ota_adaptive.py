@@ -1,0 +1,84 @@
+"""Adaptive BMF on a netlist-level OTA, with a quadratic model and
+rare-failure yield analysis.
+
+Goes beyond the paper's linear-model experiments, using the extension
+hooks the paper's conclusion points to:
+
+1. a 5T OTA simulated with the package's MNA engine (DC + AC per sample);
+2. a *quadratic* (total-degree-2) performance model of the unity-gain
+   bandwidth -- BMF works with any orthonormal basis (Section V's closing
+   remark);
+3. late-stage samples collected *adaptively* with
+   :class:`repro.bmf.SequentialBmf`, stopping when the cross-validation
+   error curve flattens instead of fixing the budget up front;
+4. the fused model feeds mean-shift importance sampling to resolve a
+   far-tail bandwidth failure probability that plain Monte Carlo could
+   never see.
+
+Run:  python examples/ota_adaptive.py           (~1 minute)
+"""
+
+import numpy as np
+
+from repro import FusionProblem, Stage
+from repro.applications import estimate_failure_probability
+from repro.bmf import SequentialBmf
+from repro.circuits import FiveTransistorOta
+from repro.regression import relative_error
+
+
+def main():
+    rng = np.random.default_rng(2016)
+    ota = FiveTransistorOta()
+    metric = "unity_gain_bandwidth"
+    problem = FusionProblem(ota, metric, degree=2)
+    print(f"{ota.name}: quadratic model, "
+          f"{problem.early_basis.size} schematic terms -> "
+          f"{problem.late_basis.size} post-layout terms "
+          f"({len(problem.missing_indices())} without prior)")
+
+    # --- schematic stage ---------------------------------------------------
+    print("fitting schematic model (300 MNA simulations)...")
+    alpha_early = problem.fit_early_model(300, rng, method="ridge")
+    aligned = problem.align_early_coefficients(alpha_early)
+
+    # --- adaptive late-stage collection -------------------------------------
+    sequential = SequentialBmf(
+        problem.late_basis,
+        aligned,
+        prior_kind="select",
+        missing_indices=problem.missing_indices(),
+    )
+    batch_size = 8
+    while sequential.num_samples < 80:
+        x = ota.sample(Stage.POST_LAYOUT, batch_size, rng)
+        f = ota.simulate(Stage.POST_LAYOUT, x, metric)
+        sequential.add_samples(x, f)
+        print(f"  {sequential.num_samples:3d} samples, "
+              f"CV error {sequential.cv_error_history[-1]:.4%}")
+        if sequential.has_converged(relative_improvement=0.10, window=2):
+            print("  CV error has flattened -- stopping the simulation loop.")
+            break
+
+    # --- validation ----------------------------------------------------------
+    x_test = ota.sample(Stage.POST_LAYOUT, 200, rng)
+    f_test = ota.simulate(Stage.POST_LAYOUT, x_test, metric)
+    error = relative_error(sequential.predict(x_test), f_test)
+    print(f"fused quadratic model: {error:.4%} error on 200 held-out samples")
+
+    # --- rare-failure yield ---------------------------------------------------
+    model = sequential.model.fitted_model()
+    spec = float(np.mean(f_test) - 4.5 * np.std(f_test))
+    result = estimate_failure_probability(
+        model, 200_000, rng, spec_low=spec
+    )
+    print(f"\nminimum-bandwidth spec: {spec / 1e6:.2f} MHz (~4.5 sigma)")
+    print(f"P(fail) = {result.probability:.3e} +/- {result.std_error:.1e} "
+          f"({result.sigma_level():.2f} sigma equivalent)")
+    print("plain Monte Carlo would need ~1e7 simulations to see one failure;")
+    print(f"importance sampling resolved it with {result.num_samples} model "
+          "evaluations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""SRAM read-delay modeling and parametric yield estimation (Section V-B).
+
+Builds the post-layout read-delay model of the SRAM read path with BMF-PS
+from only 100 samples, then uses it for the downstream tasks performance
+models exist for (refs. [17], [18] of the paper):
+
+* parametric yield against a read-delay spec, validated against direct
+  Monte Carlo simulation;
+* worst-case corner extraction at 3 sigma.
+
+Run:  python examples/sram_yield.py            (~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro import BmfRegressor, FusionProblem, SramReadPath, Stage
+from repro.applications import estimate_yield, estimate_yield_direct, worst_case_corner
+from repro.montecarlo import simulate_dataset
+from repro.regression import relative_error
+
+
+def main():
+    rng = np.random.default_rng(7)
+    sram = SramReadPath(n_cells=32, n_timing=10)
+    metric = "read_delay"
+    print(f"{sram.name}: {sram.num_vars(Stage.POST_LAYOUT)} post-layout variables")
+
+    # --- model the read delay with BMF -----------------------------------
+    problem = FusionProblem(sram, metric)
+    print("fitting schematic model (OMP on 3000 samples)...")
+    alpha_early = problem.fit_early_model(3000, rng, method="omp", max_terms=400)
+
+    train = simulate_dataset(sram, Stage.POST_LAYOUT, 100, rng, [metric])
+    test = simulate_dataset(sram, Stage.POST_LAYOUT, 300, rng, [metric])
+    bmf = BmfRegressor(
+        problem.late_basis,
+        problem.align_early_coefficients(alpha_early),
+        prior_kind="select",
+        missing_indices=problem.missing_indices(),
+    )
+    bmf.fit(train.x, train.metric(metric))
+    error = relative_error(bmf.predict(test.x), test.metric(metric))
+    print(f"BMF-PS read-delay model from 100 samples: {error:.4%} error")
+    model = bmf.fitted_model()
+
+    # --- parametric yield -------------------------------------------------
+    delays = test.metric(metric)
+    spec = float(np.mean(delays) + 2.0 * np.std(delays))
+    print(f"\nread-delay spec: {spec * 1e12:.2f} ps")
+
+    model_yield = estimate_yield(model, 200_000, rng, spec_high=spec)
+    direct_yield = estimate_yield_direct(
+        sram, Stage.POST_LAYOUT, metric, 20_000, rng, spec_high=spec
+    )
+    print(f"model-based yield  : {model_yield.probability:.4f} "
+          f"+/- {model_yield.std_error:.4f}  (200k model evaluations, instant)")
+    print(f"direct-MC yield    : {direct_yield.probability:.4f} "
+          f"+/- {direct_yield.std_error:.4f}  (20k 'simulations')")
+
+    # --- worst-case corner --------------------------------------------------
+    corner = worst_case_corner(model, sigma=3.0, direction="max")
+    simulated = sram.simulate(Stage.POST_LAYOUT, corner.x[np.newaxis, :], metric)[0]
+    print(f"\n3-sigma worst-case corner: model predicts "
+          f"{corner.value * 1e12:.2f} ps, simulation gives {simulated * 1e12:.2f} ps")
+    print(f"(nominal is {np.median(delays) * 1e12:.2f} ps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so ``pip install -e .`` keeps working on minimal environments that lack the
+``wheel`` package required by PEP-517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro: Bayesian Model Fusion for large-scale AMS performance modeling.
+
+A from-scratch reproduction of Wang et al., "Bayesian Model Fusion:
+Large-Scale Performance Modeling of Analog and Mixed-Signal Circuits by
+Reusing Early-Stage Data" (DAC 2013 / IEEE TCAD 2015).
+
+Public API highlights
+---------------------
+* :class:`repro.basis.OrthonormalBasis` -- orthonormal polynomial bases.
+* :class:`repro.regression.OrthogonalMatchingPursuit` -- the OMP baseline.
+* :class:`repro.bmf.BmfRegressor` / :func:`repro.bmf.fuse` -- BMF itself.
+* :mod:`repro.circuits` -- synthetic RO / SRAM / diff-pair testbenches with
+  schematic and post-layout stages.
+* :mod:`repro.applications` -- yield estimation, corners, design centering.
+"""
+
+from . import (
+    applications,
+    basis,
+    bmf,
+    circuits,
+    devices,
+    experiments,
+    linalg,
+    montecarlo,
+    process,
+    regression,
+    spice,
+)
+from .basis import OrthonormalBasis
+from .bmf import BmfRegressor, FingerMap, fuse, map_prior_coefficients
+from .circuits import FusionProblem, RingOscillator, SramReadPath, Stage
+from .circuits.diffpair import DifferentialPair
+from .montecarlo import Dataset, simulate_dataset, train_test_split
+from .regression import (
+    ElasticNetRegressor,
+    FittedModel,
+    LeastSquaresRegressor,
+    OrthogonalMatchingPursuit,
+    RidgeRegressor,
+    relative_error,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BmfRegressor",
+    "Dataset",
+    "DifferentialPair",
+    "ElasticNetRegressor",
+    "FingerMap",
+    "FittedModel",
+    "FusionProblem",
+    "LeastSquaresRegressor",
+    "OrthogonalMatchingPursuit",
+    "OrthonormalBasis",
+    "RidgeRegressor",
+    "RingOscillator",
+    "SramReadPath",
+    "Stage",
+    "applications",
+    "basis",
+    "bmf",
+    "circuits",
+    "devices",
+    "experiments",
+    "fuse",
+    "linalg",
+    "map_prior_coefficients",
+    "montecarlo",
+    "process",
+    "regression",
+    "relative_error",
+    "simulate_dataset",
+    "spice",
+    "train_test_split",
+]

@@ -1,0 +1,28 @@
+"""Downstream applications of fitted performance models."""
+
+from .corners import Corner, worst_case_corner
+from .importance import (
+    ImportanceSamplingResult,
+    estimate_failure_probability,
+)
+from .sensitivity import (
+    device_contributions,
+    top_contributors,
+    variable_contributions,
+    variance_decomposition,
+)
+from .yield_estimation import YieldEstimate, estimate_yield, estimate_yield_direct
+
+__all__ = [
+    "Corner",
+    "ImportanceSamplingResult",
+    "estimate_failure_probability",
+    "YieldEstimate",
+    "device_contributions",
+    "estimate_yield",
+    "estimate_yield_direct",
+    "top_contributors",
+    "variable_contributions",
+    "variance_decomposition",
+    "worst_case_corner",
+]

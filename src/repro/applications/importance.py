@@ -1,0 +1,153 @@
+"""Mean-shift importance sampling for rare-failure yield estimation.
+
+SRAM-style circuits target 4-6 sigma failure rates; plain Monte Carlo on
+the performance model would need billions of samples to see a failure.
+Mean-shift (a.k.a. "norm-minimization") importance sampling -- the standard
+memory-yield technique associated with the paper's co-authors -- fixes
+that:
+
+1. use the fitted performance model to locate the most-probable failure
+   point ``x*`` (the worst-case corner on the failure boundary);
+2. sample from ``N(x*, I)`` instead of ``N(0, I)``;
+3. reweight each sample by the density ratio
+   ``w(x) = exp(-x.T x* + x*.T x*/2)``.
+
+The estimator stays unbiased for any shift and concentrates samples where
+failures live, cutting the variance by orders of magnitude at high sigma.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..regression.base import FittedModel
+from .corners import worst_case_corner
+
+__all__ = ["ImportanceSamplingResult", "estimate_failure_probability"]
+
+
+@dataclass(frozen=True)
+class ImportanceSamplingResult:
+    """An importance-sampled failure-probability estimate.
+
+    Attributes
+    ----------
+    probability:
+        Estimated failure probability ``P(fail)``.
+    std_error:
+        Standard error of the (reweighted) estimator.
+    num_samples:
+        Importance samples drawn.
+    shift:
+        The mean-shift vector used, shape ``(R,)``.
+    """
+
+    probability: float
+    std_error: float
+    num_samples: int
+    shift: np.ndarray
+
+    def sigma_level(self) -> float:
+        """Failure probability expressed as an equivalent sigma level."""
+        from scipy.stats import norm
+
+        if self.probability <= 0.0:
+            return math.inf
+        if self.probability >= 1.0:
+            return -math.inf
+        return float(-norm.ppf(self.probability))
+
+
+def _failure_shift(
+    model: FittedModel,
+    spec_low: Optional[float],
+    spec_high: Optional[float],
+    search_sigma: float,
+) -> np.ndarray:
+    """Most-probable failure point: minimum-norm x on the failing side.
+
+    For a linear model the boundary ``f(x) = spec`` is a hyperplane and the
+    minimum-norm point is closed-form; reuse the corner extractor's
+    gradient and scale it to the boundary.
+    """
+    direction = None
+    if spec_high is not None:
+        corner = worst_case_corner(model, sigma=search_sigma, direction="max")
+        if corner.value > spec_high and corner.sigma > 0:
+            nominal = float(model.predict(np.zeros(model.basis.num_vars)))
+            # Linear interpolation along the corner ray to the boundary.
+            fraction = (spec_high - nominal) / (corner.value - nominal)
+            direction = corner.x * np.clip(fraction, 0.05, 1.0)
+    if direction is None and spec_low is not None:
+        corner = worst_case_corner(model, sigma=search_sigma, direction="min")
+        if corner.value < spec_low and corner.sigma > 0:
+            nominal = float(model.predict(np.zeros(model.basis.num_vars)))
+            fraction = (spec_low - nominal) / (corner.value - nominal)
+            direction = corner.x * np.clip(fraction, 0.05, 1.0)
+    if direction is None:
+        # No failure region within the search ball: shift to the ball edge
+        # in the worst direction anyway (keeps the estimator unbiased).
+        which = "max" if spec_high is not None else "min"
+        direction = worst_case_corner(model, sigma=search_sigma, direction=which).x
+    return direction
+
+
+def estimate_failure_probability(
+    model: FittedModel,
+    num_samples: int,
+    rng: np.random.Generator,
+    spec_low: Optional[float] = None,
+    spec_high: Optional[float] = None,
+    shift: Optional[np.ndarray] = None,
+    search_sigma: float = 8.0,
+) -> ImportanceSamplingResult:
+    """Estimate ``P(f(x) violates spec)`` by mean-shift importance sampling.
+
+    Parameters
+    ----------
+    model:
+        Fitted performance model (evaluations are cheap, so ``num_samples``
+        can be large).
+    num_samples:
+        Importance samples to draw.
+    rng:
+        Random generator.
+    spec_low / spec_high:
+        Failure is ``f < spec_low`` or ``f > spec_high`` (at least one
+        bound required).
+    shift:
+        Explicit mean-shift vector; by default the most-probable failure
+        point located from the model itself.
+    search_sigma:
+        Radius searched for the failure boundary when auto-shifting.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if spec_low is None and spec_high is None:
+        raise ValueError("provide at least one of spec_low / spec_high")
+
+    num_vars = model.basis.num_vars
+    if shift is None:
+        shift = _failure_shift(model, spec_low, spec_high, search_sigma)
+    shift = np.asarray(shift, dtype=float)
+    if shift.shape != (num_vars,):
+        raise ValueError(f"shift must have shape ({num_vars},), got {shift.shape}")
+
+    samples = rng.standard_normal((num_samples, num_vars)) + shift
+    values = model.predict(samples)
+    failing = np.zeros(num_samples, dtype=bool)
+    if spec_low is not None:
+        failing |= values < spec_low
+    if spec_high is not None:
+        failing |= values > spec_high
+
+    # Likelihood ratio N(0,I)/N(shift,I), computed in log space.
+    log_weight = -samples @ shift + 0.5 * float(shift @ shift)
+    weights = np.where(failing, np.exp(log_weight), 0.0)
+    probability = float(np.mean(weights))
+    std_error = float(np.std(weights) / math.sqrt(num_samples))
+    return ImportanceSamplingResult(probability, std_error, num_samples, shift)

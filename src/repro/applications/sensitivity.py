@@ -1,0 +1,103 @@
+"""Variance decomposition and sensitivity ranking.
+
+For an orthonormal basis over independent standard-normal variables the
+model variance decomposes exactly:
+
+    Var[f(x)] = sum_{m : g_m != const} alpha_m^2
+
+so each basis function's (and, summed, each variable's or device's) share
+of the performance variability is just its squared coefficient.  This is
+the standard way a fitted model is turned into designer feedback ("which
+devices should I upsize?") and is also a useful diagnostic for the BMF
+priors themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..process import ProcessSpace
+from ..regression.base import FittedModel
+
+__all__ = [
+    "variance_decomposition",
+    "variable_contributions",
+    "device_contributions",
+    "top_contributors",
+]
+
+
+def variance_decomposition(model: FittedModel) -> Tuple[float, np.ndarray]:
+    """Total model variance and each basis function's absolute share.
+
+    Returns
+    -------
+    (total, shares):
+        ``total`` is ``Var[f]`` under the model; ``shares[m]`` is the
+        contribution of basis function ``m`` (zero for the constant term).
+    """
+    shares = model.coefficients**2
+    for m, index in enumerate(model.basis.indices):
+        if not index:
+            shares[m] = 0.0
+    return float(shares.sum()), shares
+
+
+def variable_contributions(model: FittedModel) -> np.ndarray:
+    """Per-variable variance contribution, shape ``(R,)``.
+
+    A basis function involving several variables contributes its share to
+    each of them (interaction effects are attributed to all participants).
+    """
+    contributions = np.zeros(model.basis.num_vars)
+    _total, shares = variance_decomposition(model)
+    for m, index in enumerate(model.basis.indices):
+        for var, _deg in index:
+            contributions[var] += shares[m]
+    return contributions
+
+
+def device_contributions(
+    model: FittedModel, space: ProcessSpace
+) -> Dict[str, float]:
+    """Variance contribution grouped by owning device.
+
+    Variables without a device (inter-die, parasitic) are grouped under
+    their kind name.
+    """
+    if space.size != model.basis.num_vars:
+        raise ValueError(
+            f"space has {space.size} variables but the model basis has "
+            f"{model.basis.num_vars}"
+        )
+    per_variable = variable_contributions(model)
+    grouped: Dict[str, float] = {}
+    for i, variable in enumerate(space.variables):
+        key = variable.device if variable.device is not None else variable.kind
+        grouped[key] = grouped.get(key, 0.0) + float(per_variable[i])
+    return grouped
+
+
+def top_contributors(
+    model: FittedModel,
+    space: Optional[ProcessSpace] = None,
+    count: int = 10,
+) -> List[Tuple[str, float]]:
+    """The ``count`` largest variance contributors, normalized to fractions.
+
+    With a ``space``, contributions are grouped by device; otherwise they
+    are reported per variable index.
+    """
+    if space is not None:
+        grouped = device_contributions(model, space)
+        items = list(grouped.items())
+    else:
+        per_variable = variable_contributions(model)
+        items = [(f"x{i}", float(v)) for i, v in enumerate(per_variable)]
+    total = sum(v for _, v in items)
+    if total <= 0:
+        return []
+    items.sort(key=lambda pair: pair[1], reverse=True)
+    return [(name, value / total) for name, value in items[:count]]

@@ -1,0 +1,120 @@
+"""Parametric yield estimation from a fitted performance model.
+
+One of the canonical downstream uses of a performance model (refs. [17],
+[25] of the paper): once ``f(x)`` is approximated analytically, the
+parametric yield ``P(spec_low <= f(x) <= spec_high)`` is estimated by cheap
+Monte Carlo on the *model* instead of expensive transistor-level
+simulation.  A direct-simulation estimator over a testbench is provided for
+validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.base import Stage, Testbench
+from ..regression.base import FittedModel
+
+__all__ = ["YieldEstimate", "estimate_yield", "estimate_yield_direct"]
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """A Monte Carlo yield estimate with its binomial standard error.
+
+    Attributes
+    ----------
+    probability:
+        Estimated pass probability in ``[0, 1]``.
+    std_error:
+        Binomial standard error ``sqrt(p (1 - p) / n)``.
+    num_samples:
+        Monte Carlo samples used.
+    """
+
+    probability: float
+    std_error: float
+    num_samples: int
+
+    def sigma_level(self) -> float:
+        """Yield expressed as a one-sided normal quantile (e.g. 3 = 3-sigma).
+
+        Returns ``inf`` when no failures were observed.
+        """
+        if self.probability >= 1.0:
+            return math.inf
+        if self.probability <= 0.0:
+            return -math.inf
+        from scipy.stats import norm
+
+        return float(norm.ppf(self.probability))
+
+
+def _pass_fraction(
+    values: np.ndarray,
+    spec_low: Optional[float],
+    spec_high: Optional[float],
+) -> np.ndarray:
+    if spec_low is None and spec_high is None:
+        raise ValueError("provide at least one of spec_low / spec_high")
+    passing = np.ones(values.shape[0], dtype=bool)
+    if spec_low is not None:
+        passing &= values >= spec_low
+    if spec_high is not None:
+        passing &= values <= spec_high
+    return passing
+
+
+def _estimate(passing: np.ndarray) -> YieldEstimate:
+    count = passing.shape[0]
+    probability = float(np.mean(passing))
+    std_error = math.sqrt(max(probability * (1.0 - probability), 0.0) / count)
+    return YieldEstimate(probability, std_error, count)
+
+
+def estimate_yield(
+    model: FittedModel,
+    num_samples: int,
+    rng: np.random.Generator,
+    spec_low: Optional[float] = None,
+    spec_high: Optional[float] = None,
+) -> YieldEstimate:
+    """Model-based Monte Carlo yield estimate.
+
+    Parameters
+    ----------
+    model:
+        A fitted performance model (from OMP, BMF, ...).
+    num_samples:
+        Monte Carlo samples to draw (cheap: model evaluations only).
+    rng:
+        Random generator.
+    spec_low / spec_high:
+        Specification bounds (at least one required).
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    samples = rng.standard_normal((num_samples, model.basis.num_vars))
+    values = model.predict(samples)
+    return _estimate(_pass_fraction(values, spec_low, spec_high))
+
+
+def estimate_yield_direct(
+    testbench: Testbench,
+    stage: Stage,
+    metric: str,
+    num_samples: int,
+    rng: np.random.Generator,
+    spec_low: Optional[float] = None,
+    spec_high: Optional[float] = None,
+) -> YieldEstimate:
+    """Direct-simulation yield estimate (the expensive reference)."""
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    samples = testbench.sample(stage, num_samples, rng)
+    values = testbench.simulate(stage, samples, metric)
+    return _estimate(_pass_fraction(values, spec_low, spec_high))

@@ -1,0 +1,34 @@
+"""Orthonormal polynomial bases over standard-normal variables.
+
+Implements the basis machinery of Section II-A of the paper: univariate
+orthonormal Hermite polynomials, sparse multi-index sets, the multivariate
+product basis, and design-matrix assembly (eq. 9).
+"""
+
+from .hermite import (
+    hermite_coefficients,
+    hermite_he,
+    hermite_orthonormal,
+    hermite_orthonormal_all,
+)
+from .multiindex import (
+    MultiIndex,
+    index_set_size,
+    linear_index_set,
+    total_degree_index_set,
+    validate_index_set,
+)
+from .multivariate import OrthonormalBasis
+
+__all__ = [
+    "MultiIndex",
+    "OrthonormalBasis",
+    "hermite_coefficients",
+    "hermite_he",
+    "hermite_orthonormal",
+    "hermite_orthonormal_all",
+    "index_set_size",
+    "linear_index_set",
+    "total_degree_index_set",
+    "validate_index_set",
+]

@@ -1,0 +1,129 @@
+"""Orthonormal probabilists' Hermite polynomials.
+
+The paper (Section II-A, eqs. 3-5) adopts polynomials that are orthonormal
+with respect to the standard normal density:
+
+    E[g_i(x) * g_j(x)] = delta_ij   for x ~ N(0, 1).
+
+For a single standard-normal variable these are the probabilists' Hermite
+polynomials ``He_n`` normalized by ``sqrt(n!)``:
+
+    g_1(x) = 1
+    g_2(x) = x
+    g_3(x) = (x^2 - 1) / sqrt(2)
+    ...
+
+which matches eq. (4) of the paper exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "hermite_he",
+    "hermite_orthonormal",
+    "hermite_orthonormal_all",
+    "hermite_coefficients",
+]
+
+
+def hermite_he(n: int, x: np.ndarray) -> np.ndarray:
+    """Evaluate the (unnormalized) probabilists' Hermite polynomial He_n.
+
+    Uses the stable three-term recurrence
+
+        He_0(x) = 1
+        He_1(x) = x
+        He_{k+1}(x) = x * He_k(x) - k * He_{k-1}(x).
+
+    Parameters
+    ----------
+    n:
+        Polynomial degree, ``n >= 0``.
+    x:
+        Evaluation points (any shape); scalars are promoted.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``He_n(x)`` with the same shape as ``x``.
+    """
+    if n < 0:
+        raise ValueError(f"degree must be non-negative, got {n}")
+    x = np.asarray(x, dtype=float)
+    if n == 0:
+        return np.ones_like(x)
+    if n == 1:
+        return x.copy()
+    prev = np.ones_like(x)
+    curr = x.copy()
+    for k in range(1, n):
+        prev, curr = curr, x * curr - k * prev
+    return curr
+
+
+def hermite_orthonormal(n: int, x: np.ndarray) -> np.ndarray:
+    """Evaluate the orthonormal Hermite polynomial ``He_n(x) / sqrt(n!)``.
+
+    Satisfies ``E[g_n(x)^2] = 1`` for ``x ~ N(0, 1)``.
+    """
+    return hermite_he(n, x) / math.sqrt(math.factorial(n))
+
+
+def hermite_orthonormal_all(max_degree: int, x: np.ndarray) -> np.ndarray:
+    """Evaluate all orthonormal Hermite polynomials up to ``max_degree``.
+
+    The full set is computed in a single recurrence sweep, which is much
+    cheaper than calling :func:`hermite_orthonormal` once per degree when
+    assembling design matrices.
+
+    Parameters
+    ----------
+    max_degree:
+        Highest polynomial degree to evaluate (inclusive).
+    x:
+        Evaluation points of shape ``(K,)`` (or any shape).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(max_degree + 1,) + x.shape`` whose ``[d]`` slice is
+        the orthonormal polynomial of degree ``d`` evaluated at ``x``.
+    """
+    if max_degree < 0:
+        raise ValueError(f"max_degree must be non-negative, got {max_degree}")
+    x = np.asarray(x, dtype=float)
+    out = np.empty((max_degree + 1,) + x.shape, dtype=float)
+    out[0] = 1.0
+    if max_degree >= 1:
+        out[1] = x
+    # Unnormalized recurrence first, then normalize degree-by-degree.
+    for k in range(1, max_degree):
+        out[k + 1] = x * out[k] - k * out[k - 1]
+    for d in range(2, max_degree + 1):
+        out[d] /= math.sqrt(math.factorial(d))
+    return out
+
+
+def hermite_coefficients(n: int) -> np.ndarray:
+    """Return the monomial coefficients of the orthonormal Hermite poly.
+
+    ``hermite_coefficients(n)[k]`` is the coefficient of ``x**k`` in
+    ``He_n(x) / sqrt(n!)``.  Mostly useful for tests and for exporting
+    models into plain polynomial form.
+    """
+    if n < 0:
+        raise ValueError(f"degree must be non-negative, got {n}")
+    prev = np.array([1.0])
+    if n == 0:
+        return prev
+    curr = np.array([0.0, 1.0])
+    for k in range(1, n):
+        # He_{k+1} = x * He_k - k * He_{k-1}
+        shifted = np.concatenate(([0.0], curr))
+        padded_prev = np.concatenate((prev, np.zeros(shifted.size - prev.size)))
+        prev, curr = curr, shifted - k * padded_prev
+    return curr / math.sqrt(math.factorial(n))

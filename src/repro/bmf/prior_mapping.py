@@ -1,0 +1,207 @@
+"""Prior mapping for multifinger devices (Section IV-A).
+
+After layout, a schematic device is drawn with ``W`` fingers and each finger
+gets its own mismatch random variable.  A schematic basis function
+``g_m(x)`` therefore maps to a *set* of ``T_m`` post-layout basis functions
+``{g_{m,t}(x*)}`` over the finger variables, and the schematic coefficient
+must be distributed over them.  Matching performance variability (eq. 45-46)
+under the paper's equal-impact and permutation-invariance assumptions
+(eqs. 47-49) gives the equal split
+
+    beta_{E,m,t} = alpha_{E,m} / sqrt(T_m).
+
+For a degree-``d`` factor in a variable with ``W`` fingers, the mapped set
+consists of all finger-degree assignments summing to ``d`` (so ``W`` terms
+for a linear factor, ``W (W + 1) / 2`` for a quadratic one, ...); mapped
+sets of distinct factors combine as Cartesian products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Tuple
+
+import math
+
+import numpy as np
+
+from ..basis import MultiIndex, OrthonormalBasis
+
+__all__ = ["FingerMap", "PriorMapping", "map_prior_coefficients"]
+
+
+@dataclass(frozen=True)
+class FingerMap:
+    """Mapping from schematic variables to post-layout finger variables.
+
+    Parameters
+    ----------
+    finger_counts:
+        ``finger_counts[r]`` is the number of fingers ``W_r`` of schematic
+        variable ``r``; a count of 1 means the variable is unchanged.
+    """
+
+    finger_counts: Tuple[int, ...]
+
+    def __post_init__(self):
+        counts = tuple(int(w) for w in self.finger_counts)
+        if any(w < 1 for w in counts):
+            raise ValueError(f"finger counts must be >= 1, got {counts}")
+        object.__setattr__(self, "finger_counts", counts)
+
+    @property
+    def num_early_vars(self) -> int:
+        return len(self.finger_counts)
+
+    @property
+    def num_late_vars(self) -> int:
+        return sum(self.finger_counts)
+
+    def offsets(self) -> np.ndarray:
+        """Start index of each variable's finger block in the late space."""
+        return np.concatenate(([0], np.cumsum(self.finger_counts)[:-1]))
+
+    def fingers_of(self, var: int) -> range:
+        """Late-stage variable indices of schematic variable ``var``."""
+        offset = int(self.offsets()[var])
+        return range(offset, offset + self.finger_counts[var])
+
+    def project_samples(self, late_samples: np.ndarray) -> np.ndarray:
+        """Collapse late finger samples back to schematic variables.
+
+        Each schematic variable is the normalized sum of its fingers
+        ``x_r = sum_t x_{r,t} / sqrt(W_r)``, which keeps it standard normal;
+        useful for evaluating a schematic model at post-layout sample points
+        in tests and examples.
+        """
+        late_samples = np.asarray(late_samples, dtype=float)
+        if late_samples.ndim == 1:
+            late_samples = late_samples[np.newaxis, :]
+        if late_samples.shape[1] != self.num_late_vars:
+            raise ValueError(
+                f"expected {self.num_late_vars} late variables, "
+                f"got {late_samples.shape[1]}"
+            )
+        out = np.empty((late_samples.shape[0], self.num_early_vars))
+        for var, offset in enumerate(self.offsets()):
+            count = self.finger_counts[var]
+            block = late_samples[:, offset : offset + count]
+            out[:, var] = block.sum(axis=1) / math.sqrt(count)
+        return out
+
+
+@dataclass
+class PriorMapping:
+    """Result of mapping an early-stage model into the finger space.
+
+    Attributes
+    ----------
+    late_basis:
+        Orthonormal basis over the post-layout finger variables containing
+        all mapped basis functions, in early-function-major order.
+    beta:
+        Mapped coefficients ``beta_{E,m,t} = alpha_{E,m} / sqrt(T_m)``
+        aligned with ``late_basis.indices``.
+    groups:
+        ``groups[m]`` lists the positions in ``late_basis`` of the functions
+        mapped from early basis function ``m``.
+    """
+
+    late_basis: OrthonormalBasis
+    beta: np.ndarray
+    groups: List[List[int]]
+
+
+def _weak_compositions(total: int, parts: int):
+    """Yield all assignments of ``total`` into ``parts`` non-negative ints."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _weak_compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def _mapped_factor(var: int, degree: int, fmap: FingerMap) -> List[MultiIndex]:
+    """All late multi-index fragments a single ``(var, degree)`` factor maps to."""
+    fingers = list(fmap.fingers_of(var))
+    fragments: List[MultiIndex] = []
+    for degrees in _weak_compositions(degree, len(fingers)):
+        fragment = tuple(
+            (finger, d) for finger, d in zip(fingers, degrees) if d > 0
+        )
+        fragments.append(fragment)
+    return fragments
+
+
+def map_prior_coefficients(
+    early_basis: OrthonormalBasis,
+    alpha_early: np.ndarray,
+    finger_map: FingerMap,
+) -> PriorMapping:
+    """Map a schematic model onto the post-layout finger basis (eq. 49).
+
+    Parameters
+    ----------
+    early_basis:
+        The schematic-stage basis (any orthonormal polynomial basis).
+    alpha_early:
+        Schematic coefficients ``alpha_E`` aligned with ``early_basis``.
+    finger_map:
+        Finger multiplicities of every schematic variable.
+
+    Returns
+    -------
+    PriorMapping
+        Late basis, mapped coefficients ``beta`` (ready to feed to
+        :func:`repro.bmf.priors.zero_mean_prior` or
+        :func:`~repro.bmf.priors.nonzero_mean_prior`), and the early-to-late
+        index groups.
+    """
+    alpha_early = np.asarray(alpha_early, dtype=float)
+    if alpha_early.shape != (early_basis.size,):
+        raise ValueError(
+            f"expected {early_basis.size} early coefficients, "
+            f"got shape {alpha_early.shape}"
+        )
+    if finger_map.num_early_vars != early_basis.num_vars:
+        raise ValueError(
+            f"finger map covers {finger_map.num_early_vars} variables but "
+            f"the basis has {early_basis.num_vars}"
+        )
+
+    late_indices: List[MultiIndex] = []
+    beta_values: List[float] = []
+    groups: List[List[int]] = []
+    seen = {}
+
+    for m, early_index in enumerate(early_basis.indices):
+        if not early_index:
+            mapped = [()]  # the constant maps to itself
+        else:
+            factor_sets = [
+                _mapped_factor(var, degree, finger_map)
+                for var, degree in early_index
+            ]
+            mapped = [
+                tuple(sorted(sum(combo, ())))
+                for combo in product(*factor_sets)
+            ]
+        multiplicity = len(mapped)
+        split = alpha_early[m] / math.sqrt(multiplicity)
+        group: List[int] = []
+        for late_index in mapped:
+            if late_index in seen:
+                raise ValueError(
+                    f"early basis functions map to overlapping late function "
+                    f"{late_index}; the early basis is not finger-separable"
+                )
+            seen[late_index] = len(late_indices)
+            group.append(len(late_indices))
+            late_indices.append(late_index)
+            beta_values.append(split)
+        groups.append(group)
+
+    late_basis = OrthonormalBasis(finger_map.num_late_vars, late_indices)
+    return PriorMapping(late_basis, np.array(beta_values), groups)

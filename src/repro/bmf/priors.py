@@ -1,0 +1,175 @@
+"""Prior distributions on late-stage model coefficients (Section III-A).
+
+A BMF prior is a per-coefficient independent Gaussian
+
+    alpha_L,m ~ N(mean_m, t^2 * scale_m^2)
+
+where ``t`` is the scalar hyper-parameter left to cross-validation
+(``sigma_0`` for the zero-mean prior, ``lambda`` for the nonzero-mean one --
+both enter the MAP equations only through ``eta``, see
+:mod:`repro.bmf.map_estimation`).  The two priors of the paper are:
+
+* zero-mean (eq. 12, 16, 17):  ``mean = 0``, ``scale_m = |alpha_E,m|``;
+* nonzero-mean (eq. 19, 20):   ``mean = alpha_E``, ``scale_m = |alpha_E,m|``.
+
+Missing prior knowledge (Section IV-B) is encoded by ``scale_m = inf``
+(an uninformative prior); a ``scale_m = 0`` pins the coefficient exactly to
+its prior mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "GaussianCoefficientPrior",
+    "zero_mean_prior",
+    "nonzero_mean_prior",
+    "uninformative_prior",
+]
+
+
+@dataclass(frozen=True)
+class GaussianCoefficientPrior:
+    """Independent Gaussian prior ``alpha_m ~ N(mean_m, t^2 scale_m^2)``.
+
+    Attributes
+    ----------
+    mean:
+        Prior means, shape ``(M,)``.
+    scale:
+        Non-negative relative standard deviations, shape ``(M,)``.
+        ``inf`` marks a coefficient with missing prior knowledge; ``0`` pins
+        the coefficient to its mean.
+    name:
+        Human-readable tag (``"zero-mean"`` / ``"nonzero-mean"`` / ...).
+    """
+
+    mean: np.ndarray
+    scale: np.ndarray
+    name: str = "custom"
+
+    def __post_init__(self):
+        mean = np.asarray(self.mean, dtype=float)
+        scale = np.asarray(self.scale, dtype=float)
+        if mean.ndim != 1 or scale.shape != mean.shape:
+            raise ValueError(
+                f"mean and scale must be 1-D and matching, got {mean.shape} "
+                f"and {scale.shape}"
+            )
+        if np.any(scale < 0) or np.any(np.isnan(scale)):
+            raise ValueError("prior scales must be non-negative (inf allowed)")
+        if np.any(~np.isfinite(mean)):
+            raise ValueError("prior means must be finite")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "scale", scale)
+
+    @property
+    def size(self) -> int:
+        """Number of coefficients ``M``."""
+        return self.mean.shape[0]
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask of coefficients with missing (infinite-scale) prior."""
+        return np.isinf(self.scale)
+
+    def pinned_mask(self) -> np.ndarray:
+        """Boolean mask of coefficients pinned exactly to their prior mean."""
+        return self.scale == 0.0
+
+    def with_missing(self, indices: Iterable[int]) -> "GaussianCoefficientPrior":
+        """Return a copy with the given coefficients marked prior-free.
+
+        This implements Section IV-B: late-stage basis functions (e.g. for
+        layout-parasitic variables) for which the early-stage model carries
+        no information get ``scale = inf`` and ``mean = 0``.
+        """
+        mean = self.mean.copy()
+        scale = self.scale.copy()
+        for index in indices:
+            mean[index] = 0.0
+            scale[index] = np.inf
+        return GaussianCoefficientPrior(mean, scale, self.name)
+
+    def extended(self, extra_terms: int) -> "GaussianCoefficientPrior":
+        """Append ``extra_terms`` prior-free coefficients at the end.
+
+        Convenience for the common missing-prior layout where all new
+        late-stage basis functions are appended after the shared ones.
+        """
+        if extra_terms < 0:
+            raise ValueError(f"extra_terms must be non-negative, got {extra_terms}")
+        mean = np.concatenate([self.mean, np.zeros(extra_terms)])
+        scale = np.concatenate([self.scale, np.full(extra_terms, np.inf)])
+        return GaussianCoefficientPrior(mean, scale, self.name)
+
+    def effective_scale(self, missing_scale: Optional[float] = None) -> np.ndarray:
+        """Scales with ``inf`` entries replaced by a large finite value.
+
+        The fast (Woodbury / kernel) solver needs finite prior variances.
+        The paper handles ``sigma = inf`` by noting only ``sigma^{-1}`` enters
+        the direct M x M equations; we instead use a very wide but proper
+        prior -- ``missing_scale`` defaulting to ``1e3`` times the largest
+        finite scale -- which is numerically equivalent for prediction and
+        keeps the posterior proper even when the number of prior-free
+        coefficients exceeds the sample count.  (Substitution documented in
+        DESIGN.md.)
+        """
+        scale = self.scale
+        missing = np.isinf(scale)
+        if not np.any(missing):
+            return scale
+        if missing_scale is None:
+            finite = scale[~missing & (scale > 0)]
+            reference = float(finite.max()) if finite.size else 1.0
+            missing_scale = 1e3 * reference
+        out = scale.copy()
+        out[missing] = missing_scale
+        return out
+
+
+def zero_mean_prior(alpha_early: np.ndarray) -> GaussianCoefficientPrior:
+    """Zero-mean prior of eqs. (12)-(17): ``alpha_L,m ~ N(0, sigma_m^2)``.
+
+    The maximum-likelihood choice of the standard deviation (eq. 16) is
+    ``sigma_m = |alpha_E,m|``; the early-stage coefficients thus fix the
+    per-coefficient *magnitude* profile while the overall prior strength is
+    tuned through the hyper-parameter in the MAP step.
+    """
+    alpha_early = np.asarray(alpha_early, dtype=float)
+    return GaussianCoefficientPrior(
+        mean=np.zeros_like(alpha_early),
+        scale=np.abs(alpha_early),
+        name="zero-mean",
+    )
+
+
+def nonzero_mean_prior(alpha_early: np.ndarray) -> GaussianCoefficientPrior:
+    """Nonzero-mean prior of eqs. (19)-(20).
+
+    ``alpha_L,m ~ N(alpha_E,m, lambda^2 alpha_E,m^2)`` -- encodes both sign
+    and magnitude of the early-stage coefficients; ``lambda`` enters the MAP
+    equations only through ``eta = sigma_0^2 / lambda^2``.
+    """
+    alpha_early = np.asarray(alpha_early, dtype=float)
+    return GaussianCoefficientPrior(
+        mean=alpha_early.copy(),
+        scale=np.abs(alpha_early),
+        name="nonzero-mean",
+    )
+
+
+def uninformative_prior(num_terms: int) -> GaussianCoefficientPrior:
+    """A fully prior-free model (every coefficient has missing knowledge).
+
+    BMF with this prior reduces to (weakly regularized) least squares; used
+    in tests and ablations as the "no early-stage data" control.
+    """
+    return GaussianCoefficientPrior(
+        mean=np.zeros(num_terms),
+        scale=np.full(num_terms, np.inf),
+        name="uninformative",
+    )

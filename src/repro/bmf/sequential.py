@@ -1,0 +1,149 @@
+"""Sequential BMF: decide *how many* late-stage samples are enough.
+
+The paper fixes the late-stage sample budget up front (Tables I-VI sweep
+it); in practice a designer collects expensive post-layout simulations one
+batch at a time and wants to stop as soon as the fused model is good
+enough.  :class:`SequentialBmf` supports that workflow:
+
+* feed samples incrementally with :meth:`add_samples` (each batch refits --
+  the fast kernel solver keeps this cheap, ``O(K^2 M)`` per refit at the
+  current ``K``);
+* the cross-validation error of every refit is recorded, giving a
+  monitorable convergence curve;
+* :meth:`has_converged` implements a plateau test on that curve, so the
+  simulation loop can stop when more data has stopped helping.
+
+This is the "adaptive sampling" extension the BMF line of work develops in
+follow-up papers, built from the same primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .model import BmfRegressor
+
+__all__ = ["SequentialBmf"]
+
+
+class SequentialBmf:
+    """Incrementally fused late-stage model with a convergence monitor.
+
+    Parameters are forwarded to :class:`~repro.bmf.BmfRegressor`; every
+    refit runs the full prior/hyper-parameter selection on the data
+    collected so far.
+
+    Attributes
+    ----------
+    cv_error_history:
+        Cross-validation error after each :meth:`add_samples` call.
+    sample_count_history:
+        Total sample count after each call.
+    """
+
+    def __init__(
+        self,
+        basis,
+        alpha_early: Optional[np.ndarray] = None,
+        prior_kind: str = "select",
+        missing_indices: Optional[Iterable[int]] = None,
+        n_folds: int = 5,
+        **regressor_kwargs,
+    ):
+        self._basis = basis
+        self._factory = lambda: BmfRegressor(
+            basis,
+            alpha_early,
+            prior_kind=prior_kind,
+            missing_indices=missing_indices,
+            n_folds=n_folds,
+            **regressor_kwargs,
+        )
+        self._x: Optional[np.ndarray] = None
+        self._f: Optional[np.ndarray] = None
+        self._model: Optional[BmfRegressor] = None
+        self.cv_error_history: List[float] = []
+        self.sample_count_history: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        """Late-stage samples accumulated so far."""
+        return 0 if self._x is None else self._x.shape[0]
+
+    @property
+    def model(self) -> BmfRegressor:
+        """The most recent fitted regressor."""
+        if self._model is None:
+            raise RuntimeError("no samples added yet; call add_samples() first")
+        return self._model
+
+    # ------------------------------------------------------------------
+    def add_samples(self, x: np.ndarray, f: np.ndarray) -> "SequentialBmf":
+        """Append a batch of late-stage samples and refit.
+
+        Parameters
+        ----------
+        x:
+            New variation samples, shape ``(B, R)``.
+        f:
+            Their simulated performance values, shape ``(B,)``.
+        """
+        x = np.asarray(x, dtype=float)
+        f = np.asarray(f, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if f.shape != (x.shape[0],):
+            raise ValueError(
+                f"f must have shape ({x.shape[0]},), got {f.shape}"
+            )
+        if self._x is None:
+            self._x, self._f = x.copy(), f.copy()
+        else:
+            if x.shape[1] != self._x.shape[1]:
+                raise ValueError(
+                    f"batch has {x.shape[1]} variables, expected "
+                    f"{self._x.shape[1]}"
+                )
+            self._x = np.vstack([self._x, x])
+            self._f = np.concatenate([self._f, f])
+
+        self._model = self._factory()
+        self._model.fit(self._x, self._f)
+        if self._model.cv_report_ is not None:
+            self.cv_error_history.append(float(self._model.cv_report_.error))
+        else:  # fixed-eta fits have no CV error; track training error
+            residual = self._f - self._model.predict(self._x)
+            norm = max(float(np.linalg.norm(self._f)), 1e-300)
+            self.cv_error_history.append(float(np.linalg.norm(residual)) / norm)
+        self.sample_count_history.append(self.num_samples)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict with the latest fused model."""
+        return self.model.predict(x)
+
+    # ------------------------------------------------------------------
+    def has_converged(
+        self, relative_improvement: float = 0.05, window: int = 2
+    ) -> bool:
+        """Plateau test on the cross-validation error curve.
+
+        True when over the last ``window`` refits the CV error improved by
+        less than ``relative_improvement`` (fractionally) per step -- i.e.
+        additional expensive simulations have stopped paying for
+        themselves.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        history = self.cv_error_history
+        if len(history) < window + 1:
+            return False
+        for before, after in zip(history[-window - 1 : -1], history[-window:]):
+            if before <= 0:
+                continue
+            if (before - after) / before > relative_improvement:
+                return False
+        return True

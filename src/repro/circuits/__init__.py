@@ -1,0 +1,18 @@
+"""Circuit testbenches with schematic and post-layout stages."""
+
+from .base import Stage, Testbench
+from .diffpair import DifferentialPair
+from .modeling import FusionProblem
+from .opamp import FiveTransistorOta
+from .ring_oscillator import RingOscillator
+from .sram import SramReadPath
+
+__all__ = [
+    "DifferentialPair",
+    "FiveTransistorOta",
+    "FusionProblem",
+    "RingOscillator",
+    "SramReadPath",
+    "Stage",
+    "Testbench",
+]

@@ -1,0 +1,104 @@
+"""Testbench abstraction: circuits with a schematic and a post-layout stage.
+
+A testbench owns a process-variation space per design stage and knows how to
+"simulate" (evaluate its behavioral performance functions on) a batch of
+variation samples.  The two stages share the schematic variables -- the
+post-layout space appends layout-parasitic variables after them -- so an
+early-stage model's coefficients align one-to-one with the leading columns
+of the late-stage basis, exactly the structure BMF's prior definition and
+missing-prior handling (Sections III-A, IV-B) expect.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..process import ProcessSpace
+
+__all__ = ["Stage", "Testbench"]
+
+
+class Stage(enum.Enum):
+    """Design stage of the multistage AMS flow (Section I)."""
+
+    SCHEMATIC = "schematic"
+    POST_LAYOUT = "post_layout"
+
+    @property
+    def is_late(self) -> bool:
+        return self is Stage.POST_LAYOUT
+
+
+class Testbench(abc.ABC):
+    """A circuit with per-stage variation spaces and performance metrics.
+
+    Subclasses populate :attr:`metrics` and implement :meth:`space` and
+    :meth:`simulate`; everything else (sampling, joint evaluation) is
+    provided here.
+    """
+
+    name: str = "testbench"
+    metrics: Tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def space(self, stage: Stage) -> ProcessSpace:
+        """The variation space of the given stage."""
+
+    @abc.abstractmethod
+    def simulate(self, stage: Stage, samples: np.ndarray, metric: str) -> np.ndarray:
+        """Evaluate one performance metric on a batch of variation samples.
+
+        Parameters
+        ----------
+        stage:
+            Which design stage's netlist to evaluate.
+        samples:
+            Array of shape ``(K, R_stage)`` over that stage's space.
+        metric:
+            One of :attr:`metrics`.
+
+        Returns
+        -------
+        numpy.ndarray
+            Metric values of shape ``(K,)``.
+        """
+
+    # ------------------------------------------------------------------
+    def simulate_all(
+        self, stage: Stage, samples: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate every metric on the same batch of samples."""
+        return {metric: self.simulate(stage, samples, metric) for metric in self.metrics}
+
+    def sample(
+        self, stage: Stage, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw variation samples for the given stage."""
+        return self.space(stage).sample(count, rng)
+
+    def num_vars(self, stage: Stage) -> int:
+        """Dimensionality of the stage's variation space."""
+        return self.space(stage).size
+
+    def _check_metric(self, metric: str) -> None:
+        if metric not in self.metrics:
+            raise ValueError(
+                f"unknown metric {metric!r} for {self.name}; "
+                f"available: {self.metrics}"
+            )
+
+    def _check_samples(self, stage: Stage, samples: np.ndarray) -> np.ndarray:
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim == 1:
+            samples = samples[np.newaxis, :]
+        expected = self.num_vars(stage)
+        if samples.ndim != 2 or samples.shape[1] != expected:
+            raise ValueError(
+                f"{self.name} at stage {stage.value} expects samples of "
+                f"shape (K, {expected}), got {samples.shape}"
+            )
+        return samples

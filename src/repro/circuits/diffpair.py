@@ -1,0 +1,174 @@
+"""Differential-pair testbench (the prior-mapping example of Section IV-A).
+
+The input offset voltage of a resistively-loaded differential pair is
+simulated with the SPICE-lite MNA engine (two DC solves per sample: one to
+read the mismatch-induced output imbalance, one with a small differential
+drive to measure the gain that refers it to the input).
+
+Two stages:
+
+* **schematic**: each input transistor is a single device whose threshold
+  mismatch is one variation variable (plus one per load resistor) -- the
+  model of eq. (36): ``V_OS ~ a1 x1 + a2 x2 + ...``;
+* **post-layout**: each input transistor is drawn with ``fingers`` parallel
+  fingers, each with its *own* (wider, Pelgrom-scaled) threshold mismatch
+  variable -- the model of eq. (37).  The mapping between the stages is
+  exactly :class:`repro.bmf.FingerMap` with ``x_r = sum_t x_{r,t}/sqrt(W)``.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from ..bmf.prior_mapping import FingerMap
+from ..spice import Circuit, CurrentSource, Mosfet, Resistor, VoltageSource
+from ..spice.dc import dc_operating_point
+from ..process import ProcessSpace, VariationVariable
+from .base import Stage, Testbench
+
+__all__ = ["DifferentialPair"]
+
+
+class DifferentialPair(Testbench):
+    """Resistively loaded differential pair simulated with MNA.
+
+    Parameters
+    ----------
+    fingers:
+        Fingers per input transistor at the post-layout stage (the
+        schematic stage always has one).
+    sigma_vth:
+        1-sigma threshold mismatch of a whole (single-finger) input device.
+    sigma_load:
+        Relative 1-sigma mismatch of each load resistor.
+    """
+
+    name = "differential-pair"
+    metrics = ("offset_voltage", "gain")
+
+    def __init__(
+        self,
+        fingers: int = 2,
+        sigma_vth: float = 5e-3,
+        sigma_load: float = 0.01,
+        vdd: float = 1.2,
+        vcm: float = 0.75,
+        vth0: float = 0.40,
+        kp: float = 2e-3,
+        load_resistance: float = 5e3,
+        tail_current: float = 2e-4,
+        layout_load_shift: float = 0.01,
+    ):
+        if fingers < 1:
+            raise ValueError(f"fingers must be >= 1, got {fingers}")
+        self.fingers = int(fingers)
+        self.sigma_vth = float(sigma_vth)
+        self.sigma_load = float(sigma_load)
+        self.vdd = float(vdd)
+        self.vcm = float(vcm)
+        self.vth0 = float(vth0)
+        self.kp = float(kp)
+        self.load_resistance = float(load_resistance)
+        self.tail_current = float(tail_current)
+        self.layout_load_shift = float(layout_load_shift)
+
+        self._schematic_space = ProcessSpace(
+            [
+                VariationVariable("dp.m1.vth", device="dp.m1"),
+                VariationVariable("dp.m2.vth", device="dp.m2"),
+                VariationVariable("dp.r1.value", device="dp.r1"),
+                VariationVariable("dp.r2.value", device="dp.r2"),
+            ]
+        )
+        finger_vars = [
+            VariationVariable(f"dp.m{device}.f{f}.vth", device=f"dp.m{device}")
+            for device in (1, 2)
+            for f in range(self.fingers)
+        ]
+        self._postlayout_space = ProcessSpace(
+            finger_vars
+            + [
+                VariationVariable("dp.r1.value", device="dp.r1"),
+                VariationVariable("dp.r2.value", device="dp.r2"),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def finger_map(self) -> FingerMap:
+        """The schematic-to-post-layout variable mapping (Section IV-A)."""
+        return FingerMap((self.fingers, self.fingers, 1, 1))
+
+    def space(self, stage: Stage) -> ProcessSpace:
+        if stage is Stage.SCHEMATIC:
+            return self._schematic_space
+        return self._postlayout_space
+
+    # ------------------------------------------------------------------
+    def simulate(self, stage: Stage, samples: np.ndarray, metric: str) -> np.ndarray:
+        self._check_metric(metric)
+        samples = self._check_samples(stage, samples)
+        out = np.empty(samples.shape[0])
+        for k, row in enumerate(samples):
+            offset, gain = self._simulate_one(stage, row)
+            out[k] = offset if metric == "offset_voltage" else gain
+        return out
+
+    def _simulate_one(self, stage: Stage, sample: np.ndarray):
+        probe = 1e-4  # differential drive used to measure the gain
+        balanced = self._solve(stage, sample, 0.0)
+        driven = self._solve(stage, sample, probe)
+        gain = (driven - balanced) / probe
+        if abs(gain) < 1e-9:
+            raise RuntimeError("differential pair has no gain at this bias")
+        offset = -balanced / gain
+        return offset, abs(gain)
+
+    def _solve(self, stage: Stage, sample: np.ndarray, vdiff: float) -> float:
+        """Differential output voltage for one sample and input drive."""
+        circuit = self._build_circuit(stage, sample, vdiff)
+        op = dc_operating_point(circuit)
+        return op.voltage("d2") - op.voltage("d1")
+
+    def _build_circuit(
+        self, stage: Stage, sample: np.ndarray, vdiff: float
+    ) -> Circuit:
+        circuit = Circuit("diffpair")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=self.vdd))
+        circuit.add(
+            VoltageSource("VG1", "g1", "0", dc=self.vcm + 0.5 * vdiff)
+        )
+        circuit.add(
+            VoltageSource("VG2", "g2", "0", dc=self.vcm - 0.5 * vdiff)
+        )
+        circuit.add(CurrentSource("ITAIL", "s", "0", dc=self.tail_current))
+
+        if stage is Stage.SCHEMATIC:
+            vth1 = self.vth0 + self.sigma_vth * sample[0]
+            vth2 = self.vth0 + self.sigma_vth * sample[1]
+            circuit.add(Mosfet("M1", "d1", "g1", "s", self.kp, vth1))
+            circuit.add(Mosfet("M2", "d2", "g2", "s", self.kp, vth2))
+            r_shift = 0.0
+            load_samples = sample[2:4]
+        else:
+            # Each finger: 1/W of the width, Pelgrom-widened local mismatch.
+            finger_sigma = self.sigma_vth * math.sqrt(self.fingers)
+            finger_kp = self.kp / self.fingers
+            for device, (drain, gate) in enumerate(
+                (("d1", "g1"), ("d2", "g2")), start=1
+            ):
+                base = (device - 1) * self.fingers
+                for f in range(self.fingers):
+                    vth = self.vth0 + finger_sigma * sample[base + f]
+                    circuit.add(
+                        Mosfet(f"M{device}F{f}", drain, gate, "s", finger_kp, vth)
+                    )
+            r_shift = self.layout_load_shift
+            load_samples = sample[-2:]
+
+        for i, node in enumerate(("d1", "d2")):
+            resistance = self.load_resistance * (
+                1.0 + r_shift + self.sigma_load * load_samples[i]
+            )
+            circuit.add(Resistor(f"R{i + 1}", "vdd", node, resistance))
+        return circuit

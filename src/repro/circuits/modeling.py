@@ -1,0 +1,154 @@
+"""Bridging a testbench's two stages into one BMF modeling problem.
+
+The paper's flow (Section V): fit an early-stage (schematic) model from
+plentiful cheap simulations, then fuse it with very few late-stage
+(post-layout) simulations.  :class:`FusionProblem` packages everything that
+flow needs for one (testbench, metric) pair:
+
+* the orthonormal bases of both stages (linear by default, as in the
+  paper's experiments; any total degree is supported -- the nonlinear case
+  Section V's closing remark points to),
+* the alignment between them: which late-stage basis functions have an
+  early-stage counterpart, and which have *no* prior information (the
+  appended parasitic variables -- Section IV-B's missing prior),
+* fitting the early model (OMP on 3000 samples, as in the paper, or ridge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..basis import OrthonormalBasis
+from ..montecarlo.engine import simulate_dataset
+from ..regression import OrthogonalMatchingPursuit, RidgeRegressor
+from .base import Stage, Testbench
+
+__all__ = ["FusionProblem"]
+
+
+@dataclass
+class FusionProblem:
+    """A (testbench, metric) pair set up for early/late model fusion.
+
+    Attributes
+    ----------
+    testbench:
+        The circuit under study.
+    metric:
+        Which of its performance metrics to model.
+    degree:
+        Total polynomial degree of both models (1 = linear, the paper's
+        experimental setting).
+    early_basis / late_basis:
+        Orthonormal bases over the schematic / post-layout spaces.  Every
+        early basis function also appears in the late basis (the shared
+        schematic variables occupy the leading columns of both spaces).
+    """
+
+    testbench: Testbench
+    metric: str
+    degree: int = 1
+
+    def __post_init__(self):
+        if self.metric not in self.testbench.metrics:
+            raise ValueError(
+                f"{self.testbench.name} has no metric {self.metric!r}; "
+                f"available: {self.testbench.metrics}"
+            )
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        num_early = self.testbench.num_vars(Stage.SCHEMATIC)
+        num_late = self.testbench.num_vars(Stage.POST_LAYOUT)
+        if self.degree == 1:
+            self.early_basis = OrthonormalBasis.linear(num_early)
+            self.late_basis = OrthonormalBasis.linear(num_late)
+        else:
+            self.early_basis = OrthonormalBasis.total_degree(
+                num_early, self.degree
+            )
+            self.late_basis = OrthonormalBasis.total_degree(
+                num_late, self.degree
+            )
+        # Early basis function -> its position in the late basis.  The
+        # schematic variables keep their indices in the post-layout space,
+        # so every early multi-index appears verbatim in the late basis.
+        late_positions = {index: m for m, index in enumerate(self.late_basis.indices)}
+        self._early_to_late = np.array(
+            [late_positions[index] for index in self.early_basis.indices],
+            dtype=int,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shared_terms(self) -> int:
+        """Late basis functions that also exist in the early basis."""
+        return self.early_basis.size
+
+    def missing_indices(self) -> List[int]:
+        """Late-basis positions with no early-stage prior knowledge.
+
+        These are the basis functions involving the appended parasitic
+        variables (all of them for a linear basis; for higher degrees also
+        every cross term touching a parasitic variable).
+        """
+        shared = set(self._early_to_late.tolist())
+        return [m for m in range(self.late_basis.size) if m not in shared]
+
+    def align_early_coefficients(self, alpha_early: np.ndarray) -> np.ndarray:
+        """Embed early coefficients into the late basis (zeros for missing).
+
+        Feed the result to :class:`repro.bmf.BmfRegressor` together with
+        ``missing_indices()`` so the new terms get an uninformative prior.
+        """
+        alpha_early = np.asarray(alpha_early, dtype=float)
+        if alpha_early.shape != (self.early_basis.size,):
+            raise ValueError(
+                f"expected {self.early_basis.size} early coefficients, "
+                f"got shape {alpha_early.shape}"
+            )
+        aligned = np.zeros(self.late_basis.size)
+        aligned[self._early_to_late] = alpha_early
+        return aligned
+
+    # ------------------------------------------------------------------
+    def fit_early_model(
+        self,
+        num_samples: int,
+        rng: np.random.Generator,
+        method: str = "omp",
+        max_terms: Optional[int] = None,
+    ) -> np.ndarray:
+        """Fit the schematic-stage model coefficients (eq. 10).
+
+        Parameters
+        ----------
+        num_samples:
+            Schematic Monte Carlo samples (the paper uses 3000).
+        rng:
+            Random generator for the schematic sampling.
+        method:
+            ``"omp"`` (as in the paper) or ``"ridge"`` (faster; useful in
+            tests).
+        max_terms:
+            Optional cap on OMP model order.
+
+        Returns
+        -------
+        numpy.ndarray
+            Early coefficients over ``early_basis``.
+        """
+        dataset = simulate_dataset(
+            self.testbench, Stage.SCHEMATIC, num_samples, rng, [self.metric]
+        )
+        target = dataset.metric(self.metric)
+        if method == "omp":
+            regressor = OrthogonalMatchingPursuit(self.early_basis, max_terms=max_terms)
+        elif method == "ridge":
+            regressor = RidgeRegressor(self.early_basis, penalty=1e-6 * num_samples)
+        else:
+            raise ValueError(f"method must be 'omp' or 'ridge', got {method!r}")
+        regressor.fit(dataset.x, target)
+        return regressor.coefficients_

@@ -1,0 +1,198 @@
+"""Five-transistor OTA testbench, simulated with the MNA engine.
+
+A classic 5T operational transconductance amplifier (NMOS input pair, PMOS
+current-mirror load, ideal tail source) in unity-gain feedback, evaluated
+per Monte Carlo sample with real DC + AC analyses:
+
+* ``offset_voltage``        -- follower output minus the input common mode;
+* ``dc_gain``               -- open-loop gain recovered from the follower's
+  DC transfer ``g = A / (1 + A)``;
+* ``unity_gain_bandwidth``  -- the follower's -3 dB frequency, which for a
+  single-pole OTA equals the open-loop GBW ``gm / (2 pi C_L)``.
+
+The schematic stage varies the four transistor thresholds plus the load
+capacitor and tail current; the post-layout stage adds parasitic
+capacitance variables on the two internal nodes and a deterministic load
+increase -- the same early/late structure as the large behavioral
+testbenches, but produced by an actual netlist-level simulator.  Because
+the variation count is small, this testbench is also the natural demo for
+*quadratic* (total-degree-2) performance models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..process import ProcessSpace, VariationVariable
+from ..spice import Capacitor, Circuit, CurrentSource, Mosfet, VoltageSource
+from ..spice.ac import ac_analysis
+from .base import Stage, Testbench
+
+__all__ = ["FiveTransistorOta"]
+
+
+class FiveTransistorOta(Testbench):
+    """5T OTA in unity feedback with schematic and post-layout stages.
+
+    Parameters
+    ----------
+    sigma_vth:
+        1-sigma threshold mismatch per transistor (volts).
+    sigma_cap / sigma_tail:
+        Relative 1-sigma variations of the load capacitor / tail current.
+    sigma_parasitic:
+        Relative 1-sigma variation of each post-layout parasitic cap.
+    layout_cap_shift:
+        Deterministic relative increase of the load cap after layout.
+    """
+
+    name = "five-transistor-ota"
+    metrics = ("offset_voltage", "dc_gain", "unity_gain_bandwidth")
+
+    def __init__(
+        self,
+        vdd: float = 1.2,
+        vcm: float = 0.65,
+        vth_n: float = 0.35,
+        vth_p: float = 0.40,
+        kp_input: float = 2e-3,
+        kp_mirror: float = 1e-3,
+        lambda_: float = 0.1,
+        tail_current: float = 2e-4,
+        load_cap: float = 2e-12,
+        sigma_vth: float = 6e-3,
+        sigma_cap: float = 0.05,
+        sigma_tail: float = 0.03,
+        sigma_parasitic: float = 0.25,
+        layout_cap_shift: float = 0.15,
+        parasitic_cap: float = 1.5e-13,
+    ):
+        self.vdd = float(vdd)
+        self.vcm = float(vcm)
+        self.vth_n = float(vth_n)
+        self.vth_p = float(vth_p)
+        self.kp_input = float(kp_input)
+        self.kp_mirror = float(kp_mirror)
+        self.lambda_ = float(lambda_)
+        self.tail_current = float(tail_current)
+        self.load_cap = float(load_cap)
+        self.sigma_vth = float(sigma_vth)
+        self.sigma_cap = float(sigma_cap)
+        self.sigma_tail = float(sigma_tail)
+        self.sigma_parasitic = float(sigma_parasitic)
+        self.layout_cap_shift = float(layout_cap_shift)
+        self.parasitic_cap = float(parasitic_cap)
+
+        schematic_vars = [
+            VariationVariable("ota.m1.vth", device="ota.m1"),
+            VariationVariable("ota.m2.vth", device="ota.m2"),
+            VariationVariable("ota.m3.vth", device="ota.m3"),
+            VariationVariable("ota.m4.vth", device="ota.m4"),
+            VariationVariable("ota.cl.value", device="ota.cl"),
+            VariationVariable("ota.tail.value", device="ota.tail"),
+        ]
+        self._schematic_space = ProcessSpace(schematic_vars)
+        self._postlayout_space = self._schematic_space.extended(
+            [
+                VariationVariable("ota.wire.out", kind="parasitic"),
+                VariationVariable("ota.wire.d1", kind="parasitic"),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def space(self, stage: Stage) -> ProcessSpace:
+        if stage is Stage.SCHEMATIC:
+            return self._schematic_space
+        return self._postlayout_space
+
+    # ------------------------------------------------------------------
+    def simulate(self, stage: Stage, samples: np.ndarray, metric: str) -> np.ndarray:
+        self._check_metric(metric)
+        samples = self._check_samples(stage, samples)
+        out = np.empty(samples.shape[0])
+        for k, row in enumerate(samples):
+            out[k] = self._simulate_one(stage, row)[metric]
+        return out
+
+    def _simulate_one(self, stage: Stage, sample: np.ndarray) -> dict:
+        circuit = self._build_circuit(stage, sample)
+        # One AC call computes the DC operating point internally and the
+        # follower transfer at every grid frequency.
+        frequencies = np.geomspace(1e3, 3e9, 40)
+        ac = ac_analysis(circuit, frequencies, "VIN")
+        follower_gain = ac.gain("out")
+
+        # DC quantities from the low-frequency end of the sweep.
+        from ..spice.dc import dc_operating_point
+
+        op = dc_operating_point(circuit)
+        offset = op.voltage("out") - self.vcm
+        g0 = float(follower_gain[0])
+        g0 = min(g0, 1.0 - 1e-9)
+        dc_gain = g0 / (1.0 - g0)
+
+        bandwidth = self._minus_3db_frequency(frequencies, follower_gain)
+        return {
+            "offset_voltage": offset,
+            "dc_gain": dc_gain,
+            "unity_gain_bandwidth": bandwidth,
+        }
+
+    @staticmethod
+    def _minus_3db_frequency(frequencies: np.ndarray, gain: np.ndarray) -> float:
+        """-3 dB point of the follower by log-log interpolation."""
+        threshold = gain[0] / np.sqrt(2.0)
+        below = np.flatnonzero(gain < threshold)
+        if below.size == 0:
+            return float(frequencies[-1])
+        hi = int(below[0])
+        if hi == 0:
+            return float(frequencies[0])
+        lo = hi - 1
+        # Interpolate in log-frequency, linear gain.
+        span = gain[hi] - gain[lo]
+        frac = 0.5 if span == 0 else (threshold - gain[lo]) / span
+        log_f = np.log10(frequencies[lo]) + frac * (
+            np.log10(frequencies[hi]) - np.log10(frequencies[lo])
+        )
+        return float(10.0**log_f)
+
+    def _build_circuit(self, stage: Stage, sample: np.ndarray) -> Circuit:
+        vth = self.sigma_vth * sample[:4]
+        cap = self.load_cap * (1.0 + self.sigma_cap * sample[4])
+        tail = self.tail_current * (1.0 + self.sigma_tail * sample[5])
+
+        circuit = Circuit("ota-follower")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=self.vdd))
+        circuit.add(VoltageSource("VIN", "inp", "0", dc=self.vcm))
+        circuit.add(CurrentSource("ITAIL", "s", "0", dc=tail))
+        circuit.add(
+            Mosfet("M1", "d1", "inp", "s", self.kp_input, self.vth_n + vth[0],
+                   lambda_=self.lambda_)
+        )
+        # Unity feedback: the inverting input is the output node itself.
+        circuit.add(
+            Mosfet("M2", "out", "out", "s", self.kp_input, self.vth_n + vth[1],
+                   lambda_=self.lambda_)
+        )
+        circuit.add(
+            Mosfet("M3", "d1", "d1", "vdd", self.kp_mirror,
+                   self.vth_p + vth[2], polarity="pmos", lambda_=self.lambda_)
+        )
+        circuit.add(
+            Mosfet("M4", "out", "d1", "vdd", self.kp_mirror,
+                   self.vth_p + vth[3], polarity="pmos", lambda_=self.lambda_)
+        )
+
+        if stage.is_late:
+            cap = cap * (1.0 + self.layout_cap_shift)
+            wire_out = self.parasitic_cap * (
+                1.0 + self.sigma_parasitic * sample[6]
+            )
+            wire_d1 = 0.5 * self.parasitic_cap * (
+                1.0 + self.sigma_parasitic * sample[7]
+            )
+            circuit.add(Capacitor("CWOUT", "out", "0", max(wire_out, 1e-18)))
+            circuit.add(Capacitor("CWD1", "d1", "0", max(wire_d1, 1e-18)))
+        circuit.add(Capacitor("CL", "out", "0", cap))
+        return circuit

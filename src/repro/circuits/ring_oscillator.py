@@ -1,0 +1,247 @@
+"""Ring-oscillator testbench (the paper's first example, Section V-A).
+
+A CMOS ring oscillator of ``n_ring`` inverter stages plus a tapered output
+buffer chain, evaluated behaviorally:
+
+* per-stage delay        ``t_i = C_i VDD / I_i`` with the alpha-power-law
+  drive ``I_i`` combined from the stage's NMOS/PMOS pull strengths,
+* frequency              ``f0 = 1 / (2 sum_i t_i)``,
+* power                  dynamic ``f0 VDD^2 sum C`` over all switching nodes
+  plus subthreshold leakage of every device,
+* phase noise            accumulated per-transition thermal jitter
+  ``sigma_t,i^2 = kT gamma C_i / I_i^2`` folded into the standard
+  ``L(df) = 10 log10(f0^3 sum sigma_t^2 / df^2)`` far-offset expression.
+
+The post-layout stage differs from the schematic stage exactly the way the
+paper's flow does: extracted wire capacitance loads every net (with its own
+*parasitic* variation variables -- the missing-prior scenario of Section
+IV-B) and each device picks up a deterministic layout-dependent strength /
+loading shift, so the late-stage model coefficients are *similar but not
+identical* to the early-stage ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..devices import MosfetArray
+from ..process import ProcessKit, ProcessSpace, VariationVariable
+from .base import Stage, Testbench
+
+__all__ = ["RingOscillator"]
+
+_BOLTZMANN = 1.380649e-23
+
+
+class RingOscillator(Testbench):
+    """Behavioral ring oscillator with schematic and post-layout stages.
+
+    Parameters
+    ----------
+    n_ring:
+        Number of ring inverter stages (must be odd).
+    n_buffer:
+        Number of tapered output-buffer stages.
+    kit:
+        Process kit; defaults to :class:`~repro.process.ProcessKit`.
+    layout_seed:
+        Seed of the deterministic layout-shift draw (the "layout" itself).
+    wire_cap_fraction:
+        Mean extracted wire capacitance per net as a fraction of the net's
+        schematic load.
+    wire_cap_sigma:
+        Relative 1-sigma variation of each wire capacitance (each net gets
+        its own parasitic variation variable at the post-layout stage).
+    offset_frequency:
+        Phase-noise offset frequency in Hz.
+    noise_gamma:
+        Excess thermal-noise factor of the devices.
+    """
+
+    name = "ring-oscillator"
+    metrics = ("power", "phase_noise", "frequency")
+
+    def __init__(
+        self,
+        n_ring: int = 25,
+        n_buffer: int = 6,
+        kit: Optional[ProcessKit] = None,
+        layout_seed: int = 1307,
+        wire_cap_fraction: float = 0.18,
+        wire_cap_sigma: float = 0.25,
+        offset_frequency: float = 1e6,
+        noise_gamma: float = 1.5,
+    ):
+        if n_ring < 3 or n_ring % 2 == 0:
+            raise ValueError(f"n_ring must be an odd integer >= 3, got {n_ring}")
+        if n_buffer < 1:
+            raise ValueError(f"n_buffer must be >= 1, got {n_buffer}")
+        self.n_ring = int(n_ring)
+        self.n_buffer = int(n_buffer)
+        self.kit = kit if kit is not None else ProcessKit()
+        self.wire_cap_fraction = float(wire_cap_fraction)
+        self.wire_cap_sigma = float(wire_cap_sigma)
+        self.offset_frequency = float(offset_frequency)
+        self.noise_gamma = float(noise_gamma)
+
+        taper = 2.2 ** np.arange(self.n_buffer)
+        self._ring_n = MosfetArray(
+            "ro.ring.n", self.n_ring, vth0=0.32, beta0=4.0e-4, cap0=2.0e-16, area=1.0
+        )
+        self._ring_p = MosfetArray(
+            "ro.ring.p", self.n_ring, vth0=0.35, beta0=3.6e-4, cap0=2.8e-16, area=1.3
+        )
+        self._buf_n = MosfetArray(
+            "ro.buf.n",
+            self.n_buffer,
+            vth0=0.32,
+            beta0=4.0e-4 * taper,
+            cap0=2.0e-16 * taper,
+            leak0=5e-9 * taper,
+            area=taper,
+        )
+        self._buf_p = MosfetArray(
+            "ro.buf.p",
+            self.n_buffer,
+            vth0=0.35,
+            beta0=3.6e-4 * taper,
+            cap0=2.8e-16 * taper,
+            leak0=4e-9 * taper,
+            area=1.3 * taper,
+        )
+        self._arrays = (self._ring_n, self._ring_p, self._buf_n, self._buf_p)
+
+        space = ProcessSpace()
+        self._interdie = space.add_block(
+            "ro.global.g", self.kit.interdie_params, kind="interdie"
+        )
+        for array in self._arrays:
+            array.register(space, self.kit)
+        self._schematic_space = space
+
+        # Post-layout: one parasitic wire-cap variable per switching net.
+        self._num_nets = self.n_ring + self.n_buffer
+        parasitics = [
+            VariationVariable(f"ro.wire.c{i}", kind="parasitic")
+            for i in range(self._num_nets)
+        ]
+        self._postlayout_space = space.extended(parasitics)
+        self._parasitic_start = self._schematic_space.size
+
+        # Deterministic layout shifts ("the layout"): small strength shifts,
+        # cap shifts centered above zero (layout always adds loading).
+        shift_rng = np.random.default_rng(layout_seed)
+        for array in self._arrays:
+            array.layout_beta_shift = shift_rng.normal(0.0, 0.05, array.count)
+            array.layout_cap_shift = shift_rng.normal(0.08, 0.05, array.count)
+
+        # Nominal (zero-variation, layout-shifted) net loads fix the mean
+        # extracted wire capacitance of every net deterministically.
+        ring_in0 = self._ring_n.cap0 * (
+            1.0 + self._ring_n.layout_cap_shift
+        ) + self._ring_p.cap0 * (1.0 + self._ring_p.layout_cap_shift)
+        buf_in0 = self._buf_n.cap0 * (
+            1.0 + self._buf_n.layout_cap_shift
+        ) + self._buf_p.cap0 * (1.0 + self._buf_p.layout_cap_shift)
+        node0 = np.roll(ring_in0, -1)
+        node0[-1] += buf_in0[0]
+        buf_node0 = np.empty_like(buf_in0)
+        buf_node0[:-1] = buf_in0[1:]
+        buf_node0[-1] = buf_in0[-1] * 1.5
+        self._wire_nominal = self.wire_cap_fraction * np.concatenate(
+            [node0, buf_node0]
+        )
+
+    # ------------------------------------------------------------------
+    def space(self, stage: Stage) -> ProcessSpace:
+        if stage is Stage.SCHEMATIC:
+            return self._schematic_space
+        return self._postlayout_space
+
+    # ------------------------------------------------------------------
+    def simulate(self, stage: Stage, samples: np.ndarray, metric: str) -> np.ndarray:
+        self._check_metric(metric)
+        samples = self._check_samples(stage, samples)
+        state = self._evaluate(stage, samples)
+        return state[metric]
+
+    def _evaluate(self, stage: Stage, samples: np.ndarray) -> dict:
+        kit = self.kit
+        vdd = kit.supply_voltage
+        layout = stage.is_late
+        interdie = list(self._interdie)
+
+        ring_n = self._ring_n.electrical(samples, kit, interdie, layout)
+        ring_p = self._ring_p.electrical(samples, kit, interdie, layout)
+        buf_n = self._buf_n.electrical(samples, kit, interdie, layout)
+        buf_p = self._buf_p.electrical(samples, kit, interdie, layout)
+
+        # Stage drive: series combination of the pull-up/pull-down strengths.
+        current_n = self._ring_n.on_current(ring_n, vdd)
+        current_p = self._ring_p.on_current(ring_p, vdd)
+        drive = 2.0 * current_n * current_p / (current_n + current_p)
+
+        # Ring node i is loaded by the input capacitance of stage i+1.
+        input_cap = ring_n.cap + ring_p.cap
+        node_cap = np.roll(input_cap, -1, axis=1)
+        # The last ring node also drives the first buffer.
+        node_cap[:, -1] += buf_n.cap[:, 0] + buf_p.cap[:, 0]
+
+        buffer_cap = buf_n.cap + buf_p.cap
+        # Buffer node j is loaded by buffer j+1's input (last one by the pad).
+        buffer_node_cap = np.empty_like(buffer_cap)
+        buffer_node_cap[:, :-1] = buffer_cap[:, 1:]
+        buffer_node_cap[:, -1] = buffer_cap[:, -1] * 1.5
+
+        if layout:
+            wire = self._wire_caps(samples)
+            node_cap = node_cap + wire[:, : self.n_ring]
+            buffer_node_cap = buffer_node_cap + wire[:, self.n_ring :]
+
+        stage_delay = node_cap * vdd / drive
+        period = 2.0 * stage_delay.sum(axis=1)
+        frequency = 1.0 / period
+
+        dynamic = frequency * vdd**2 * (
+            node_cap.sum(axis=1) + buffer_node_cap.sum(axis=1)
+        )
+        leakage = vdd * (
+            self._ring_n.off_current(ring_n, kit).sum(axis=1)
+            + self._ring_p.off_current(ring_p, kit).sum(axis=1)
+            + self._buf_n.off_current(buf_n, kit).sum(axis=1)
+            + self._buf_p.off_current(buf_p, kit).sum(axis=1)
+        )
+        power = dynamic + leakage
+
+        # Thermal jitter accumulated over the 2 * n_ring transitions/period.
+        kt = _BOLTZMANN * kit.temperature
+        sigma_t_sq = self.noise_gamma * kt * node_cap / drive**2
+        phase_noise = 10.0 * np.log10(
+            2.0 * frequency**3 * sigma_t_sq.sum(axis=1) / self.offset_frequency**2
+        )
+
+        return {"power": power, "phase_noise": phase_noise, "frequency": frequency}
+
+    def _wire_caps(self, samples: np.ndarray) -> np.ndarray:
+        """Extracted wire capacitance per net with parasitic variation."""
+        start = self._parasitic_start
+        parasitic = samples[:, start : start + self._num_nets]
+        return self._wire_nominal * (1.0 + self.wire_cap_sigma * parasitic)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, **overrides) -> "RingOscillator":
+        """An instance with the paper's dimensionality (~7.2k variables).
+
+        Uses 40 mismatch variables per transistor as in the commercial
+        32 nm SOI kit; the default constructor keeps problems laptop-sized.
+        """
+        params = dict(
+            n_ring=63,
+            n_buffer=26,
+            kit=ProcessKit(params_per_device=40, interdie_params=17),
+        )
+        params.update(overrides)
+        return cls(**params)

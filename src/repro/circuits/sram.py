@@ -1,0 +1,285 @@
+"""SRAM read-path testbench (the paper's second example, Section V-B).
+
+One SRAM column of ``n_cells`` 6T bit cells plus precharge devices, a
+sense amplifier, and a tapered wordline timing chain.  The performance of
+interest is the read delay from the wordline trigger to the sense-amp
+output, evaluated behaviorally as
+
+    delay = t_wordline + t_bitline + t_senseamp
+
+* ``t_wordline``: accumulated inverter delays of the timing chain;
+* ``t_bitline``:  the bitline must discharge by the required swing
+  (nominal swing + sense-amp input offset) through the accessed cell's
+  access/pull-down stack, *fighting the accumulated subthreshold leakage of
+  the other n_cells - 1 cells on the bitline* -- the classic read-current
+  vs leakage race, which is what makes the delay mildly nonlinear in the
+  per-cell threshold voltages;
+* ``t_senseamp``:  regeneration time set by the SA tail current.
+
+The accessed cell and the sense amp carry large model coefficients while
+every unaccessed cell contributes only through its (exponentially small)
+leakage, giving the genuinely sparse-but-high-dimensional structure the
+paper's SRAM experiment exercises with 66 117 variables.
+
+The post-layout stage adds extracted bitline/wordline wire capacitance with
+its own parasitic variation variables and deterministic per-device layout
+shifts, as in :mod:`repro.circuits.ring_oscillator`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..devices import MosfetArray
+from ..process import ProcessKit, ProcessSpace, VariationVariable
+from .base import Stage, Testbench
+
+__all__ = ["SramReadPath"]
+
+
+class SramReadPath(Testbench):
+    """Behavioral SRAM read path with schematic and post-layout stages.
+
+    Parameters
+    ----------
+    n_cells:
+        Bit cells on the column (the paper uses 128).
+    n_timing:
+        Inverters in the wordline timing chain.
+    kit:
+        Process kit; defaults to :class:`~repro.process.ProcessKit`.
+    layout_seed:
+        Seed of the deterministic layout-shift draw.
+    bitline_swing:
+        Nominal differential bitline swing (V) the sense amp needs.
+    wire_cap_fraction:
+        Mean extracted wire cap as a fraction of the schematic bitline cap.
+    wire_cap_sigma:
+        Relative 1-sigma variation of each parasitic wire-cap variable.
+    accessed_cell:
+        Index of the cell being read (coefficients of this cell's devices
+        dominate the model).
+    """
+
+    name = "sram-read-path"
+    metrics = ("read_delay",)
+
+    def __init__(
+        self,
+        n_cells: int = 64,
+        n_timing: int = 12,
+        kit: Optional[ProcessKit] = None,
+        layout_seed: int = 2311,
+        bitline_swing: float = 0.12,
+        wire_cap_fraction: float = 0.25,
+        wire_cap_sigma: float = 0.25,
+        accessed_cell: int = 0,
+    ):
+        if n_cells < 2:
+            raise ValueError(f"n_cells must be >= 2, got {n_cells}")
+        if not 0 <= accessed_cell < n_cells:
+            raise ValueError(
+                f"accessed_cell must be in [0, {n_cells}), got {accessed_cell}"
+            )
+        self.n_cells = int(n_cells)
+        self.n_timing = int(n_timing)
+        self.kit = kit if kit is not None else ProcessKit()
+        self.bitline_swing = float(bitline_swing)
+        self.wire_cap_fraction = float(wire_cap_fraction)
+        self.wire_cap_sigma = float(wire_cap_sigma)
+        self.accessed_cell = int(accessed_cell)
+
+        cells = self.n_cells
+        # 6T cell: two access NMOS, two pull-down NMOS, two pull-up PMOS.
+        # The read path conducts through access[cell]/pulldown[cell]; the
+        # mirrored-side and pull-up devices only contribute leakage.
+        self._access = MosfetArray(
+            "sram.cell.acc", cells, vth0=0.34, beta0=2.6e-4, cap0=9e-17,
+            leak0=3.0e-8, area=0.55,
+        )
+        self._pulldown = MosfetArray(
+            "sram.cell.pd", cells, vth0=0.33, beta0=3.2e-4, cap0=1.1e-16,
+            leak0=3.5e-8, area=0.7,
+        )
+        self._access_b = MosfetArray(
+            "sram.cell.accb", cells, vth0=0.34, beta0=2.6e-4, cap0=9e-17,
+            leak0=3.0e-8, area=0.55,
+        )
+        self._pulldown_b = MosfetArray(
+            "sram.cell.pdb", cells, vth0=0.33, beta0=3.2e-4, cap0=1.1e-16,
+            leak0=3.5e-8, area=0.7,
+        )
+        self._pullup = MosfetArray(
+            "sram.cell.pu", cells, vth0=0.36, beta0=1.4e-4, cap0=8e-17,
+            leak0=1.5e-8, area=0.5,
+        )
+        self._pullup_b = MosfetArray(
+            "sram.cell.pub", cells, vth0=0.36, beta0=1.4e-4, cap0=8e-17,
+            leak0=1.5e-8, area=0.5,
+        )
+        self._precharge = MosfetArray(
+            "sram.pre", 2, vth0=0.35, beta0=5e-4, cap0=2.5e-16, area=1.5
+        )
+        self._senseamp = MosfetArray(
+            "sram.sa", 8, vth0=0.33, beta0=4.5e-4, cap0=2e-16, area=1.2
+        )
+        timing_taper = 1.6 ** np.arange(self.n_timing)
+        self._timing_n = MosfetArray(
+            "sram.wl.n", self.n_timing, vth0=0.32, beta0=4.0e-4 * timing_taper,
+            cap0=2.0e-16 * timing_taper, leak0=5e-9 * timing_taper,
+            area=timing_taper,
+        )
+        self._timing_p = MosfetArray(
+            "sram.wl.p", self.n_timing, vth0=0.35, beta0=3.6e-4 * timing_taper,
+            cap0=2.8e-16 * timing_taper, leak0=4e-9 * timing_taper,
+            area=1.3 * timing_taper,
+        )
+        self._arrays = (
+            self._access,
+            self._pulldown,
+            self._access_b,
+            self._pulldown_b,
+            self._pullup,
+            self._pullup_b,
+            self._precharge,
+            self._senseamp,
+            self._timing_n,
+            self._timing_p,
+        )
+
+        space = ProcessSpace()
+        self._interdie = space.add_block(
+            "sram.global.g", self.kit.interdie_params, kind="interdie"
+        )
+        for array in self._arrays:
+            array.register(space, self.kit)
+        self._schematic_space = space
+
+        # Parasitics: bitline segments, wordline wire, two SA nets.
+        self._num_bl_segments = max(2, cells // 8)
+        self._num_parasitics = self._num_bl_segments + self.n_timing + 2
+        parasitics = [
+            VariationVariable(f"sram.wire.c{i}", kind="parasitic")
+            for i in range(self._num_parasitics)
+        ]
+        self._postlayout_space = space.extended(parasitics)
+        self._parasitic_start = self._schematic_space.size
+
+        shift_rng = np.random.default_rng(layout_seed)
+        for array in self._arrays:
+            array.layout_beta_shift = shift_rng.normal(0.0, 0.04, array.count)
+            array.layout_cap_shift = shift_rng.normal(0.10, 0.05, array.count)
+
+        # Nominal extracted wire caps, fixed by the (deterministic) layout.
+        bitline_cap0 = float(np.sum(self._access.cap0 * 3.0))
+        self._bl_wire_nominal = (
+            self.wire_cap_fraction * bitline_cap0 / self._num_bl_segments
+        )
+        timing_in0 = self._timing_n.cap0 * (
+            1.0 + self._timing_n.layout_cap_shift
+        ) + self._timing_p.cap0 * (1.0 + self._timing_p.layout_cap_shift)
+        self._wl_wire_nominal = self.wire_cap_fraction * timing_in0
+        self._sa_wire_nominal = self.wire_cap_fraction * float(
+            np.sum(self._senseamp.cap0[:2])
+        )
+
+    # ------------------------------------------------------------------
+    def space(self, stage: Stage) -> ProcessSpace:
+        if stage is Stage.SCHEMATIC:
+            return self._schematic_space
+        return self._postlayout_space
+
+    # ------------------------------------------------------------------
+    def simulate(self, stage: Stage, samples: np.ndarray, metric: str) -> np.ndarray:
+        self._check_metric(metric)
+        samples = self._check_samples(stage, samples)
+        kit = self.kit
+        vdd = kit.supply_voltage
+        layout = stage.is_late
+        interdie = list(self._interdie)
+
+        access = self._access.electrical(samples, kit, interdie, layout)
+        pulldown = self._pulldown.electrical(samples, kit, interdie, layout)
+        senseamp = self._senseamp.electrical(samples, kit, interdie, layout)
+        timing_n = self._timing_n.electrical(samples, kit, interdie, layout)
+        timing_p = self._timing_p.electrical(samples, kit, interdie, layout)
+
+        # ---- wordline timing chain -----------------------------------
+        current_n = self._timing_n.on_current(timing_n, vdd)
+        current_p = self._timing_p.on_current(timing_p, vdd)
+        drive = 2.0 * current_n * current_p / (current_n + current_p)
+        input_cap = timing_n.cap + timing_p.cap
+        node_cap = np.empty_like(input_cap)
+        node_cap[:, :-1] = input_cap[:, 1:]
+        # The last timing stage drives the wordline itself: all access gates.
+        node_cap[:, -1] = access.cap.sum(axis=1) * 0.8
+        if layout:
+            wl_wire = self._wordline_wire(samples)
+            node_cap = node_cap + wl_wire
+        t_wordline = (node_cap * vdd / drive).sum(axis=1)
+
+        # ---- bitline discharge ---------------------------------------
+        cell = self.accessed_cell
+        i_access = self._access.on_current(access, vdd)[:, cell]
+        i_pulldown = self._pulldown.on_current(pulldown, vdd)[:, cell]
+        read_current = 2.0 * i_access * i_pulldown / (i_access + i_pulldown)
+
+        # Leakage of every *unaccessed* cell fights the read current.
+        leak = self._access.off_current(access, kit)
+        leak_total = leak.sum(axis=1) - leak[:, cell]
+
+        bitline_cap = (access.cap * 3.0).sum(axis=1)
+        if layout:
+            bitline_cap = bitline_cap + self._bitline_wire(samples)
+
+        # Sense-amp input offset shifts the required swing (input pair 0/1).
+        offset = senseamp.vth[:, 0] - senseamp.vth[:, 1]
+        required_swing = self.bitline_swing + offset
+        t_bitline = bitline_cap * required_swing / (read_current - leak_total)
+
+        # ---- sense-amp regeneration ----------------------------------
+        i_tail = self._senseamp.on_current(senseamp, vdd)[:, 2:4].sum(axis=1)
+        sa_cap = senseamp.cap[:, :2].sum(axis=1)
+        if layout:
+            sa_cap = sa_cap + self._sa_wire(samples)
+        t_senseamp = sa_cap * vdd * 0.5 / i_tail
+
+        return t_wordline + t_bitline + t_senseamp
+
+    # ------------------------------------------------------------------
+    def _parasitic_block(self, samples: np.ndarray) -> np.ndarray:
+        start = self._parasitic_start
+        return samples[:, start : start + self._num_parasitics]
+
+    def _bitline_wire(self, samples: np.ndarray) -> np.ndarray:
+        segments = self._parasitic_block(samples)[:, : self._num_bl_segments]
+        per_segment = self._bl_wire_nominal * (
+            1.0 + self.wire_cap_sigma * segments
+        )
+        return per_segment.sum(axis=1)
+
+    def _wordline_wire(self, samples: np.ndarray) -> np.ndarray:
+        start = self._num_bl_segments
+        block = self._parasitic_block(samples)[:, start : start + self.n_timing]
+        return self._wl_wire_nominal * (1.0 + self.wire_cap_sigma * block)
+
+    def _sa_wire(self, samples: np.ndarray) -> np.ndarray:
+        block = self._parasitic_block(samples)[:, -2:]
+        per_net = 0.5 * self._sa_wire_nominal * (
+            1.0 + self.wire_cap_sigma * block
+        )
+        return per_net.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, **overrides) -> "SramReadPath":
+        """An instance in the paper's dimensionality class (~63k variables)."""
+        params = dict(
+            n_cells=256,
+            n_timing=16,
+            kit=ProcessKit(params_per_device=40, interdie_params=17),
+        )
+        params.update(overrides)
+        return cls(**params)

@@ -1,0 +1,5 @@
+"""Behavioral device models parameterized by process variation."""
+
+from .mosfet import DeviceElectrical, MosfetArray
+
+__all__ = ["DeviceElectrical", "MosfetArray"]

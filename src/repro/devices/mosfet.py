@@ -1,0 +1,237 @@
+"""Behavioral MOSFET model under process variation.
+
+The large-scale testbenches (ring oscillator, SRAM read path) need device
+equations that are smooth in thousands of variation variables and cheap to
+evaluate for thousands of Monte Carlo samples at once.  This module provides
+an alpha-power-law MOSFET (Sakurai-Newton) evaluated *vectorized across
+samples and devices*:
+
+    I_on  = beta * (VDD - Vth)^alpha          (drive current)
+    I_off = leak0 * exp(-(Vth - Vth0)/(n vT)) (subthreshold leakage)
+    C     = cap0                              (gate + junction load)
+
+where ``Vth``, ``beta``, ``cap`` and the leakage prefactor are per-sample,
+per-device random quantities assembled from the process kit's inter-die and
+mismatch projections, plus deterministic layout shifts at the post-layout
+stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..process import ProcessKit, ProcessSpace
+
+__all__ = ["DeviceElectrical", "MosfetArray"]
+
+
+@dataclass
+class DeviceElectrical:
+    """Per-sample, per-device electrical quantities, each ``(K, D)``.
+
+    Attributes
+    ----------
+    vth:
+        Threshold voltage in volts.
+    beta:
+        Current factor in A/V^alpha (already includes layout shifts).
+    cap:
+        Switched load capacitance in farads.
+    leak_scale:
+        Dimensionless lognormal multiplier on the leakage prefactor
+        (Vth dependence of leakage is applied separately in :meth:`MosfetArray.off_current`).
+    """
+
+    vth: np.ndarray
+    beta: np.ndarray
+    cap: np.ndarray
+    leak_scale: np.ndarray
+
+
+class MosfetArray:
+    """A bank of behavioral MOSFETs sharing one mismatch block in the space.
+
+    Parameters
+    ----------
+    name:
+        Prefix for the device and variable names (e.g. ``"ro.inv"``).
+    vth0 / beta0 / cap0 / leak0:
+        Nominal per-device parameter arrays of shape ``(D,)`` (scalars are
+        broadcast).  ``leak0`` is the nominal off-current in amperes.
+    area:
+        Relative device areas (mismatch scales as ``1/sqrt(area)``).
+    alpha:
+        Velocity-saturation exponent of the alpha-power law (~1.3 at 32 nm).
+    subthreshold_slope:
+        Ideality factor ``n`` of the leakage exponent.
+
+    Call :meth:`register` exactly once to allocate this array's mismatch
+    variables in a :class:`~repro.process.ProcessSpace`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        count: int,
+        vth0=0.32,
+        beta0=4e-4,
+        cap0=2e-16,
+        leak0=5e-9,
+        area=1.0,
+        alpha: float = 1.3,
+        subthreshold_slope: float = 1.4,
+    ):
+        if count < 1:
+            raise ValueError(f"device count must be >= 1, got {count}")
+        self.name = name
+        self.count = int(count)
+        self.vth0 = _broadcast(vth0, count, "vth0")
+        self.beta0 = _broadcast(beta0, count, "beta0")
+        self.cap0 = _broadcast(cap0, count, "cap0")
+        self.leak0 = _broadcast(leak0, count, "leak0")
+        self.area = _broadcast(area, count, "area")
+        if np.any(self.area <= 0):
+            raise ValueError("device areas must be positive")
+        self.alpha = float(alpha)
+        self.subthreshold_slope = float(subthreshold_slope)
+        # Deterministic layout shifts (set by the post-layout stage).
+        self.layout_beta_shift = np.zeros(count)
+        self.layout_cap_shift = np.zeros(count)
+        self._mismatch_start: Optional[int] = None
+        self._params_per_device: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def register(self, space: ProcessSpace, kit: ProcessKit) -> None:
+        """Allocate this array's mismatch variables in ``space``.
+
+        Adds ``count * kit.params_per_device`` variables in one contiguous
+        block, named ``{name}{d}.m{p}`` and tagged with their device.
+        """
+        if self._mismatch_start is not None:
+            raise RuntimeError(f"MosfetArray {self.name!r} is already registered")
+        self._mismatch_start = space.size
+        self._params_per_device = kit.params_per_device
+        for d in range(self.count):
+            space.add_block(
+                f"{self.name}{d}.m",
+                kit.params_per_device,
+                kind="mismatch",
+                device=f"{self.name}{d}",
+            )
+
+    @property
+    def mismatch_start(self) -> int:
+        if self._mismatch_start is None:
+            raise RuntimeError(f"MosfetArray {self.name!r} is not registered")
+        return self._mismatch_start
+
+    def mismatch_columns(self) -> np.ndarray:
+        """Column indices of this array's mismatch block, shape ``(D * P,)``."""
+        start = self.mismatch_start
+        return np.arange(start, start + self.count * self._params_per_device)
+
+    def device_columns(self, device_index: int) -> np.ndarray:
+        """Columns belonging to one device of the array."""
+        if not 0 <= device_index < self.count:
+            raise IndexError(f"device index {device_index} out of range")
+        p = self._params_per_device
+        start = self.mismatch_start + device_index * p
+        return np.arange(start, start + p)
+
+    # ------------------------------------------------------------------
+    def electrical(
+        self,
+        samples: np.ndarray,
+        kit: ProcessKit,
+        interdie_columns: Sequence[int],
+        include_layout_shifts: bool = True,
+    ) -> DeviceElectrical:
+        """Evaluate per-sample, per-device electrical parameters.
+
+        Parameters
+        ----------
+        samples:
+            Variation samples of shape ``(K, R)`` over the full space.
+        kit:
+            The process kit supplying sigmas and projections.
+        interdie_columns:
+            Column indices of the global inter-die variables.
+        include_layout_shifts:
+            Apply the deterministic post-layout beta/cap shifts; the
+            schematic stage evaluates with ``False``.
+
+        Returns
+        -------
+        DeviceElectrical
+            Arrays of shape ``(K, count)``.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2:
+            raise ValueError(f"samples must be 2-D, got shape {samples.shape}")
+        num_samples = samples.shape[0]
+        p = self._params_per_device
+        if p is None:
+            raise RuntimeError(f"MosfetArray {self.name!r} is not registered")
+        start = self.mismatch_start
+        block = samples[:, start : start + self.count * p].reshape(
+            num_samples, self.count, p
+        )
+        globals_block = samples[:, list(interdie_columns)]
+
+        area_factor = 1.0 / np.sqrt(self.area)
+
+        def local(delta: str) -> np.ndarray:
+            sigma = kit.mismatch_sigma(delta)
+            raw = block @ kit.mismatch_projection(delta)  # (K, D)
+            return sigma * area_factor * raw
+
+        def global_(delta: str) -> np.ndarray:
+            sigma = kit.interdie_sigma(delta)
+            raw = globals_block @ kit.interdie_projection(delta)  # (K,)
+            return sigma * raw[:, np.newaxis]
+
+        beta_shift = self.layout_beta_shift if include_layout_shifts else 0.0
+        cap_shift = self.layout_cap_shift if include_layout_shifts else 0.0
+        vth = self.vth0 + global_("vth") + local("vth")
+        beta = (
+            self.beta0
+            * (1.0 + beta_shift)
+            * (1.0 + global_("beta") + local("beta"))
+        )
+        cap = (
+            self.cap0
+            * (1.0 + cap_shift)
+            * (1.0 + global_("cap") + local("cap"))
+        )
+        leak_scale = np.exp(global_("leak") + local("leak"))
+        return DeviceElectrical(vth=vth, beta=beta, cap=cap, leak_scale=leak_scale)
+
+    # ------------------------------------------------------------------
+    def on_current(
+        self, electrical: DeviceElectrical, vdd: float
+    ) -> np.ndarray:
+        """Alpha-power-law drive current ``beta (VDD - Vth)^alpha``, (K, D)."""
+        overdrive = np.maximum(vdd - electrical.vth, 0.05)
+        return electrical.beta * overdrive**self.alpha
+
+    def off_current(
+        self, electrical: DeviceElectrical, kit: ProcessKit
+    ) -> np.ndarray:
+        """Subthreshold leakage ``leak0 * exp(-dVth/(n vT)) * leak_scale``."""
+        dvth = electrical.vth - self.vth0
+        exponent = -dvth / (self.subthreshold_slope * kit.thermal_voltage)
+        return self.leak0 * electrical.leak_scale * np.exp(exponent)
+
+
+def _broadcast(value, count: int, name: str) -> np.ndarray:
+    array = np.asarray(value, dtype=float)
+    if array.ndim == 0:
+        return np.full(count, float(array))
+    if array.shape != (count,):
+        raise ValueError(
+            f"{name} must be a scalar or have shape ({count},), got {array.shape}"
+        )
+    return array.copy()

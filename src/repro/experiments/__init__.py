@@ -1,0 +1,43 @@
+"""Experiment harness: per-table/figure runners and cost accounting."""
+
+from .config import (
+    early_samples,
+    make_ring_oscillator,
+    make_sram,
+    repeats,
+    scale,
+    table_sample_counts,
+)
+from .cost import RO_COST_MODEL, SRAM_COST_MODEL, CostReport, SimulationCostModel
+from .figures import (
+    FittingCostCurve,
+    Histogram,
+    metric_histogram,
+    run_fitting_cost,
+    solver_speedup,
+)
+from .runners import CostComparison, run_cost_comparison
+from .tables import METHODS, ErrorTable, run_error_table
+
+__all__ = [
+    "METHODS",
+    "RO_COST_MODEL",
+    "SRAM_COST_MODEL",
+    "CostComparison",
+    "CostReport",
+    "ErrorTable",
+    "FittingCostCurve",
+    "Histogram",
+    "SimulationCostModel",
+    "early_samples",
+    "make_ring_oscillator",
+    "make_sram",
+    "metric_histogram",
+    "repeats",
+    "run_cost_comparison",
+    "run_error_table",
+    "run_fitting_cost",
+    "scale",
+    "solver_speedup",
+    "table_sample_counts",
+]

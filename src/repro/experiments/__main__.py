@@ -1,0 +1,197 @@
+"""Command-line regeneration of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1          # RO power error table
+    python -m repro.experiments table5 --repeats 5
+    python -m repro.experiments fig4            # RO histograms
+    python -m repro.experiments all             # everything (slow)
+
+Equivalent to the pytest benchmarks but without the benchmarking harness;
+respects the same ``REPRO_SCALE`` / ``REPRO_REPEATS`` environment knobs
+unless overridden by flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+import numpy as np
+
+from .config import (
+    make_ring_oscillator,
+    make_sram,
+    repeats,
+    scale,
+    table_sample_counts,
+)
+from .cost import RO_COST_MODEL, SRAM_COST_MODEL
+from .figures import metric_histogram, run_fitting_cost
+from .runners import run_cost_comparison
+from .tables import run_error_table
+
+
+def _error_table(testbench_factory, metric: str, seed: int, args) -> str:
+    testbench = testbench_factory()
+    table = run_error_table(
+        testbench,
+        metric,
+        sample_counts=table_sample_counts(),
+        repeats=args.repeats,
+        rng=np.random.default_rng(seed),
+        omp_max_terms=300,
+        early_max_terms=300,
+    )
+    return table.format()
+
+def _table1(args):
+    return _error_table(make_ring_oscillator, "power", 101, args)
+
+
+def _table2(args):
+    return _error_table(make_ring_oscillator, "phase_noise", 102, args)
+
+
+def _table3(args):
+    return _error_table(make_ring_oscillator, "frequency", 103, args)
+
+
+def _table4(args):
+    comparison = run_cost_comparison(
+        make_ring_oscillator(),
+        ("power", "phase_noise", "frequency"),
+        RO_COST_MODEL,
+        baseline_samples=900,
+        fused_samples=100,
+        rng=np.random.default_rng(104),
+        omp_max_terms=300,
+    )
+    return comparison.format()
+
+
+def _table5(args):
+    return _error_table(make_sram, "read_delay", 105, args)
+
+
+def _table6(args):
+    comparison = run_cost_comparison(
+        make_sram(),
+        ("read_delay",),
+        SRAM_COST_MODEL,
+        baseline_samples=400,
+        fused_samples=100,
+        rng=np.random.default_rng(106),
+        omp_max_terms=400,
+    )
+    return comparison.format()
+
+
+def _fig4(args):
+    testbench = make_ring_oscillator()
+    rng = np.random.default_rng(107)
+    parts = [
+        metric_histogram(testbench, metric, 3000, rng).format()
+        for metric in testbench.metrics
+    ]
+    return "\n\n".join(parts)
+
+
+def _fig5(args):
+    curve = run_fitting_cost(
+        make_ring_oscillator(),
+        "frequency",
+        rng=np.random.default_rng(109),
+        include_conventional=scale() in ("small", "medium"),
+        omp_max_terms=300,
+    )
+    return curve.format()
+
+
+def _fig7(args):
+    return metric_histogram(
+        make_sram(), "read_delay", 3000, np.random.default_rng(108)
+    ).format()
+
+
+def _fig8(args):
+    curve = run_fitting_cost(
+        make_sram(),
+        "read_delay",
+        rng=np.random.default_rng(111),
+        include_conventional=False,
+        omp_max_terms=300,
+    )
+    return curve.format()
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "table5": _table5,
+    "table6": _table6,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig7": _fig7,
+    "fig8": _fig8,
+}
+
+
+def _report(args) -> str:
+    """Concatenate every saved benchmark result into one report."""
+    import pathlib
+
+    # __main__.py lives at <repo>/src/repro/experiments/; parents[3] = <repo>.
+    results = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    if not results.is_dir():
+        # Fall back to the working directory layout.
+        results = pathlib.Path("benchmarks/results")
+    if not results.is_dir():
+        return (
+            "no saved results found; run `pytest benchmarks/ "
+            "--benchmark-only` first"
+        )
+    parts = []
+    for path in sorted(results.glob("*.txt")):
+        parts.append(f"### {path.stem}\n\n{path.read_text().rstrip()}")
+    return "\n\n".join(parts) if parts else f"no .txt results in {results}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="which table/figure to regenerate ('report' prints every "
+        "saved benchmark result)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="repeated runs per error table (default: REPRO_REPEATS or 3)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats is None:
+        args.repeats = repeats()
+
+    if args.experiment == "report":
+        print(_report(args))
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} (scale={scale()}, repeats={args.repeats}) ===")
+        print(EXPERIMENTS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

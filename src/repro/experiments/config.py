@@ -1,0 +1,91 @@
+"""Benchmark scale configuration.
+
+The paper's circuits have 7 177 (RO) and 66 117 (SRAM) variation variables;
+sweeping Tables I-VI at that size with 50 repeats is a server-class job.
+The benchmark suite therefore supports three scales selected by the
+``REPRO_SCALE`` environment variable:
+
+* ``small``  (default) -- hundreds-to-thousands of variables; every table
+  and figure regenerates in minutes on a laptop while preserving the
+  M >> K regime and every qualitative conclusion;
+* ``medium`` -- a few thousand variables;
+* ``paper``  -- the paper's dimensionality (RO ~7.2k, SRAM ~63k variables).
+
+``REPRO_REPEATS`` overrides the number of repeated runs averaged per table
+(the paper uses 50).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+from ..circuits import RingOscillator, SramReadPath
+from ..process import ProcessKit
+
+__all__ = [
+    "scale",
+    "repeats",
+    "make_ring_oscillator",
+    "make_sram",
+    "table_sample_counts",
+    "early_samples",
+]
+
+_SCALES = ("small", "medium", "paper")
+
+
+def scale() -> str:
+    """Benchmark scale from ``REPRO_SCALE`` (``small`` by default)."""
+    value = os.environ.get("REPRO_SCALE", "small").lower()
+    if value not in _SCALES:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {_SCALES}, got {value!r}"
+        )
+    return value
+
+
+def repeats(default: int = 3) -> int:
+    """Repeated runs per table from ``REPRO_REPEATS`` (paper: 50)."""
+    value = int(os.environ.get("REPRO_REPEATS", default))
+    if value < 1:
+        raise ValueError(f"REPRO_REPEATS must be >= 1, got {value}")
+    return value
+
+
+def make_ring_oscillator() -> RingOscillator:
+    """The RO instance for the current benchmark scale."""
+    current = scale()
+    if current == "small":
+        return RingOscillator()  # ~540 post-layout variables
+    if current == "medium":
+        return RingOscillator(
+            n_ring=41,
+            n_buffer=12,
+            kit=ProcessKit(params_per_device=24, interdie_params=14),
+        )  # ~2.6k variables
+    return RingOscillator.paper_scale()  # ~7.2k variables
+
+
+def make_sram() -> SramReadPath:
+    """The SRAM read path instance for the current benchmark scale."""
+    current = scale()
+    if current == "small":
+        return SramReadPath(n_cells=32, n_timing=10)  # ~1.7k variables
+    if current == "medium":
+        return SramReadPath(
+            n_cells=96,
+            n_timing=12,
+            kit=ProcessKit(params_per_device=12, interdie_params=14),
+        )  # ~7.2k variables
+    return SramReadPath.paper_scale()  # ~63k variables
+
+
+def table_sample_counts() -> Tuple[int, ...]:
+    """The K sweep of Tables I-III and V (paper: 100 .. 900 step 100)."""
+    return (100, 200, 300, 400, 500, 600, 700, 800, 900)
+
+
+def early_samples() -> int:
+    """Schematic samples used to fit the prior model (paper: 3000)."""
+    return int(os.environ.get("REPRO_EARLY_SAMPLES", 3000))

@@ -1,0 +1,85 @@
+"""Modeling-cost accounting (Tables IV and VI of the paper).
+
+The paper splits total modeling cost into *simulation cost* (running the
+post-layout transistor-level Monte Carlo samples of the training set) and
+*fitting cost* (solving the model coefficients).  Our substrate evaluates
+circuits analytically in microseconds, so the simulation cost is
+*accounted* through a per-sample cost model calibrated from the paper's own
+tables (Table IV: 900 RO samples = 12.58 h -> 50.3 s/sample; Table VI:
+400 SRAM samples = 38.77 h -> 349 s/sample), while the fitting cost is
+genuinely measured wall-clock.  The headline speedups (9x RO, 4x SRAM) are
+sample-count driven, so this reproduces the tables' arithmetic faithfully;
+the substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimulationCostModel", "CostReport", "RO_COST_MODEL", "SRAM_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class SimulationCostModel:
+    """Per-sample simulation cost of a testbench, in seconds.
+
+    Attributes
+    ----------
+    postlayout_seconds:
+        Wall-clock cost of one post-layout transistor-level sample.
+    schematic_seconds:
+        Cost of one schematic-level sample (much cheaper; the paper treats
+        the 3000 schematic samples as already available from design
+        validation, so they are excluded from the reported cost, matching
+        the paper's accounting).
+    """
+
+    postlayout_seconds: float
+    schematic_seconds: float = 0.0
+
+    def simulation_hours(self, num_postlayout_samples: int) -> float:
+        """Accounted simulation cost of a training set, in hours."""
+        if num_postlayout_samples < 0:
+            raise ValueError("sample count must be non-negative")
+        return num_postlayout_samples * self.postlayout_seconds / 3600.0
+
+
+# Back-solved from the paper's Table IV / Table VI.
+RO_COST_MODEL = SimulationCostModel(postlayout_seconds=12.58 * 3600.0 / 900.0)
+SRAM_COST_MODEL = SimulationCostModel(postlayout_seconds=38.77 * 3600.0 / 400.0)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """One method's row of a Table IV / Table VI style comparison.
+
+    Attributes
+    ----------
+    method:
+        Method label (``"OMP"``, ``"BMF-PS (fast solver)"``).
+    num_samples:
+        Post-layout training samples used.
+    errors:
+        Metric name -> relative modeling error.
+    simulation_hours:
+        Accounted simulation cost.
+    fitting_seconds:
+        Measured model-fitting wall-clock.
+    """
+
+    method: str
+    num_samples: int
+    errors: dict
+    simulation_hours: float
+    fitting_seconds: float
+
+    @property
+    def total_hours(self) -> float:
+        """Total modeling cost (simulation + fitting) in hours."""
+        return self.simulation_hours + self.fitting_seconds / 3600.0
+
+    def speedup_over(self, other: "CostReport") -> float:
+        """How much cheaper this method is than ``other`` (total cost)."""
+        if self.total_hours <= 0:
+            raise ValueError("total cost must be positive to compute a speedup")
+        return other.total_hours / self.total_hours

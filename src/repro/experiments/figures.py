@@ -1,0 +1,286 @@
+"""Figure runners: Monte Carlo histograms (Figs. 4, 7) and fitting-cost
+sweeps (Figs. 5, 8).
+
+Histograms render as ASCII so the benchmark harness can "regenerate the
+figure" in a terminal; the underlying (counts, edges) arrays are exposed
+for plotting elsewhere.
+
+The fitting-cost sweep measures real wall-clock of
+
+* the OMP baseline fit (with CV model-order selection),
+* the full BMF-PS fit using the fast (Woodbury/kernel) solver,
+* optionally the same BMF-PS fit where *every* MAP solve inside the
+  cross-validation loop uses the conventional M x M Cholesky solver --
+  exactly the comparison of Fig. 5.  The paper omits this curve for the
+  SRAM example because it is computationally infeasible at M ~ 66k, and so
+  do we at large scale.
+
+A single-solve microbenchmark (:func:`solver_speedup`) isolates the
+fast-vs-conventional solver ratio, the paper's "up to 600x" claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bmf import (
+    BmfRegressor,
+    GaussianCoefficientPrior,
+    map_estimate,
+    nonzero_mean_prior,
+    zero_mean_prior,
+)
+from ..bmf.cross_validation import default_eta_grid
+from ..circuits.base import Stage, Testbench
+from ..circuits.modeling import FusionProblem
+from ..montecarlo import simulate_dataset
+from ..regression import OrthogonalMatchingPursuit
+
+__all__ = [
+    "Histogram",
+    "metric_histogram",
+    "FittingCostCurve",
+    "run_fitting_cost",
+    "solver_speedup",
+]
+
+
+# ----------------------------------------------------------------------
+# Histograms (Figs. 4 and 7)
+# ----------------------------------------------------------------------
+@dataclass
+class Histogram:
+    """A Monte Carlo histogram of one performance metric.
+
+    Attributes
+    ----------
+    counts / edges:
+        As returned by :func:`numpy.histogram`.
+    label:
+        Axis label, e.g. ``"power"``.
+    mean / std:
+        Sample moments of the underlying data.
+    """
+
+    counts: np.ndarray
+    edges: np.ndarray
+    label: str
+    mean: float
+    std: float
+
+    def format(self, width: int = 50) -> str:
+        """ASCII rendering with one row per bin."""
+        lines = [
+            f"Histogram of {self.label} "
+            f"(mean={self.mean:.4g}, std={self.std:.4g}, "
+            f"n={int(self.counts.sum())})"
+        ]
+        peak = max(int(self.counts.max()), 1)
+        for count, lo, hi in zip(self.counts, self.edges[:-1], self.edges[1:]):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(f"{lo:>12.4g} .. {hi:>12.4g} | {bar} {int(count)}")
+        return "\n".join(lines)
+
+
+def metric_histogram(
+    testbench: Testbench,
+    metric: str,
+    num_samples: int,
+    rng: np.random.Generator,
+    stage: Stage = Stage.POST_LAYOUT,
+    bins: int = 30,
+) -> Histogram:
+    """Simulate ``num_samples`` Monte Carlo points and histogram the metric."""
+    dataset = simulate_dataset(testbench, stage, num_samples, rng, [metric])
+    values = dataset.metric(metric)
+    counts, edges = np.histogram(values, bins=bins)
+    return Histogram(
+        counts, edges, f"{testbench.name} {metric}", float(values.mean()),
+        float(values.std()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fitting-cost sweeps (Figs. 5 and 8)
+# ----------------------------------------------------------------------
+@dataclass
+class FittingCostCurve:
+    """Fitting wall-clock per method over the sample-count sweep.
+
+    Attributes
+    ----------
+    sample_counts:
+        The ``K`` values swept.
+    seconds:
+        Method label -> measured fitting seconds per ``K``.
+    num_terms:
+        Size ``M`` of the late-stage basis (drives the solver comparison).
+    """
+
+    testbench_name: str
+    metric: str
+    sample_counts: Tuple[int, ...]
+    seconds: Dict[str, np.ndarray]
+    num_terms: int
+
+    def format(self) -> str:
+        methods = list(self.seconds)
+        lines = [
+            f"Fitting cost (seconds) for {self.metric} of "
+            f"{self.testbench_name} (M = {self.num_terms} basis functions)"
+        ]
+        header = ["K"] + methods
+        widths = [6] + [max(len(m), 10) for m in methods]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for i, count in enumerate(self.sample_counts):
+            cells = [str(count).ljust(widths[0])]
+            for m, w in zip(methods, widths[1:]):
+                cells.append(f"{self.seconds[m][i]:.4f}".ljust(w))
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+
+def run_fitting_cost(
+    testbench: Testbench,
+    metric: str,
+    sample_counts: Sequence[int] = (100, 300, 500, 700, 900),
+    rng: Optional[np.random.Generator] = None,
+    include_conventional: bool = True,
+    early_samples: int = 1500,
+    early_method: str = "ridge",
+    omp_max_terms: Optional[int] = None,
+    n_folds: int = 5,
+) -> FittingCostCurve:
+    """Measure fitting wall-clock per method over a ``K`` sweep (Fig. 5/8)."""
+    if rng is None:
+        rng = np.random.default_rng(1)
+    sample_counts = tuple(int(k) for k in sample_counts)
+
+    problem = FusionProblem(testbench, metric)
+    alpha_early = problem.fit_early_model(early_samples, rng, method=early_method)
+    aligned = problem.align_early_coefficients(alpha_early)
+    missing = problem.missing_indices()
+    basis = problem.late_basis
+
+    pool = simulate_dataset(
+        testbench, Stage.POST_LAYOUT, max(sample_counts), rng, [metric]
+    )
+    design_pool = basis.design_matrix(pool.x)
+    target_pool = pool.metric(metric)
+
+    methods = ["OMP", "BMF-PS (fast solver)"]
+    if include_conventional:
+        methods.append("BMF-PS (conventional solver)")
+    seconds = {m: np.empty(len(sample_counts)) for m in methods}
+
+    for i, count in enumerate(sample_counts):
+        design = design_pool[:count]
+        target = target_pool[:count]
+
+        start = time.perf_counter()
+        OrthogonalMatchingPursuit(basis, max_terms=omp_max_terms).fit_design(
+            design, target
+        )
+        seconds["OMP"][i] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        BmfRegressor(
+            basis,
+            aligned,
+            prior_kind="select",
+            missing_indices=missing,
+            n_folds=n_folds,
+        ).fit_design(design, target)
+        seconds["BMF-PS (fast solver)"][i] = time.perf_counter() - start
+
+        if include_conventional:
+            seconds["BMF-PS (conventional solver)"][i] = _conventional_fit_time(
+                design, target, aligned, missing, n_folds
+            )
+
+    return FittingCostCurve(
+        testbench.name, metric, sample_counts, seconds, basis.size
+    )
+
+
+def _conventional_fit_time(
+    design: np.ndarray,
+    target: np.ndarray,
+    aligned: np.ndarray,
+    missing,
+    n_folds: int,
+) -> float:
+    """Full BMF-PS fit where every MAP solve is the M x M Cholesky.
+
+    Mirrors the cross-validation structure of the fast path (two candidate
+    priors, the default eta grid, N folds) but solves each fold/eta system
+    with the conventional solver -- the Fig. 5 baseline.
+    """
+    priors = [
+        zero_mean_prior(aligned).with_missing(missing),
+        nonzero_mean_prior(aligned).with_missing(missing),
+    ]
+    num_samples = design.shape[0]
+    fold_ids = np.arange(num_samples) % n_folds
+
+    start = time.perf_counter()
+    best: Tuple[float, GaussianCoefficientPrior, float] = (np.inf, priors[0], 1.0)
+    for prior in priors:
+        grid = default_eta_grid(prior, num_samples)
+        errors = np.zeros(len(grid))
+        for fold in range(n_folds):
+            val = fold_ids == fold
+            train_design, val_design = design[~val], design[val]
+            train_target, val_target = target[~val], target[val]
+            scale = max(float(np.linalg.norm(val_target)), 1e-300)
+            for j, eta in enumerate(grid):
+                coefficients = map_estimate(
+                    train_design, train_target, prior, eta, solver="direct"
+                )
+                prediction = val_design @ coefficients
+                errors[j] += float(np.linalg.norm(prediction - val_target)) / scale
+        j_best = int(np.argmin(errors))
+        if errors[j_best] < best[0]:
+            best = (float(errors[j_best]), prior, float(grid[j_best]))
+    map_estimate(design, target, best[1], best[2], solver="direct")
+    return time.perf_counter() - start
+
+
+def solver_speedup(
+    design: np.ndarray,
+    prior: GaussianCoefficientPrior,
+    eta: float,
+    target: Optional[np.ndarray] = None,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Microbenchmark one MAP solve: fast vs conventional (the 600x claim).
+
+    Returns a dict with ``fast_seconds``, ``direct_seconds``, ``speedup``
+    and the max coefficient discrepancy (should be at floating-point level,
+    since the fast solver is exact).
+    """
+    design = np.asarray(design, dtype=float)
+    if target is None:
+        target = design @ prior.mean
+    fast = direct = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        alpha_fast = map_estimate(design, target, prior, eta, solver="fast")
+        fast = min(fast, time.perf_counter() - start)
+        start = time.perf_counter()
+        alpha_direct = map_estimate(design, target, prior, eta, solver="direct")
+        direct = min(direct, time.perf_counter() - start)
+    scale = max(float(np.max(np.abs(alpha_direct))), 1e-300)
+    return {
+        "fast_seconds": fast,
+        "direct_seconds": direct,
+        "speedup": direct / fast,
+        "max_relative_difference": float(
+            np.max(np.abs(alpha_fast - alpha_direct)) / scale
+        ),
+    }

@@ -1,0 +1,165 @@
+"""Cost-comparison runner (Tables IV and VI of the paper).
+
+Compares the traditional flow (OMP on many post-layout samples) against
+BMF-PS with the fast solver on few samples: relative error per metric,
+accounted simulation cost, measured fitting cost, and the total-cost
+speedup -- the paper's headline 9x (RO) and 4x (SRAM) numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..bmf import BmfRegressor
+from ..circuits.base import Stage, Testbench
+from ..circuits.modeling import FusionProblem
+from ..montecarlo import simulate_dataset
+from ..regression import OrthogonalMatchingPursuit, relative_error
+from .cost import CostReport, SimulationCostModel
+
+__all__ = ["CostComparison", "run_cost_comparison"]
+
+
+@dataclass
+class CostComparison:
+    """OMP-vs-BMF cost table (Table IV / Table VI layout)."""
+
+    baseline: CostReport
+    fused: CostReport
+
+    @property
+    def speedup(self) -> float:
+        """Total-modeling-cost speedup of BMF over the baseline."""
+        return self.fused.speedup_over(self.baseline)
+
+    def format(self) -> str:
+        rows = [
+            ("", self.baseline.method, self.fused.method),
+            (
+                "# of post-layout training samples",
+                str(self.baseline.num_samples),
+                str(self.fused.num_samples),
+            ),
+        ]
+        for metric in self.baseline.errors:
+            rows.append(
+                (
+                    f"Modeling error for {metric}",
+                    f"{self.baseline.errors[metric] * 100:.4f}%",
+                    f"{self.fused.errors[metric] * 100:.4f}%",
+                )
+            )
+        rows.extend(
+            [
+                (
+                    "Simulation cost (Hour)",
+                    f"{self.baseline.simulation_hours:.2f}",
+                    f"{self.fused.simulation_hours:.2f}",
+                ),
+                (
+                    "Fitting cost (Second)",
+                    f"{self.baseline.fitting_seconds:.2f}",
+                    f"{self.fused.fitting_seconds:.2f}",
+                ),
+                (
+                    "Total modeling cost (Hour)",
+                    f"{self.baseline.total_hours:.2f}",
+                    f"{self.fused.total_hours:.2f}",
+                ),
+                ("Speedup", "1.0x", f"{self.speedup:.1f}x"),
+            ]
+        )
+        width0 = max(len(r[0]) for r in rows)
+        width1 = max(len(r[1]) for r in rows)
+        width2 = max(len(r[2]) for r in rows)
+        return "\n".join(
+            f"{a.ljust(width0)} | {b.ljust(width1)} | {c.ljust(width2)}"
+            for a, b, c in rows
+        )
+
+
+def run_cost_comparison(
+    testbench: Testbench,
+    metrics: Sequence[str],
+    cost_model: SimulationCostModel,
+    baseline_samples: int = 900,
+    fused_samples: int = 100,
+    rng: Optional[np.random.Generator] = None,
+    test_size: int = 300,
+    early_samples: int = 3000,
+    early_method: str = "omp",
+    omp_max_terms: Optional[int] = None,
+    early_coefficients: Optional[Dict[str, np.ndarray]] = None,
+) -> CostComparison:
+    """Run the Table IV / Table VI comparison.
+
+    The Monte Carlo training pool is shared across metrics (one simulation
+    yields every metric), so simulation cost is paid once -- matching the
+    paper's accounting.
+    """
+    if rng is None:
+        rng = np.random.default_rng(2)
+    metrics = tuple(metrics)
+    pool = simulate_dataset(
+        testbench, Stage.POST_LAYOUT, max(baseline_samples, fused_samples), rng, metrics
+    )
+    test = simulate_dataset(testbench, Stage.POST_LAYOUT, test_size, rng, metrics)
+
+    baseline_errors: Dict[str, float] = {}
+    fused_errors: Dict[str, float] = {}
+    baseline_fit_seconds = 0.0
+    fused_fit_seconds = 0.0
+
+    for metric in metrics:
+        problem = FusionProblem(testbench, metric)
+        if early_coefficients is not None and metric in early_coefficients:
+            alpha_early = early_coefficients[metric]
+        else:
+            alpha_early = problem.fit_early_model(
+                early_samples, rng, method=early_method
+            )
+        aligned = problem.align_early_coefficients(alpha_early)
+        missing = problem.missing_indices()
+        basis = problem.late_basis
+
+        design_baseline = basis.design_matrix(pool.x[:baseline_samples])
+        design_fused = design_baseline[:fused_samples]
+        design_test = basis.design_matrix(test.x)
+        target = pool.metric(metric)
+        target_test = test.metric(metric)
+
+        start = time.perf_counter()
+        omp = OrthogonalMatchingPursuit(basis, max_terms=omp_max_terms)
+        coefficients = omp.fit_design(design_baseline, target[:baseline_samples])
+        baseline_fit_seconds += time.perf_counter() - start
+        baseline_errors[metric] = relative_error(
+            design_test @ coefficients, target_test
+        )
+
+        start = time.perf_counter()
+        bmf = BmfRegressor(
+            basis, aligned, prior_kind="select", missing_indices=missing
+        )
+        coefficients = bmf.fit_design(design_fused, target[:fused_samples])
+        fused_fit_seconds += time.perf_counter() - start
+        fused_errors[metric] = relative_error(design_test @ coefficients, target_test)
+
+    baseline = CostReport(
+        method="OMP",
+        num_samples=baseline_samples,
+        errors=baseline_errors,
+        simulation_hours=cost_model.simulation_hours(baseline_samples),
+        fitting_seconds=baseline_fit_seconds,
+    )
+    fused = CostReport(
+        method="BMF-PS (fast solver)",
+        num_samples=fused_samples,
+        errors=fused_errors,
+        simulation_hours=cost_model.simulation_hours(fused_samples),
+        fitting_seconds=fused_fit_seconds,
+    )
+    return CostComparison(baseline, fused)

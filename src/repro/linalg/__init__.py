@@ -1,0 +1,17 @@
+"""Linear-algebra kernels: SPD solves and Woodbury low-rank updates."""
+
+from .solvers import SolverError, solve_least_squares, solve_spd
+from .woodbury import (
+    posterior_variance_diagonal,
+    solve_diag_plus_gram,
+    solve_diag_plus_gram_direct,
+)
+
+__all__ = [
+    "SolverError",
+    "posterior_variance_diagonal",
+    "solve_diag_plus_gram",
+    "solve_diag_plus_gram_direct",
+    "solve_least_squares",
+    "solve_spd",
+]

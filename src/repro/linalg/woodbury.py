@@ -1,0 +1,141 @@
+"""Sherman-Morrison-Woodbury low-rank solver (Section IV-C of the paper).
+
+The MAP estimation of BMF requires solving
+
+    (A + c * G^T G) x = b
+
+where ``A = diag(a)`` is an M x M diagonal matrix of inverse prior
+variances, ``G`` is the K x M design matrix with K << M, and ``c > 0`` is a
+scalar (``sigma_0^{-2}`` for the zero-mean prior, ``1`` for the nonzero-mean
+prior after scaling by eta).  A direct Cholesky solve costs ``O(M^3)``;
+the Woodbury identity
+
+    (A + c G^T G)^{-1} = A^{-1}
+        - c A^{-1} G^T (I_K + c G A^{-1} G^T)^{-1} G A^{-1}
+
+reduces this to a single K x K solve plus matrix-vector products, i.e.
+``O(K^2 M + K^3)`` -- the paper's eqs. (53)-(58) -- while remaining *exact*.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .solvers import solve_spd
+
+__all__ = [
+    "solve_diag_plus_gram",
+    "solve_diag_plus_gram_direct",
+    "posterior_variance_diagonal",
+]
+
+
+def _validate(diag: np.ndarray, design: np.ndarray, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    diag = np.asarray(diag, dtype=float)
+    design = np.asarray(design, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    if design.ndim != 2:
+        raise ValueError(f"design must be 2-D, got shape {design.shape}")
+    num_terms = design.shape[1]
+    if diag.shape != (num_terms,):
+        raise ValueError(
+            f"diag must have shape ({num_terms},) to match design, got {diag.shape}"
+        )
+    if rhs.shape != (num_terms,):
+        raise ValueError(
+            f"rhs must have shape ({num_terms},) to match design, got {rhs.shape}"
+        )
+    if np.any(diag <= 0):
+        raise ValueError("all diagonal entries must be strictly positive")
+    return diag, design, rhs
+
+
+def solve_diag_plus_gram(
+    diag: np.ndarray,
+    design: np.ndarray,
+    rhs: np.ndarray,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Solve ``(diag(diag) + scale * design.T @ design) x = rhs`` via Woodbury.
+
+    Parameters
+    ----------
+    diag:
+        Positive diagonal entries ``a`` of shape ``(M,)`` (inverse prior
+        variances in the BMF MAP system).
+    design:
+        Design matrix ``G`` of shape ``(K, M)``.
+    rhs:
+        Right-hand side of shape ``(M,)``.
+    scale:
+        Positive scalar ``c`` multiplying the Gram matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        The exact solution ``x`` of shape ``(M,)``.
+
+    Notes
+    -----
+    Cost is ``O(K^2 M)``; the only dense factorization is of the K x K
+    capacitance matrix ``I + c G A^{-1} G^T``, which is SPD by construction.
+    """
+    diag, design, rhs = _validate(diag, design, rhs)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    inv_diag = 1.0 / diag
+    base = inv_diag * rhs
+    scaled_design = design * inv_diag  # G A^{-1}, shape (K, M)
+    num_samples = design.shape[0]
+    capacitance = np.eye(num_samples) + scale * (scaled_design @ design.T)
+    correction = solve_spd(capacitance, design @ base)
+    return base - scale * inv_diag * (design.T @ correction)
+
+
+def solve_diag_plus_gram_direct(
+    diag: np.ndarray,
+    design: np.ndarray,
+    rhs: np.ndarray,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Reference ``O(M^3)`` direct solve of the same system (Cholesky).
+
+    This is the paper's "conventional solver" used in the Fig. 5 / Fig. 8
+    fitting-cost comparison; it exists so the Woodbury path can be validated
+    bit-for-bit (well, to floating-point accuracy) against it.
+    """
+    diag, design, rhs = _validate(diag, design, rhs)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    system = scale * (design.T @ design)
+    system[np.diag_indices_from(system)] += diag
+    return solve_spd(system, rhs)
+
+
+def posterior_variance_diagonal(
+    diag: np.ndarray,
+    design: np.ndarray,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Diagonal of ``(diag(diag) + scale * design.T @ design)^{-1}``.
+
+    Gives the marginal posterior variances of the BMF coefficients without
+    ever forming the M x M posterior covariance -- useful for reporting
+    per-coefficient uncertainty on top of the MAP point estimate.
+    """
+    diag = np.asarray(diag, dtype=float)
+    design = np.asarray(design, dtype=float)
+    if np.any(diag <= 0):
+        raise ValueError("all diagonal entries must be strictly positive")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    inv_diag = 1.0 / diag
+    scaled_design = design * inv_diag  # G A^{-1}
+    num_samples = design.shape[0]
+    capacitance = np.eye(num_samples) + scale * (scaled_design @ design.T)
+    # Sigma = A^{-1} - c (G A^{-1})^T C^{-1} (G A^{-1})
+    solved = np.linalg.solve(capacitance, scaled_design)
+    reduction = scale * np.einsum("km,km->m", scaled_design, solved)
+    return inv_diag - reduction

@@ -1,0 +1,5 @@
+"""Monte Carlo sampling and dataset handling."""
+
+from .engine import Dataset, simulate_dataset, train_test_split
+
+__all__ = ["Dataset", "simulate_dataset", "train_test_split"]

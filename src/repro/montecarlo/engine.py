@@ -1,0 +1,128 @@
+"""Monte Carlo dataset generation over testbench variation spaces.
+
+This plays the role of the paper's "transistor-level Monte Carlo
+simulation": draw standard-normal variation samples, run the (behavioral)
+circuit simulation, and package the ``(X, f)`` pairs for model fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.base import Stage, Testbench
+
+__all__ = ["Dataset", "simulate_dataset", "train_test_split"]
+
+
+@dataclass
+class Dataset:
+    """Monte Carlo samples and the simulated metric values on them.
+
+    Attributes
+    ----------
+    x:
+        Variation samples, shape ``(K, R)``.
+    values:
+        Metric name -> simulated values of shape ``(K,)``.
+    stage:
+        Design stage the samples were simulated at.
+    testbench_name:
+        Name of the originating testbench.
+    """
+
+    x: np.ndarray
+    values: Dict[str, np.ndarray]
+    stage: Stage
+    testbench_name: str = "testbench"
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=float)
+        count = self.x.shape[0]
+        for name, series in self.values.items():
+            series = np.asarray(series, dtype=float)
+            if series.shape != (count,):
+                raise ValueError(
+                    f"metric {name!r} has shape {series.shape}, expected ({count},)"
+                )
+            self.values[name] = series
+
+    @property
+    def size(self) -> int:
+        """Number of samples ``K``."""
+        return self.x.shape[0]
+
+    @property
+    def num_vars(self) -> int:
+        """Dimensionality ``R`` of the variation space."""
+        return self.x.shape[1]
+
+    def metric(self, name: str) -> np.ndarray:
+        """Values of one metric."""
+        try:
+            return self.values[name]
+        except KeyError:
+            raise KeyError(
+                f"dataset has no metric {name!r}; available: "
+                f"{sorted(self.values)}"
+            ) from None
+
+    def subset(self, rows: np.ndarray) -> "Dataset":
+        """Dataset restricted to the given sample rows."""
+        rows = np.asarray(rows)
+        return Dataset(
+            self.x[rows],
+            {name: series[rows] for name, series in self.values.items()},
+            self.stage,
+            self.testbench_name,
+        )
+
+    def head(self, count: int) -> "Dataset":
+        """The first ``count`` samples (sweeps reuse one big dataset)."""
+        if count > self.size:
+            raise ValueError(
+                f"requested {count} samples but the dataset has {self.size}"
+            )
+        return self.subset(np.arange(count))
+
+
+def simulate_dataset(
+    testbench: Testbench,
+    stage: Stage,
+    count: int,
+    rng: np.random.Generator,
+    metrics: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Draw ``count`` samples at ``stage`` and simulate the given metrics."""
+    wanted = tuple(metrics) if metrics is not None else testbench.metrics
+    for metric in wanted:
+        if metric not in testbench.metrics:
+            raise ValueError(
+                f"{testbench.name} has no metric {metric!r}; "
+                f"available: {testbench.metrics}"
+            )
+    samples = testbench.sample(stage, count, rng)
+    values = {metric: testbench.simulate(stage, samples, metric) for metric in wanted}
+    return Dataset(samples, values, stage, testbench.name)
+
+
+def train_test_split(
+    dataset: Dataset, train_count: int, rng: Optional[np.random.Generator] = None
+) -> Tuple[Dataset, Dataset]:
+    """Split a dataset into non-overlapping training and testing sets.
+
+    With ``rng`` the rows are shuffled first; otherwise the first
+    ``train_count`` rows train and the rest test (samples are i.i.d., so
+    both are valid -- shuffling matters only when reusing one dataset
+    across repeated runs).
+    """
+    if not 0 < train_count < dataset.size:
+        raise ValueError(
+            f"train_count must be in (0, {dataset.size}), got {train_count}"
+        )
+    order = (
+        rng.permutation(dataset.size) if rng is not None else np.arange(dataset.size)
+    )
+    return dataset.subset(order[:train_count]), dataset.subset(order[train_count:])

@@ -1,0 +1,12 @@
+"""Process-variation substrate: variable spaces and the synthetic PDK."""
+
+from .pdk import PHYSICAL_DELTAS, ProcessKit
+from .variables import ProcessSpace, VariationKind, VariationVariable
+
+__all__ = [
+    "PHYSICAL_DELTAS",
+    "ProcessKit",
+    "ProcessSpace",
+    "VariationKind",
+    "VariationVariable",
+]

@@ -1,0 +1,158 @@
+"""A synthetic 32 nm-SOI-like process kit.
+
+The real experiments of the paper run on a commercial 32 nm CMOS SOI PDK in
+which the mismatch of a single transistor is modeled by ~40 independent
+random variables.  This module provides the equivalent synthetic object:
+:class:`ProcessKit` owns
+
+* the number of raw mismatch variables per device (``params_per_device``)
+  and deterministic unit-norm *projection* vectors that map those raw
+  variables onto physical parameter deltas (threshold voltage, current
+  factor, capacitance, leakage) -- mirroring how PDK mismatch models expand
+  a transistor's variability over many principal components;
+* a block of chip-global inter-die variables with their own projections;
+* the 1-sigma magnitudes of each physical delta.
+
+Everything is deterministic given ``seed`` so that "the same PDK" is
+reproducible across schematic and post-layout stages and across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["ProcessKit", "PHYSICAL_DELTAS"]
+
+# Physical parameter deltas a device's raw mismatch variables project onto.
+PHYSICAL_DELTAS = ("vth", "beta", "cap", "leak")
+
+
+@dataclass
+class ProcessKit:
+    """Synthetic process kit: variation magnitudes and projections.
+
+    Parameters
+    ----------
+    params_per_device:
+        Raw independent mismatch variables per transistor (the paper's
+        commercial kit uses ~40; smaller values keep test problems light).
+    interdie_params:
+        Number of chip-global variation variables.
+    sigma_vth_mm / sigma_beta_mm / sigma_cap_mm / sigma_leak_mm:
+        1-sigma mismatch magnitudes for a unit-area device: threshold
+        voltage in volts, the rest as relative fractions.  Mismatch scales
+        with ``1/sqrt(area)`` (Pelgrom's law).
+    sigma_vth_g / sigma_beta_g / sigma_cap_g / sigma_leak_g:
+        1-sigma inter-die magnitudes (same units).
+    supply_voltage:
+        Nominal VDD of the process in volts.
+    temperature:
+        Nominal junction temperature in kelvin (enters leakage/noise).
+    seed:
+        Seed for the deterministic projection directions.
+    """
+
+    params_per_device: int = 8
+    interdie_params: int = 12
+    sigma_vth_mm: float = 0.018
+    sigma_beta_mm: float = 0.045
+    sigma_cap_mm: float = 0.030
+    sigma_leak_mm: float = 0.20
+    sigma_vth_g: float = 0.010
+    sigma_beta_g: float = 0.040
+    sigma_cap_g: float = 0.035
+    sigma_leak_g: float = 0.15
+    supply_voltage: float = 0.9
+    temperature: float = 300.0
+    seed: int = 32
+
+    _mismatch_projections: Dict[str, np.ndarray] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    _interdie_projections: Dict[str, np.ndarray] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self):
+        minimum = len(PHYSICAL_DELTAS)
+        if self.params_per_device < minimum:
+            raise ValueError(
+                f"params_per_device must be >= {minimum} (one independent "
+                f"direction per physical delta), got {self.params_per_device}"
+            )
+        if self.interdie_params < minimum:
+            raise ValueError(
+                f"interdie_params must be >= {minimum}, got "
+                f"{self.interdie_params}"
+            )
+        rng = np.random.default_rng(self.seed)
+        mismatch = _orthonormal_directions(rng, self.params_per_device, minimum)
+        interdie = _orthonormal_directions(rng, self.interdie_params, minimum)
+        for i, delta in enumerate(PHYSICAL_DELTAS):
+            self._mismatch_projections[delta] = mismatch[:, i]
+            self._interdie_projections[delta] = interdie[:, i]
+
+    # ------------------------------------------------------------------
+    def mismatch_projection(self, delta: str) -> np.ndarray:
+        """Unit-norm projection of raw per-device variables onto ``delta``.
+
+        A device's physical delta is ``sigma * (raw_block @ projection)``;
+        because the projection has unit norm and the raw variables are
+        independent N(0,1), the physical delta is exactly N(0, sigma^2).
+        """
+        return self._mismatch_projections[_check_delta(delta)]
+
+    def interdie_projection(self, delta: str) -> np.ndarray:
+        """Unit-norm projection of the global variables onto ``delta``."""
+        return self._interdie_projections[_check_delta(delta)]
+
+    def mismatch_sigma(self, delta: str) -> float:
+        """1-sigma mismatch magnitude of ``delta`` for a unit-area device."""
+        return {
+            "vth": self.sigma_vth_mm,
+            "beta": self.sigma_beta_mm,
+            "cap": self.sigma_cap_mm,
+            "leak": self.sigma_leak_mm,
+        }[_check_delta(delta)]
+
+    def interdie_sigma(self, delta: str) -> float:
+        """1-sigma inter-die magnitude of ``delta``."""
+        return {
+            "vth": self.sigma_vth_g,
+            "beta": self.sigma_beta_g,
+            "cap": self.sigma_cap_g,
+            "leak": self.sigma_leak_g,
+        }[_check_delta(delta)]
+
+    @property
+    def thermal_voltage(self) -> float:
+        """kT/q in volts at the kit's nominal temperature."""
+        return 8.617333262e-5 * self.temperature
+
+
+def _check_delta(delta: str) -> str:
+    if delta not in PHYSICAL_DELTAS:
+        raise ValueError(f"delta must be one of {PHYSICAL_DELTAS}, got {delta!r}")
+    return delta
+
+
+def _orthonormal_directions(
+    rng: np.random.Generator, size: int, count: int
+) -> np.ndarray:
+    """``count`` deterministic orthonormal directions in ``size`` dimensions.
+
+    Orthogonality mirrors how PDK mismatch models expand a device's
+    variability over independent principal components: pushing the raw
+    variables along the "threshold voltage" direction must not leak into
+    the "capacitance" delta.  Returned as the ``(size, count)`` Q factor of
+    a seeded random matrix.
+    """
+    matrix = rng.standard_normal((size, count))
+    q, r = np.linalg.qr(matrix)
+    # Fix the sign convention so the decomposition is unique/deterministic.
+    signs = np.sign(np.diag(r))
+    signs[signs == 0] = 1.0
+    return q * signs

@@ -1,0 +1,136 @@
+"""Process-variation variable space.
+
+In the paper's setting (Section II-A), the process design kit exposes the
+device-level process variations as a vector of independent standard-normal
+random variables ``x = [x_1 ... x_R]``.  :class:`ProcessSpace` is that
+vector, with bookkeeping for what each variable physically is:
+
+* ``interdie`` -- chip-global (inter-die) parameter shifts shared by all
+  devices (e.g. global threshold-voltage or oxide-thickness drift);
+* ``mismatch`` -- per-device local mismatch components (the paper notes a
+  commercial 32 nm SOI process uses ~40 such variables *per transistor*);
+* ``parasitic`` -- post-layout-only variables modeling the variation of
+  extracted layout parasitics (Section IV-B's missing-prior scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["VariationVariable", "ProcessSpace", "VariationKind"]
+
+VariationKind = str
+_KINDS = ("interdie", "mismatch", "parasitic")
+
+
+@dataclass(frozen=True)
+class VariationVariable:
+    """One independent standard-normal process-variation variable.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"ro.inv3.nmos.vth_m2"``.
+    kind:
+        One of ``"interdie"``, ``"mismatch"``, ``"parasitic"``.
+    device:
+        Owning device name for mismatch variables (None for global ones).
+    """
+
+    name: str
+    kind: VariationKind = "mismatch"
+    device: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+
+
+class ProcessSpace:
+    """An ordered collection of independent N(0, 1) variation variables.
+
+    The order defines the meaning of the columns of every sample matrix
+    ``X`` of shape ``(K, R)`` flowing through the package.
+    """
+
+    def __init__(self, variables: Sequence[VariationVariable] = ()):
+        self._variables: List[VariationVariable] = []
+        self._index: Dict[str, int] = {}
+        for var in variables:
+            self.add(var)
+
+    # ------------------------------------------------------------------
+    def add(self, variable: VariationVariable) -> int:
+        """Append a variable; returns its column index."""
+        if variable.name in self._index:
+            raise ValueError(f"duplicate variable name {variable.name!r}")
+        self._index[variable.name] = len(self._variables)
+        self._variables.append(variable)
+        return len(self._variables) - 1
+
+    def add_block(
+        self,
+        prefix: str,
+        count: int,
+        kind: VariationKind = "mismatch",
+        device: Optional[str] = None,
+    ) -> range:
+        """Append ``count`` variables named ``{prefix}{i}``; returns their indices."""
+        start = len(self._variables)
+        for i in range(count):
+            self.add(VariationVariable(f"{prefix}{i}", kind, device))
+        return range(start, start + count)
+
+    def extended(self, extra: Sequence[VariationVariable]) -> "ProcessSpace":
+        """New space with additional variables appended (schematic -> layout)."""
+        return ProcessSpace(list(self._variables) + list(extra))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of variables ``R``."""
+        return len(self._variables)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def variables(self) -> Tuple[VariationVariable, ...]:
+        return tuple(self._variables)
+
+    def index_of(self, name: str) -> int:
+        """Column index of a variable by name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no variation variable named {name!r}") from None
+
+    def indices_of_kind(self, kind: VariationKind) -> np.ndarray:
+        """Column indices of all variables of the given kind."""
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        return np.array(
+            [i for i, v in enumerate(self._variables) if v.kind == kind],
+            dtype=int,
+        )
+
+    def indices_of_device(self, device: str) -> np.ndarray:
+        """Column indices of all variables attached to a device."""
+        return np.array(
+            [i for i, v in enumerate(self._variables) if v.device == device],
+            dtype=int,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        counts = {k: len(self.indices_of_kind(k)) for k in _KINDS}
+        return f"ProcessSpace(size={self.size}, {counts})"
+
+    # ------------------------------------------------------------------
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` i.i.d. standard-normal samples, shape ``(count, R)``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return rng.standard_normal((count, self.size))

@@ -1,0 +1,35 @@
+"""Baseline fitting algorithms.
+
+* least squares (Section II-B) and ridge;
+* OMP (Section II-C, ref. [13]) and least-angle regression (ref. [12]);
+* elastic net (ref. [15]) and sparse Bayesian learning (ref. [29]).
+"""
+
+from .base import BasisRegressor, FittedModel, relative_error, rms_error
+from .elastic_net import ElasticNetRegressor, coordinate_descent
+from .lars import LarsPath, LeastAngleRegression, lars_path
+from .least_squares import LeastSquaresRegressor
+from .omp import OmpPath, OrthogonalMatchingPursuit, omp_path
+from .path_selection import cross_validated_order
+from .ridge import RidgeRegressor
+from .sparse_bayesian import SparseBayesianRegressor, sparse_bayesian_fit
+
+__all__ = [
+    "BasisRegressor",
+    "ElasticNetRegressor",
+    "FittedModel",
+    "LarsPath",
+    "LeastAngleRegression",
+    "LeastSquaresRegressor",
+    "OmpPath",
+    "OrthogonalMatchingPursuit",
+    "RidgeRegressor",
+    "SparseBayesianRegressor",
+    "coordinate_descent",
+    "cross_validated_order",
+    "lars_path",
+    "omp_path",
+    "relative_error",
+    "rms_error",
+    "sparse_bayesian_fit",
+]

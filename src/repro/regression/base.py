@@ -1,0 +1,138 @@
+"""Estimator protocol shared by all performance-model fitting algorithms.
+
+Every fitting method in this package -- least squares (Section II-B), sparse
+regression (Section II-C), and Bayesian model fusion (Section III) -- maps a
+set of samples ``(x^(k), f^(k))`` to coefficients ``alpha`` of a fixed
+orthonormal basis.  :class:`BasisRegressor` captures that contract with a
+scikit-learn-like ``fit`` / ``predict`` interface, plus the eq. (59) error
+metric used in every table of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..basis import OrthonormalBasis
+
+__all__ = ["BasisRegressor", "FittedModel", "relative_error", "rms_error"]
+
+
+def relative_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Relative modeling error of eq. (59): ``||f_hat - f||_2 / ||f||_2``."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
+        )
+    denominator = np.linalg.norm(actual)
+    if denominator == 0.0:
+        raise ValueError("actual values have zero norm; relative error undefined")
+    return float(np.linalg.norm(predicted - actual) / denominator)
+
+
+def rms_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Root-mean-square prediction error (absolute units)."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
+        )
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+class FittedModel:
+    """A fitted performance model: a basis plus its coefficient vector.
+
+    This is the object downstream applications (yield estimation, corner
+    extraction, optimization) consume; it is deliberately decoupled from the
+    algorithm that produced it.
+    """
+
+    def __init__(self, basis: OrthonormalBasis, coefficients: np.ndarray):
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != (basis.size,):
+            raise ValueError(
+                f"expected {basis.size} coefficients, got {coefficients.shape}"
+            )
+        self.basis = basis
+        self.coefficients = coefficients
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the model at sample(s) ``x`` (eq. 2)."""
+        return self.basis.evaluate(self.coefficients, x)
+
+    def error_on(self, x: np.ndarray, f: np.ndarray) -> float:
+        """Relative modeling error (eq. 59) of this model on a data set."""
+        return relative_error(self.predict(x), np.asarray(f, dtype=float))
+
+    def sparsity(self, threshold: float = 0.0) -> int:
+        """Number of coefficients with magnitude strictly above ``threshold``."""
+        return int(np.sum(np.abs(self.coefficients) > threshold))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FittedModel(num_vars={self.basis.num_vars}, "
+            f"terms={self.basis.size}, nonzero={self.sparsity()})"
+        )
+
+
+class BasisRegressor(abc.ABC):
+    """Base class for algorithms that fit coefficients of a fixed basis.
+
+    Subclasses implement :meth:`fit_design`, which operates directly on a
+    pre-assembled design matrix; :meth:`fit` handles building the design
+    matrix from raw samples.  Benchmarks that sweep sample counts reuse one
+    design matrix across methods by calling :meth:`fit_design` directly.
+    """
+
+    def __init__(self, basis: OrthonormalBasis):
+        self.basis = basis
+        self.coefficients_: Optional[np.ndarray] = None
+
+    @abc.abstractmethod
+    def _fit_design(self, design: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Solve for coefficients given design matrix ``G`` and targets ``f``.
+
+        Returns the coefficient vector of shape ``(M,)``; implementations
+        must not mutate ``design`` or ``target``.
+        """
+
+    def fit_design(self, design: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Fit from a pre-assembled design matrix; stores and returns coefficients.
+
+        Benchmarks that sweep sample counts call this directly to reuse one
+        design matrix across methods.
+        """
+        self.coefficients_ = self._fit_design(design, target)
+        return self.coefficients_
+
+    def fit(self, x: np.ndarray, f: np.ndarray) -> "BasisRegressor":
+        """Fit the model from raw samples ``x`` of shape ``(K, R)``."""
+        x = np.asarray(x, dtype=float)
+        f = np.asarray(f, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D (K, R), got shape {x.shape}")
+        if f.shape != (x.shape[0],):
+            raise ValueError(
+                f"f must have shape ({x.shape[0]},) to match x, got {f.shape}"
+            )
+        design = self.basis.design_matrix(x)
+        self.coefficients_ = self.fit_design(design, f)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted model at new samples."""
+        if self.coefficients_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.basis.evaluate(self.coefficients_, x)
+
+    def fitted_model(self) -> FittedModel:
+        """Package the fitted coefficients as a standalone :class:`FittedModel`."""
+        if self.coefficients_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return FittedModel(self.basis, self.coefficients_)

@@ -1,0 +1,46 @@
+"""Traditional least-squares fitting (Section II-B, eq. 6).
+
+Solves the overdetermined system ``G alpha = f`` in the least-squares sense.
+This is the baseline whose sample requirement (``K > M``) motivates both
+sparse regression and BMF: for a post-layout model with tens of thousands of
+coefficients it would need tens of thousands of multi-hour simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import solve_least_squares
+from .base import BasisRegressor
+
+__all__ = ["LeastSquaresRegressor"]
+
+
+class LeastSquaresRegressor(BasisRegressor):
+    """Ordinary least squares on the full basis.
+
+    Parameters
+    ----------
+    basis:
+        The orthonormal basis defining the model form.
+    require_overdetermined:
+        If True (default), refuse to fit with fewer samples than
+        coefficients, since the minimum-norm solution of an underdetermined
+        system is generally meaningless for prediction.  Set to False to get
+        the minimum-norm solution anyway (useful for demonstrating the
+        failure mode in examples).
+    """
+
+    def __init__(self, basis, require_overdetermined: bool = True):
+        super().__init__(basis)
+        self.require_overdetermined = require_overdetermined
+
+    def _fit_design(self, design: np.ndarray, target: np.ndarray) -> np.ndarray:
+        num_samples, num_terms = design.shape
+        if self.require_overdetermined and num_samples < num_terms:
+            raise ValueError(
+                f"least squares needs at least {num_terms} samples for "
+                f"{num_terms} coefficients but got {num_samples}; use sparse "
+                "regression or BMF in the underdetermined regime"
+            )
+        return solve_least_squares(design, target)

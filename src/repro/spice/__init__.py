@@ -1,0 +1,52 @@
+"""SPICE-lite: a small modified-nodal-analysis circuit simulator.
+
+Supports R, C, independent V/I sources (DC, pulse, PWL, sine), VCCS, and a
+square-law MOSFET; analyses: DC operating point (Newton with gmin
+stepping), fixed-step backward-Euler transient, and small-signal AC.
+"""
+
+from .ac import AcResult, ac_analysis
+from .dc import ConvergenceError, OperatingPoint, dc_operating_point
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    DcValue,
+    Mosfet,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Vccs,
+    VoltageSource,
+    Waveform,
+)
+from .mna import MnaSystem
+from .netlist import Circuit
+from .parser import NetlistSyntaxError, parse_netlist, parse_value
+from .transient import TransientResult, transient
+
+__all__ = [
+    "AcResult",
+    "Capacitor",
+    "Circuit",
+    "ConvergenceError",
+    "CurrentSource",
+    "DcValue",
+    "MnaSystem",
+    "NetlistSyntaxError",
+    "parse_netlist",
+    "parse_value",
+    "Mosfet",
+    "OperatingPoint",
+    "PiecewiseLinear",
+    "Pulse",
+    "Resistor",
+    "Sine",
+    "TransientResult",
+    "Vccs",
+    "VoltageSource",
+    "Waveform",
+    "ac_analysis",
+    "dc_operating_point",
+    "transient",
+]

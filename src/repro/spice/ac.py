@@ -1,0 +1,137 @@
+"""Small-signal AC analysis.
+
+Linearizes the circuit at its DC operating point (MOSFETs become gm/gds
+stamps), then solves the complex MNA system at each requested frequency
+with the designated input source set to unit magnitude and every other
+independent source zeroed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .dc import dc_operating_point
+from .elements import Capacitor, CurrentSource, Mosfet, Resistor, Vccs, VoltageSource
+from .mna import MnaSystem
+from .netlist import Circuit
+
+__all__ = ["AcResult", "ac_analysis"]
+
+
+@dataclass
+class AcResult:
+    """Frequency response of every node to the unit AC input.
+
+    Attributes
+    ----------
+    frequencies:
+        Analysis frequencies in Hz, shape ``(F,)``.
+    transfer:
+        Node name -> complex response of shape ``(F,)``.
+    """
+
+    frequencies: np.ndarray
+    transfer: Dict[str, np.ndarray]
+
+    def gain(self, node: str) -> np.ndarray:
+        """Magnitude response at a node."""
+        return np.abs(self._node(node))
+
+    def gain_db(self, node: str) -> np.ndarray:
+        """Magnitude response in dB."""
+        return 20.0 * np.log10(np.maximum(self.gain(node), 1e-300))
+
+    def phase(self, node: str) -> np.ndarray:
+        """Phase response in radians."""
+        return np.angle(self._node(node))
+
+    def _node(self, node: str) -> np.ndarray:
+        try:
+            return self.transfer[node]
+        except KeyError:
+            raise KeyError(f"no node named {node!r}") from None
+
+
+def ac_analysis(
+    circuit: Circuit,
+    frequencies: Sequence[float],
+    input_source: str,
+) -> AcResult:
+    """Small-signal frequency sweep.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist; must contain a source named ``input_source``.
+    frequencies:
+        Positive analysis frequencies in Hz.
+    input_source:
+        Name of the independent (voltage or current) source driven with
+        unit AC magnitude; all other independent sources are small-signal
+        grounded/opened.
+    """
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    if np.any(frequencies <= 0):
+        raise ValueError("all frequencies must be positive")
+    driver = circuit.element(input_source)
+    if not isinstance(driver, (VoltageSource, CurrentSource)):
+        raise TypeError(
+            f"{input_source!r} is a {type(driver).__name__}, not an "
+            "independent source"
+        )
+
+    op = dc_operating_point(circuit)
+    system = MnaSystem(circuit, dtype=complex)
+    node_names = circuit.node_names()
+    transfer = {name: np.empty(len(frequencies), dtype=complex) for name in node_names}
+
+    # Precompute MOSFET small-signal parameters at the operating point.
+    mosfet_params = []
+    for element in circuit.elements:
+        if isinstance(element, Mosfet):
+            sign = 1.0 if element.polarity == "nmos" else -1.0
+            vgs = sign * (op.voltage(element.gate) - op.voltage(element.source))
+            vds = sign * (op.voltage(element.drain) - op.voltage(element.source))
+            _ids, gm, gds = element.ids(vgs, vds)
+            mosfet_params.append((element, gm, gds))
+
+    for i, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * frequency
+        system.clear()
+        branch = 0
+        for element in circuit.elements:
+            if isinstance(element, Resistor):
+                element.stamp(system)
+            elif isinstance(element, Capacitor):
+                element.stamp_ac(system, omega)
+            elif isinstance(element, Vccs):
+                element.stamp(system)
+            elif isinstance(element, VoltageSource):
+                magnitude = 1.0 if element.name == input_source else 0.0
+                system.add_voltage_source(
+                    element.node_pos, element.node_neg, branch, magnitude
+                )
+                branch += 1
+            elif isinstance(element, CurrentSource):
+                if element.name == input_source:
+                    system.add_current(element.node_a, -1.0)
+                    system.add_current(element.node_b, 1.0)
+            elif isinstance(element, Mosfet):
+                pass  # stamped from precomputed small-signal parameters
+            else:
+                raise TypeError(
+                    f"unsupported element type {type(element).__name__}"
+                )
+        for element, gm, gds in mosfet_params:
+            system.add_transconductance(
+                element.drain, element.source, element.gate, element.source, gm
+            )
+            system.add_conductance(element.drain, element.source, gds)
+        solution = system.solve()
+        for name in node_names:
+            transfer[name][i] = solution[system.node_index[name]]
+
+    return AcResult(frequencies, transfer)

@@ -1,0 +1,175 @@
+"""DC operating-point analysis: Newton-Raphson with gmin stepping.
+
+Solves the nonlinear MNA equations at ``t = 0``.  Convergence strategy:
+
+1. plain Newton from a flat (or supplied) initial guess;
+2. if that fails, gmin stepping -- solve a sequence of problems with a
+   shrinking conductance from every node to ground, warm-starting each from
+   the previous solution (the classic SPICE homotopy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .elements import Capacitor, CurrentSource, Mosfet, Resistor, Vccs, VoltageSource
+from .mna import MnaSystem
+from .netlist import Circuit
+
+__all__ = ["OperatingPoint", "dc_operating_point", "ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+@dataclass
+class OperatingPoint:
+    """Result of a DC analysis.
+
+    Attributes
+    ----------
+    voltages:
+        Node name -> DC voltage.
+    source_currents:
+        Voltage-source name -> branch current (positive out of the + node
+        through the external circuit).
+    solution:
+        Raw MNA unknown vector (used to warm-start transient analysis).
+    iterations:
+        Newton iterations spent (summed across gmin steps if any).
+    """
+
+    voltages: Dict[str, float]
+    source_currents: Dict[str, float]
+    solution: np.ndarray
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        if node in ("0", "gnd", "GND"):
+            return 0.0
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise KeyError(f"no node named {node!r}") from None
+
+
+def _stamp_static(system: MnaSystem, time: float, gmin: float) -> None:
+    """Stamp all non-Newton elements (linear, sources; capacitors open)."""
+    branch = 0
+    for element in system.circuit.elements:
+        if isinstance(element, Resistor):
+            element.stamp(system)
+        elif isinstance(element, CurrentSource):
+            element.stamp(system, time)
+        elif isinstance(element, VoltageSource):
+            element.stamp(system, branch, time)
+            branch += 1
+        elif isinstance(element, Vccs):
+            element.stamp(system)
+        elif isinstance(element, Capacitor):
+            pass  # open circuit in DC
+        elif isinstance(element, Mosfet):
+            pass  # stamped per Newton iteration
+        else:
+            raise TypeError(f"unsupported element type {type(element).__name__}")
+    if gmin > 0:
+        system.add_gmin(gmin)
+
+
+def _newton(
+    system: MnaSystem,
+    initial: np.ndarray,
+    time: float,
+    gmin: float,
+    max_iterations: int,
+    tolerance: float,
+) -> Optional[np.ndarray]:
+    """Newton iteration; returns the solution or None if not converged."""
+    mosfets = [e for e in system.circuit.elements if isinstance(e, Mosfet)]
+    solution = initial.copy()
+    for _iteration in range(max_iterations):
+        system.clear()
+        _stamp_static(system, time, gmin)
+        for mosfet in mosfets:
+            mosfet.stamp_newton(system, solution)
+        try:
+            new_solution = system.solve()
+        except np.linalg.LinAlgError:
+            return None
+        delta = np.max(np.abs(new_solution - solution))
+        # Damp large voltage steps to keep the square-law model stable.
+        step_limit = 0.5
+        if delta > step_limit:
+            new_solution = solution + step_limit / delta * (new_solution - solution)
+        solution = new_solution
+        if delta < tolerance:
+            return solution
+    return None
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    initial: Optional[np.ndarray] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+    gmin: float = 1e-12,
+) -> OperatingPoint:
+    """Compute the DC operating point of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to solve.
+    initial:
+        Optional initial guess for the MNA unknowns.
+    max_iterations:
+        Newton iteration budget per attempt.
+    tolerance:
+        Convergence threshold on the max-norm update.
+    gmin:
+        Final node-to-ground conductance left in place (SPICE default-ish).
+
+    Raises
+    ------
+    ConvergenceError
+        If plain Newton and gmin stepping both fail.
+    """
+    system = MnaSystem(circuit)
+    guess = (
+        np.zeros(system.size) if initial is None else np.asarray(initial, dtype=float)
+    )
+    if guess.shape != (system.size,):
+        raise ValueError(
+            f"initial guess must have shape ({system.size},), got {guess.shape}"
+        )
+
+    iterations_used = 0
+    solution = _newton(system, guess, 0.0, gmin, max_iterations, tolerance)
+    if solution is None:
+        # gmin stepping homotopy: heavy shunt first, relax geometrically.
+        for exponent in range(3, 13):
+            step_gmin = 10.0**-exponent
+            solution = _newton(
+                system, guess, 0.0, step_gmin, max_iterations, tolerance
+            )
+            iterations_used += max_iterations
+            if solution is None:
+                break
+            guess = solution
+        if solution is not None:
+            solution = _newton(system, guess, 0.0, gmin, max_iterations, tolerance)
+    if solution is None:
+        raise ConvergenceError(
+            f"DC analysis of {circuit.name!r} did not converge"
+        )
+
+    voltages = system.solution_voltages(solution)
+    source_currents = {
+        source.name: float(solution[system.branch_index(i)])
+        for i, source in enumerate(system.sources)
+    }
+    return OperatingPoint(voltages, source_currents, solution, iterations_used)

@@ -1,0 +1,371 @@
+"""Circuit elements and their MNA stamps.
+
+Each element knows how to stamp itself into an :class:`MnaSystem` (see
+:mod:`repro.spice.mna`):
+
+* static linear elements (R, I, VCCS) stamp once;
+* voltage sources own a branch-current row;
+* capacitors stamp a companion model during transient analysis;
+* MOSFETs (square-law level-1 with channel-length modulation) stamp their
+  Newton linearization each iteration.
+
+Sources can be time-dependent (DC, pulse, piecewise-linear, sine) for
+transient analysis.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import math
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "CurrentSource",
+    "VoltageSource",
+    "Vccs",
+    "Mosfet",
+    "Waveform",
+    "DcValue",
+    "Pulse",
+    "PiecewiseLinear",
+    "Sine",
+]
+
+
+# ----------------------------------------------------------------------
+# Source waveforms
+# ----------------------------------------------------------------------
+class Waveform(abc.ABC):
+    """Time-dependent source value."""
+
+    @abc.abstractmethod
+    def value(self, time: float) -> float:
+        """Source value at ``time`` (DC analyses use ``time = 0``)."""
+
+
+class DcValue(Waveform):
+    """A constant value."""
+
+    def __init__(self, value: float):
+        self._value = float(value)
+
+    def value(self, time: float) -> float:
+        return self._value
+
+
+class Pulse(Waveform):
+    """SPICE-style periodic pulse waveform."""
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        delay: float = 0.0,
+        rise: float = 1e-12,
+        fall: float = 1e-12,
+        width: float = 1e-9,
+        period: Optional[float] = None,
+    ):
+        if rise <= 0 or fall <= 0:
+            raise ValueError("rise and fall times must be positive")
+        if width < 0:
+            raise ValueError("pulse width must be non-negative")
+        self.low = float(low)
+        self.high = float(high)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = float(period) if period is not None else math.inf
+
+    def value(self, time: float) -> float:
+        if time < self.delay:
+            return self.low
+        local = time - self.delay
+        if math.isfinite(self.period):
+            local = local % self.period
+        if local < self.rise:
+            return self.low + (self.high - self.low) * local / self.rise
+        local -= self.rise
+        if local < self.width:
+            return self.high
+        local -= self.width
+        if local < self.fall:
+            return self.high + (self.low - self.high) * local / self.fall
+        return self.low
+
+
+class PiecewiseLinear(Waveform):
+    """Piecewise-linear waveform through (time, value) points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 1:
+            raise ValueError("need at least one (time, value) point")
+        times = [float(t) for t, _ in points]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("times must be strictly increasing")
+        self.times = times
+        self.values = [float(v) for _, v in points]
+
+    def value(self, time: float) -> float:
+        if time <= self.times[0]:
+            return self.values[0]
+        if time >= self.times[-1]:
+            return self.values[-1]
+        hi = bisect.bisect_right(self.times, time)
+        lo = hi - 1
+        span = self.times[hi] - self.times[lo]
+        frac = (time - self.times[lo]) / span
+        return self.values[lo] + frac * (self.values[hi] - self.values[lo])
+
+
+class Sine(Waveform):
+    """Sinusoidal waveform ``offset + amplitude * sin(2 pi f (t - delay))``."""
+
+    def __init__(
+        self, offset: float, amplitude: float, frequency: float, delay: float = 0.0
+    ):
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.delay = float(delay)
+
+    def value(self, time: float) -> float:
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.frequency * (time - self.delay)
+        )
+
+
+def _as_waveform(value) -> Waveform:
+    if isinstance(value, Waveform):
+        return value
+    return DcValue(float(value))
+
+
+# ----------------------------------------------------------------------
+# Elements
+# ----------------------------------------------------------------------
+class Element(abc.ABC):
+    """Base class for all netlist elements."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("element name must be non-empty")
+        self.name = name
+
+    @abc.abstractmethod
+    def nodes(self) -> Tuple[str, ...]:
+        """Names of the nodes this element connects to."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes()})"
+
+
+class Resistor(Element):
+    """Linear resistor."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float):
+        super().__init__(name)
+        if resistance <= 0:
+            raise ValueError(f"resistance must be positive, got {resistance}")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.resistance = float(resistance)
+
+    def nodes(self):
+        return (self.node_a, self.node_b)
+
+    def stamp(self, system) -> None:
+        system.add_conductance(self.node_a, self.node_b, 1.0 / self.resistance)
+
+
+class Capacitor(Element):
+    """Linear capacitor (open in DC; companion model in transient)."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, capacitance: float):
+        super().__init__(name)
+        if capacitance <= 0:
+            raise ValueError(f"capacitance must be positive, got {capacitance}")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.capacitance = float(capacitance)
+
+    def nodes(self):
+        return (self.node_a, self.node_b)
+
+    def stamp_transient(self, system, prev_voltage: float, dt: float) -> None:
+        """Backward-Euler companion: ``g = C/dt`` in parallel with ``g*v_prev``."""
+        conductance = self.capacitance / dt
+        system.add_conductance(self.node_a, self.node_b, conductance)
+        # i_C = g*(v - v_prev): the -g*v_prev history term moves to the rhs
+        # as a current injected into node_a (and drawn from node_b).
+        system.add_current(self.node_a, conductance * prev_voltage)
+        system.add_current(self.node_b, -conductance * prev_voltage)
+
+    def stamp_ac(self, system, omega: float) -> None:
+        """Complex admittance ``j omega C`` for small-signal AC analysis."""
+        system.add_conductance(self.node_a, self.node_b, 1j * omega * self.capacitance)
+
+
+class CurrentSource(Element):
+    """Independent current source (flows from node_a to node_b internally)."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, dc=0.0, waveform=None):
+        super().__init__(name)
+        self.node_a = node_a
+        self.node_b = node_b
+        self.waveform = _as_waveform(waveform if waveform is not None else dc)
+
+    def nodes(self):
+        return (self.node_a, self.node_b)
+
+    def stamp(self, system, time: float = 0.0) -> None:
+        value = self.waveform.value(time)
+        system.add_current(self.node_a, -value)
+        system.add_current(self.node_b, value)
+
+
+class VoltageSource(Element):
+    """Independent voltage source; owns one branch-current unknown."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, dc=0.0, waveform=None):
+        super().__init__(name)
+        self.node_pos = node_pos
+        self.node_neg = node_neg
+        self.waveform = _as_waveform(waveform if waveform is not None else dc)
+
+    def nodes(self):
+        return (self.node_pos, self.node_neg)
+
+    def stamp(self, system, branch: int, time: float = 0.0) -> None:
+        system.add_voltage_source(
+            self.node_pos, self.node_neg, branch, self.waveform.value(time)
+        )
+
+
+class Vccs(Element):
+    """Voltage-controlled current source ``i(out) = gm * v(ctrl)``."""
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        gm: float,
+    ):
+        super().__init__(name)
+        self.out_pos = out_pos
+        self.out_neg = out_neg
+        self.ctrl_pos = ctrl_pos
+        self.ctrl_neg = ctrl_neg
+        self.gm = float(gm)
+
+    def nodes(self):
+        return (self.out_pos, self.out_neg, self.ctrl_pos, self.ctrl_neg)
+
+    def stamp(self, system) -> None:
+        system.add_transconductance(
+            self.out_pos, self.out_neg, self.ctrl_pos, self.ctrl_neg, self.gm
+        )
+
+
+class Mosfet(Element):
+    """Square-law (level-1) MOSFET with channel-length modulation.
+
+    Parameters
+    ----------
+    drain / gate / source:
+        Node names (bulk is tied to source).
+    kp:
+        Process transconductance ``k' W/L`` in A/V^2 (already includes the
+        aspect ratio).
+    vth:
+        Threshold voltage (positive for both polarities; the sign handling
+        of PMOS is internal).
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    lambda_:
+        Channel-length modulation in 1/V.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        kp: float,
+        vth: float,
+        polarity: str = "nmos",
+        lambda_: float = 0.05,
+    ):
+        super().__init__(name)
+        if polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {polarity!r}")
+        if kp <= 0:
+            raise ValueError(f"kp must be positive, got {kp}")
+        self.drain = drain
+        self.gate = gate
+        self.source = source
+        self.kp = float(kp)
+        self.vth = float(vth)
+        self.polarity = polarity
+        self.lambda_ = float(lambda_)
+
+    def nodes(self):
+        return (self.drain, self.gate, self.source)
+
+    # ------------------------------------------------------------------
+    def ids(self, vgs: float, vds: float) -> Tuple[float, float, float]:
+        """Drain current and small-signal (gm, gds) at a bias point.
+
+        Sign convention: arguments and the returned current are in the
+        device's own polarity frame (already sign-flipped for PMOS by the
+        stamping code).
+        """
+        if vds < 0:
+            # Drain/source swap keeps the model symmetric.
+            ids, gm, gds = self.ids(vgs - vds, -vds)
+            return -ids, gm, gds + gm  # chain rule through the swap
+        vov = vgs - self.vth
+        if vov <= 0:
+            return 0.0, 0.0, 0.0
+        clm = 1.0 + self.lambda_ * vds
+        if vds < vov:  # triode
+            ids = self.kp * (vov * vds - 0.5 * vds**2) * clm
+            gm = self.kp * vds * clm
+            gds = (
+                self.kp * (vov - vds) * clm
+                + self.kp * (vov * vds - 0.5 * vds**2) * self.lambda_
+            )
+        else:  # saturation
+            ids = 0.5 * self.kp * vov**2 * clm
+            gm = self.kp * vov * clm
+            gds = 0.5 * self.kp * vov**2 * self.lambda_
+        return ids, gm, gds
+
+    def stamp_newton(self, system, voltages) -> None:
+        """Stamp the linearized device at the current Newton iterate."""
+        sign = 1.0 if self.polarity == "nmos" else -1.0
+        vd = system.voltage_of(self.drain, voltages)
+        vg = system.voltage_of(self.gate, voltages)
+        vs = system.voltage_of(self.source, voltages)
+        vgs = sign * (vg - vs)
+        vds = sign * (vd - vs)
+        ids, gm, gds = self.ids(vgs, vds)
+        # Companion model: i_drain = gm*vgs + gds*vds + ieq; the derivative
+        # stamps are polarity-independent (the two sign flips cancel) while
+        # the constant term carries the polarity sign.
+        ieq = sign * (ids - gm * vgs - gds * vds)
+        system.add_transconductance(self.drain, self.source, self.gate, self.source, gm)
+        system.add_conductance(self.drain, self.source, gds)
+        system.add_current(self.drain, -ieq)
+        system.add_current(self.source, ieq)

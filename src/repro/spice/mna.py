@@ -1,0 +1,123 @@
+"""Modified nodal analysis system assembly.
+
+:class:`MnaSystem` is the dense matrix/right-hand-side pair the elements
+stamp into.  Unknowns are the non-ground node voltages followed by one
+branch current per voltage source.  The sign conventions:
+
+* ``add_conductance(a, b, g)``   -- a two-terminal conductance between nodes;
+* ``add_current(n, i)``          -- current ``i`` injected *into* node ``n``
+  (i.e. added to the right-hand side);
+* ``add_transconductance(...)``  -- VCCS: current ``gm * v(cp, cn)`` flows
+  from ``out_pos`` through the element to ``out_neg``;
+* ``add_voltage_source(...)``    -- the standard two extra MNA rows/columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .netlist import Circuit
+
+__all__ = ["MnaSystem"]
+
+
+class MnaSystem:
+    """A stamped MNA matrix ``A`` and right-hand side ``z`` (``A u = z``)."""
+
+    def __init__(self, circuit: Circuit, dtype=float):
+        circuit.validate()
+        self.circuit = circuit
+        self.node_index: Dict[str, int] = circuit.node_index()
+        self.num_nodes = len(circuit.node_names())
+        self.sources = circuit.voltage_sources()
+        self.size = self.num_nodes + len(self.sources)
+        self.matrix = np.zeros((self.size, self.size), dtype=dtype)
+        self.rhs = np.zeros(self.size, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Zero the matrix and right-hand side for re-stamping."""
+        self.matrix[:] = 0
+        self.rhs[:] = 0
+
+    def _index(self, node: str) -> int:
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def voltage_of(self, node: str, solution: np.ndarray) -> float:
+        """Voltage of a node in a solution vector (ground is 0)."""
+        index = self._index(node)
+        return 0.0 if index < 0 else float(solution[index].real)
+
+    def branch_index(self, source_position: int) -> int:
+        """Unknown index of the ``source_position``-th voltage source current."""
+        return self.num_nodes + source_position
+
+    # ------------------------------------------------------------------
+    def add_conductance(self, node_a: str, node_b: str, conductance) -> None:
+        a = self._index(node_a)
+        b = self._index(node_b)
+        if a >= 0:
+            self.matrix[a, a] += conductance
+        if b >= 0:
+            self.matrix[b, b] += conductance
+        if a >= 0 and b >= 0:
+            self.matrix[a, b] -= conductance
+            self.matrix[b, a] -= conductance
+
+    def add_current(self, node: str, current) -> None:
+        index = self._index(node)
+        if index >= 0:
+            self.rhs[index] += current
+
+    def add_transconductance(
+        self, out_pos: str, out_neg: str, ctrl_pos: str, ctrl_neg: str, gm
+    ) -> None:
+        op = self._index(out_pos)
+        on = self._index(out_neg)
+        cp = self._index(ctrl_pos)
+        cn = self._index(ctrl_neg)
+        for out_node, out_sign in ((op, 1.0), (on, -1.0)):
+            if out_node < 0:
+                continue
+            if cp >= 0:
+                self.matrix[out_node, cp] += out_sign * gm
+            if cn >= 0:
+                self.matrix[out_node, cn] -= out_sign * gm
+        return None
+
+    def add_voltage_source(
+        self, node_pos: str, node_neg: str, branch: int, value
+    ) -> None:
+        row = self.branch_index(branch)
+        pos = self._index(node_pos)
+        neg = self._index(node_neg)
+        if pos >= 0:
+            self.matrix[pos, row] += 1.0
+            self.matrix[row, pos] += 1.0
+        if neg >= 0:
+            self.matrix[neg, row] -= 1.0
+            self.matrix[row, neg] -= 1.0
+        self.rhs[row] += value
+
+    def add_gmin(self, gmin: float) -> None:
+        """Small conductance from every node to ground (Newton aid)."""
+        diagonal = np.arange(self.num_nodes)
+        self.matrix[diagonal, diagonal] += gmin
+
+    # ------------------------------------------------------------------
+    def solve(self) -> np.ndarray:
+        """Solve the stamped system."""
+        return np.linalg.solve(self.matrix, self.rhs)
+
+    def solution_voltages(self, solution: np.ndarray) -> Dict[str, float]:
+        """Map node name -> voltage for a solution vector."""
+        return {
+            name: float(solution[i].real)
+            for name, i in self.node_index.items()
+            if i >= 0
+        }

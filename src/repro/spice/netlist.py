@@ -1,0 +1,102 @@
+"""Circuit netlist container for the SPICE-lite MNA engine.
+
+The engine exists because the paper's substrate is a transistor-level
+circuit simulator: the differential-pair prior-mapping example (Section
+IV-A) and small parasitic-network studies are simulated with real modified
+nodal analysis rather than closed-form behavioral models.  The netlist is a
+plain container: node names (ground is ``"0"`` or ``"gnd"``), a list of
+elements, and the index maps MNA needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .elements import Element, VoltageSource
+
+__all__ = ["Circuit", "GROUND_NAMES"]
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class Circuit:
+    """A flat netlist of elements connecting named nodes.
+
+    Example
+    -------
+    >>> from repro.spice import Circuit, Resistor, VoltageSource
+    >>> ckt = Circuit("divider")
+    >>> ckt.add(VoltageSource("V1", "in", "0", dc=1.0))
+    >>> ckt.add(Resistor("R1", "in", "out", 1e3))
+    >>> ckt.add(Resistor("R2", "out", "0", 1e3))
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.elements: List[Element] = []
+        self._element_names: Dict[str, Element] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add an element; names must be unique within the circuit."""
+        if element.name in self._element_names:
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self._element_names[element.name] = element
+        self.elements.append(element)
+        return element
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        try:
+            return self._element_names[name]
+        except KeyError:
+            raise KeyError(f"no element named {name!r} in {self.name}") from None
+
+    # ------------------------------------------------------------------
+    def node_names(self) -> List[str]:
+        """All non-ground nodes in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for element in self.elements:
+            for node in element.nodes():
+                if node not in GROUND_NAMES and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+    def node_index(self) -> Dict[str, int]:
+        """Node name -> MNA unknown index (ground maps to -1)."""
+        index = {name: i for i, name in enumerate(self.node_names())}
+        for ground in GROUND_NAMES:
+            index[ground] = -1
+        return index
+
+    def voltage_sources(self) -> List[VoltageSource]:
+        """Voltage sources in order (each adds one branch-current unknown)."""
+        return [e for e in self.elements if isinstance(e, VoltageSource)]
+
+    def num_unknowns(self) -> int:
+        """Size of the MNA system: node voltages + source branch currents."""
+        return len(self.node_names()) + len(self.voltage_sources())
+
+    def validate(self) -> None:
+        """Basic sanity checks before simulation."""
+        if not self.elements:
+            raise ValueError(f"circuit {self.name!r} has no elements")
+        nodes = self.node_names()
+        if not nodes:
+            raise ValueError(f"circuit {self.name!r} has no non-ground nodes")
+        grounded = any(
+            node in GROUND_NAMES
+            for element in self.elements
+            for node in element.nodes()
+        )
+        if not grounded:
+            raise ValueError(
+                f"circuit {self.name!r} has no ground connection; add a "
+                "path to node '0'"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, elements={len(self.elements)}, "
+            f"nodes={len(self.node_names())})"
+        )

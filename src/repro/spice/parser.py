@@ -1,0 +1,254 @@
+"""SPICE-style netlist text parser.
+
+Turns a classic SPICE deck into a :class:`~repro.spice.Circuit`, so small
+testbenches can be written as text instead of Python:
+
+    * differential pair
+    VDD vdd 0 1.2
+    VIN inp 0 DC 0.65 AC
+    IT  s   0 2e-4
+    M1  d1 inp s NMOS kp=2e-3 vth=0.4
+    R1  vdd d1 5k
+    C1  d1 0 10f
+    .end
+
+Supported cards (first letter selects the element, SPICE-style):
+
+* ``R<name> n+ n- value``
+* ``C<name> n+ n- value``
+* ``V<name> n+ n- [DC] value | PULSE(lo hi delay rise fall width [period])
+  | SIN(offset ampl freq [delay]) | PWL(t1 v1 t2 v2 ...)``
+* ``I<name> n+ n- [DC] value``
+* ``G<name> out+ out- ctrl+ ctrl- gm``                    (VCCS)
+* ``M<name> drain gate source NMOS|PMOS kp=.. vth=.. [lambda=..]``
+
+Engineering suffixes (``f p n u m k meg g t``) are understood; ``*`` and
+``;`` start comments; ``.end`` (and any other dot-card) is ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Vccs,
+    VoltageSource,
+)
+from .netlist import Circuit
+
+__all__ = ["parse_netlist", "parse_value", "NetlistSyntaxError"]
+
+
+class NetlistSyntaxError(ValueError):
+    """Raised when a netlist card cannot be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str):
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(
+    r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(meg|[tgkmunpf])?[a-z]*$",
+    re.IGNORECASE,
+)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with engineering suffix (``2.5k`` -> 2500.0).
+
+    Trailing unit letters after the suffix are ignored (``10pF``, ``5kOhm``),
+    as in SPICE.
+    """
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"cannot parse numeric value {token!r}")
+    base = float(match.group(1))
+    suffix = match.group(2)
+    if suffix is None:
+        return base
+    return base * _SUFFIXES[suffix.lower()]
+
+
+def _split_params(tokens: List[str]) -> "tuple[List[str], dict]":
+    """Separate positional tokens from ``key=value`` parameters."""
+    positional: List[str] = []
+    params = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            params[key.lower()] = parse_value(value)
+        else:
+            positional.append(token)
+    return positional, params
+
+
+def _parse_waveform(tokens: List[str], line_number: int, line: str):
+    """Parse the source-value part of a V/I card.
+
+    Returns (dc_value, waveform) -- exactly one is non-None.
+    """
+    text = " ".join(tokens)
+    # Strip a leading DC keyword.
+    stripped = re.sub(r"^dc\s+", "", text, flags=re.IGNORECASE).strip()
+    # Drop a trailing bare AC marker (we drive AC magnitude explicitly).
+    stripped = re.sub(r"\s+ac(\s+[\d.eE+-]+)?$", "", stripped, flags=re.IGNORECASE)
+
+    function = re.match(r"^(pulse|sin|pwl)\s*\((.*)\)$", stripped, re.IGNORECASE)
+    if function:
+        name = function.group(1).lower()
+        arguments = [
+            parse_value(v)
+            for v in re.split(r"[,\s]+", function.group(2).strip())
+            if v
+        ]
+        try:
+            if name == "pulse":
+                return None, Pulse(*arguments)
+            if name == "sin":
+                return None, Sine(*arguments)
+            pairs = list(zip(arguments[0::2], arguments[1::2]))
+            if 2 * len(pairs) != len(arguments):
+                raise ValueError("PWL needs an even number of values")
+            return None, PiecewiseLinear(pairs)
+        except (TypeError, ValueError) as error:
+            raise NetlistSyntaxError(line_number, line, str(error)) from None
+    if not stripped:
+        return 0.0, None
+    try:
+        return parse_value(stripped), None
+    except ValueError as error:
+        raise NetlistSyntaxError(line_number, line, str(error)) from None
+
+
+def parse_netlist(text: str, name: Optional[str] = None) -> Circuit:
+    """Parse a SPICE-style netlist into a :class:`Circuit`.
+
+    The first line is treated as the title (as in SPICE) when it does not
+    look like an element card; ``name`` overrides it.
+    """
+    lines = text.splitlines()
+    circuit_name = name or "netlist"
+    start = 0
+    if lines:
+        first = lines[0].strip()
+        if first and first[0] not in "*.;" and not _looks_like_card(first):
+            circuit_name = name or first
+            start = 1
+    circuit = Circuit(circuit_name)
+
+    for line_number, raw in enumerate(lines[start:], start=start + 1):
+        line = raw.split("*")[0].split(";")[0].strip()
+        if not line or line.startswith("."):
+            continue
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        try:
+            if kind == "R":
+                _require(tokens, 4, line_number, line)
+                circuit.add(
+                    Resistor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+                )
+            elif kind == "C":
+                _require(tokens, 4, line_number, line)
+                circuit.add(
+                    Capacitor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+                )
+            elif kind == "V":
+                _require(tokens, 4, line_number, line)
+                dc, waveform = _parse_waveform(tokens[3:], line_number, line)
+                circuit.add(
+                    VoltageSource(
+                        card, tokens[1], tokens[2], dc=dc or 0.0, waveform=waveform
+                    )
+                )
+            elif kind == "I":
+                _require(tokens, 4, line_number, line)
+                dc, waveform = _parse_waveform(tokens[3:], line_number, line)
+                circuit.add(
+                    CurrentSource(
+                        card, tokens[1], tokens[2], dc=dc or 0.0, waveform=waveform
+                    )
+                )
+            elif kind == "G":
+                _require(tokens, 6, line_number, line)
+                circuit.add(
+                    Vccs(
+                        card,
+                        tokens[1],
+                        tokens[2],
+                        tokens[3],
+                        tokens[4],
+                        parse_value(tokens[5]),
+                    )
+                )
+            elif kind == "M":
+                positional, params = _split_params(tokens[1:])
+                if len(positional) < 4:
+                    raise NetlistSyntaxError(
+                        line_number, line, "MOSFET needs drain gate source model"
+                    )
+                polarity = positional[3].lower()
+                if polarity not in ("nmos", "pmos"):
+                    raise NetlistSyntaxError(
+                        line_number, line, f"unknown model {positional[3]!r}"
+                    )
+                if "kp" not in params or "vth" not in params:
+                    raise NetlistSyntaxError(
+                        line_number, line, "MOSFET needs kp= and vth="
+                    )
+                circuit.add(
+                    Mosfet(
+                        card,
+                        positional[0],
+                        positional[1],
+                        positional[2],
+                        kp=params["kp"],
+                        vth=params["vth"],
+                        polarity=polarity,
+                        lambda_=params.get("lambda", 0.05),
+                    )
+                )
+            else:
+                raise NetlistSyntaxError(
+                    line_number, line, f"unknown element type {kind!r}"
+                )
+        except NetlistSyntaxError:
+            raise
+        except ValueError as error:
+            raise NetlistSyntaxError(line_number, line, str(error)) from None
+    return circuit
+
+
+def _looks_like_card(line: str) -> bool:
+    tokens = line.split()
+    return len(tokens) >= 4 and tokens[0][0].upper() in "RCVIGM"
+
+
+def _require(tokens: List[str], count: int, line_number: int, line: str) -> None:
+    if len(tokens) < count:
+        raise NetlistSyntaxError(
+            line_number, line, f"expected at least {count} fields"
+        )

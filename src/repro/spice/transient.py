@@ -1,0 +1,145 @@
+"""Fixed-step transient analysis (backward Euler with per-step Newton)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .dc import ConvergenceError, _stamp_static, dc_operating_point
+from .elements import Capacitor, Mosfet
+from .mna import MnaSystem
+from .netlist import Circuit
+
+__all__ = ["TransientResult", "transient"]
+
+
+@dataclass
+class TransientResult:
+    """Waveforms from a transient run.
+
+    Attributes
+    ----------
+    times:
+        Time points including ``t = 0``, shape ``(T,)``.
+    voltages:
+        Node name -> waveform of shape ``(T,)``.
+    """
+
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node in ("0", "gnd", "GND"):
+            return np.zeros_like(self.times)
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise KeyError(f"no node named {node!r}") from None
+
+    def crossing_time(
+        self, node: str, level: float, rising: bool = True
+    ) -> Optional[float]:
+        """First time the node crosses ``level`` (linear interpolation).
+
+        Returns None if the waveform never crosses.  This is how delay
+        measurements (e.g. SRAM read delay in a transistor-level testbench)
+        are extracted from the waveforms.
+        """
+        wave = self.voltage(node)
+        if rising:
+            below = wave[:-1] < level
+            above = wave[1:] >= level
+        else:
+            below = wave[:-1] > level
+            above = wave[1:] <= level
+        hits = np.flatnonzero(below & above)
+        if hits.size == 0:
+            return None
+        i = int(hits[0])
+        v0, v1 = wave[i], wave[i + 1]
+        t0, t1 = self.times[i], self.times[i + 1]
+        if v1 == v0:
+            return float(t0)
+        return float(t0 + (level - v0) / (v1 - v0) * (t1 - t0))
+
+
+def transient(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    initial: str = "dc",
+    max_iterations: int = 100,
+    tolerance: float = 1e-9,
+    gmin: float = 1e-12,
+) -> TransientResult:
+    """Run a fixed-step backward-Euler transient analysis.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist (sources may carry time-dependent waveforms).
+    t_stop:
+        End time in seconds.
+    dt:
+        Fixed time step in seconds.
+    initial:
+        ``"dc"`` starts from the operating point at ``t = 0``; ``"zero"``
+        starts from all-zero node voltages (useful with initial-condition
+        style source waveforms).
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise ValueError("t_stop and dt must be positive")
+    if initial not in ("dc", "zero"):
+        raise ValueError(f"initial must be 'dc' or 'zero', got {initial!r}")
+
+    system = MnaSystem(circuit)
+    mosfets = [e for e in circuit.elements if isinstance(e, Mosfet)]
+    capacitors = [e for e in circuit.elements if isinstance(e, Capacitor)]
+
+    if initial == "dc":
+        solution = dc_operating_point(circuit, gmin=gmin).solution
+    else:
+        solution = np.zeros(system.size)
+
+    steps = int(np.ceil(t_stop / dt))
+    times = np.linspace(0.0, steps * dt, steps + 1)
+    node_names = circuit.node_names()
+    waves = {name: np.empty(steps + 1) for name in node_names}
+    for name in node_names:
+        waves[name][0] = system.voltage_of(name, solution)
+
+    for step in range(1, steps + 1):
+        time = times[step]
+        cap_prev = [
+            system.voltage_of(c.node_a, solution)
+            - system.voltage_of(c.node_b, solution)
+            for c in capacitors
+        ]
+        iterate = solution.copy()
+        converged = False
+        for _ in range(max_iterations):
+            system.clear()
+            _stamp_static(system, time, gmin)
+            for capacitor, prev in zip(capacitors, cap_prev):
+                capacitor.stamp_transient(system, prev, dt)
+            for mosfet in mosfets:
+                mosfet.stamp_newton(system, iterate)
+            new_iterate = system.solve()
+            delta = float(np.max(np.abs(new_iterate - iterate)))
+            if delta > 0.5:
+                new_iterate = iterate + 0.5 / delta * (new_iterate - iterate)
+            iterate = new_iterate
+            if delta < tolerance:
+                converged = True
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"transient step at t={time:.3e}s did not converge"
+            )
+        solution = iterate
+        for name in node_names:
+            waves[name][step] = system.voltage_of(name, solution)
+
+    return TransientResult(times, waves)

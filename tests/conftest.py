@@ -1,0 +1,38 @@
+"""Shared fixtures: seeded RNGs and laptop-sized testbench instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import RingOscillator, SramReadPath
+from repro.circuits.diffpair import DifferentialPair
+from repro.process import ProcessKit
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_kit() -> ProcessKit:
+    """A small process kit: 4 mismatch variables per device, 4 global."""
+    return ProcessKit(params_per_device=4, interdie_params=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_ro(tiny_kit) -> RingOscillator:
+    """Ring oscillator with ~50 variables -- fast enough for unit tests."""
+    return RingOscillator(n_ring=5, n_buffer=2, kit=tiny_kit)
+
+
+@pytest.fixture(scope="session")
+def tiny_sram(tiny_kit) -> SramReadPath:
+    """SRAM read path with ~200 variables."""
+    return SramReadPath(n_cells=8, n_timing=4, kit=tiny_kit)
+
+
+@pytest.fixture(scope="session")
+def diffpair() -> DifferentialPair:
+    return DifferentialPair(fingers=2)

@@ -1,0 +1,161 @@
+"""Unit tests for the downstream applications (yield, corners, sensitivity)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.applications import (
+    Corner,
+    device_contributions,
+    estimate_yield,
+    estimate_yield_direct,
+    top_contributors,
+    variable_contributions,
+    variance_decomposition,
+    worst_case_corner,
+)
+from repro.basis import OrthonormalBasis
+from repro.circuits import Stage
+from repro.regression import FittedModel
+
+
+@pytest.fixture
+def linear_model():
+    """f(x) = 10 + 3 x1 - 4 x2: N(10, 25) under standard-normal inputs."""
+    basis = OrthonormalBasis.linear(2)
+    return FittedModel(basis, np.array([10.0, 3.0, -4.0]))
+
+
+class TestYieldEstimation:
+    def test_matches_gaussian_closed_form(self, linear_model, rng):
+        spec = 15.0  # one sigma above the mean
+        estimate = estimate_yield(linear_model, 400_000, rng, spec_high=spec)
+        assert estimate.probability == pytest.approx(norm.cdf(1.0), abs=0.005)
+
+    def test_two_sided_spec(self, linear_model, rng):
+        estimate = estimate_yield(
+            linear_model, 400_000, rng, spec_low=5.0, spec_high=15.0
+        )
+        expected = norm.cdf(1.0) - norm.cdf(-1.0)
+        assert estimate.probability == pytest.approx(expected, abs=0.005)
+
+    def test_no_spec_rejected(self, linear_model, rng):
+        with pytest.raises(ValueError, match="spec"):
+            estimate_yield(linear_model, 100, rng)
+
+    def test_std_error_formula(self, linear_model, rng):
+        estimate = estimate_yield(linear_model, 10_000, rng, spec_high=10.0)
+        p = estimate.probability
+        assert estimate.std_error == pytest.approx(
+            np.sqrt(p * (1 - p) / 10_000)
+        )
+
+    def test_sigma_level(self, linear_model, rng):
+        estimate = estimate_yield(linear_model, 200_000, rng, spec_high=15.0)
+        assert estimate.sigma_level() == pytest.approx(1.0, abs=0.05)
+
+    def test_direct_estimator_agrees_with_model(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.POST_LAYOUT, 4000, rng)
+        power = tiny_ro.simulate(Stage.POST_LAYOUT, x, "power")
+        spec = float(np.quantile(power, 0.9))
+        direct = estimate_yield_direct(
+            tiny_ro, Stage.POST_LAYOUT, "power", 4000, rng, spec_high=spec
+        )
+        assert direct.probability == pytest.approx(0.9, abs=0.03)
+
+    def test_invalid_sample_count_rejected(self, linear_model, rng):
+        with pytest.raises(ValueError, match="num_samples"):
+            estimate_yield(linear_model, 0, rng, spec_high=1.0)
+
+
+class TestWorstCaseCorner:
+    def test_linear_closed_form(self, linear_model):
+        corner = worst_case_corner(linear_model, sigma=3.0, direction="max")
+        gradient = np.array([3.0, -4.0])
+        expected = 3.0 * gradient / np.linalg.norm(gradient)
+        assert np.allclose(corner.x, expected)
+        assert corner.value == pytest.approx(10.0 + 3.0 * 5.0)
+        assert corner.sigma == pytest.approx(3.0)
+
+    def test_min_direction(self, linear_model):
+        corner = worst_case_corner(linear_model, sigma=2.0, direction="min")
+        assert corner.value == pytest.approx(10.0 - 2.0 * 5.0)
+
+    def test_constant_model_returns_origin(self):
+        model = FittedModel(OrthonormalBasis.linear(3), np.array([7.0, 0, 0, 0]))
+        corner = worst_case_corner(model, sigma=3.0)
+        assert np.allclose(corner.x, 0.0)
+        assert corner.value == pytest.approx(7.0)
+
+    def test_nonlinear_model_gradient_ascent(self):
+        """Quadratic bowl: max of f = x1^2-ish term lies on the ball edge."""
+        basis = OrthonormalBasis.total_degree(2, 2)
+        coefficients = np.zeros(basis.size)
+        coefficients[basis.index_of(((0, 1),))] = 1.0
+        coefficients[basis.index_of(((0, 2),))] = 0.5
+        model = FittedModel(basis, coefficients)
+        corner = worst_case_corner(model, sigma=2.0, direction="max")
+        assert corner.sigma == pytest.approx(2.0, abs=1e-3)
+        assert corner.x[0] == pytest.approx(2.0, abs=0.01)
+        assert corner.x[1] == pytest.approx(0.0, abs=0.01)
+
+    def test_invalid_arguments_rejected(self, linear_model):
+        with pytest.raises(ValueError, match="sigma"):
+            worst_case_corner(linear_model, sigma=0.0)
+        with pytest.raises(ValueError, match="direction"):
+            worst_case_corner(linear_model, direction="up")
+
+
+class TestSensitivity:
+    def test_variance_decomposition_exact(self, linear_model, rng):
+        total, shares = variance_decomposition(linear_model)
+        assert total == pytest.approx(25.0)
+        assert shares[0] == 0.0  # constant term excluded
+        # Cross-check against Monte Carlo variance.
+        x = rng.standard_normal((200_000, 2))
+        assert linear_model.predict(x).var() == pytest.approx(total, rel=0.02)
+
+    def test_variable_contributions(self, linear_model):
+        contributions = variable_contributions(linear_model)
+        assert contributions[0] == pytest.approx(9.0)
+        assert contributions[1] == pytest.approx(16.0)
+
+    def test_interaction_attributed_to_both(self):
+        basis = OrthonormalBasis.total_degree(2, 2)
+        coefficients = np.zeros(basis.size)
+        coefficients[basis.index_of(((0, 1), (1, 1)))] = 2.0
+        model = FittedModel(basis, coefficients)
+        contributions = variable_contributions(model)
+        assert contributions[0] == pytest.approx(4.0)
+        assert contributions[1] == pytest.approx(4.0)
+
+    def test_device_contributions_grouping(self, tiny_ro, rng):
+        from repro.circuits import FusionProblem
+        from repro.regression import RidgeRegressor
+
+        problem = FusionProblem(tiny_ro, "frequency")
+        x = tiny_ro.sample(Stage.POST_LAYOUT, 400, rng)
+        f = tiny_ro.simulate(Stage.POST_LAYOUT, x, "frequency")
+        model = (
+            RidgeRegressor(problem.late_basis, penalty=1e-3)
+            .fit(x, f)
+            .fitted_model()
+        )
+        grouped = device_contributions(model, tiny_ro.space(Stage.POST_LAYOUT))
+        # Inter-die variation dominates a symmetric RO's frequency.
+        assert "interdie" in grouped
+        assert grouped["interdie"] == max(grouped.values())
+
+    def test_device_contributions_size_mismatch(self, linear_model, tiny_ro):
+        with pytest.raises(ValueError, match="variables"):
+            device_contributions(linear_model, tiny_ro.space(Stage.SCHEMATIC))
+
+    def test_top_contributors_normalized(self, linear_model):
+        top = top_contributors(linear_model, count=2)
+        assert top[0][0] == "x1"
+        assert top[0][1] == pytest.approx(16.0 / 25.0)
+        assert sum(v for _, v in top) == pytest.approx(1.0)
+
+    def test_top_contributors_constant_model(self):
+        model = FittedModel(OrthonormalBasis.linear(2), np.array([1.0, 0, 0]))
+        assert top_contributors(model) == []

@@ -1,0 +1,182 @@
+"""Unit tests for the top-level BmfRegressor (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.bmf import BmfRegressor, fuse, uninformative_prior, zero_mean_prior
+from repro.regression import relative_error
+
+
+@pytest.fixture
+def synthetic(rng):
+    num_vars, num_samples = 120, 40
+    basis = OrthonormalBasis.linear(num_vars)
+    truth = np.zeros(basis.size)
+    truth[0] = 8.0
+    hot = rng.choice(np.arange(1, basis.size), 25, replace=False)
+    truth[hot] = rng.normal(0, 0.5, 25)
+    early = truth * (1 + 0.1 * rng.standard_normal(basis.size))
+    x = rng.standard_normal((num_samples, num_vars))
+    f = basis.evaluate(truth, x) + 0.01 * rng.standard_normal(num_samples)
+    x_test = rng.standard_normal((500, num_vars))
+    f_test = basis.evaluate(truth, x_test)
+    return basis, truth, early, x, f, x_test, f_test
+
+
+class TestFitting:
+    @pytest.mark.parametrize("kind", ["zero-mean", "nonzero-mean", "select"])
+    def test_each_prior_kind_beats_trivial_model(self, synthetic, kind):
+        basis, _truth, early, x, f, x_test, f_test = synthetic
+        model = BmfRegressor(basis, early, prior_kind=kind).fit(x, f)
+        error = relative_error(model.predict(x_test), f_test)
+        trivial = relative_error(np.full_like(f_test, f.mean()), f_test)
+        assert error < 0.3 * trivial
+
+    def test_select_matches_best_variant(self, synthetic):
+        basis, _truth, early, x, f, x_test, f_test = synthetic
+        errors = {}
+        for kind in ("zero-mean", "nonzero-mean"):
+            model = BmfRegressor(basis, early, prior_kind=kind).fit(x, f)
+            errors[kind] = model.cv_report_.error
+        selected = BmfRegressor(basis, early, prior_kind="select").fit(x, f)
+        assert selected.chosen_prior_.name == min(errors, key=errors.get)
+
+    def test_fixed_eta_skips_cv(self, synthetic):
+        basis, _truth, early, x, f, _xt, _ft = synthetic
+        model = BmfRegressor(basis, early, prior_kind="nonzero-mean", eta=1.0)
+        model.fit(x, f)
+        assert model.cv_report_ is None
+        assert model.chosen_eta_ == 1.0
+
+    def test_explicit_eta_grid(self, synthetic):
+        basis, _truth, early, x, f, _xt, _ft = synthetic
+        grid = [0.01, 1.0, 100.0]
+        model = BmfRegressor(
+            basis, early, prior_kind="zero-mean", eta_grid=grid
+        ).fit(x, f)
+        assert model.chosen_eta_ in grid
+
+    def test_missing_indices_applied(self, synthetic):
+        basis, _truth, early, x, f, _xt, _ft = synthetic
+        model = BmfRegressor(
+            basis, early, prior_kind="nonzero-mean", missing_indices=[1, 2]
+        )
+        for prior in model._candidate_priors:
+            assert np.isinf(prior.scale[1])
+            assert np.isinf(prior.scale[2])
+        model.fit(x, f)
+        assert model.coefficients_ is not None
+
+    def test_explicit_priors(self, synthetic):
+        basis, _truth, _early, x, f, _xt, _ft = synthetic
+        model = BmfRegressor(
+            basis,
+            priors=[uninformative_prior(basis.size)],
+            prior_kind="zero-mean",
+        ).fit(x, f)
+        assert model.chosen_prior_.name == "uninformative"
+
+    def test_direct_solver_equals_fast(self, synthetic):
+        basis, _truth, early, x, f, _xt, _ft = synthetic
+        eta = 2.0
+        fast = BmfRegressor(
+            basis, early, prior_kind="zero-mean", eta=eta, solver="fast"
+        ).fit(x, f)
+        direct = BmfRegressor(
+            basis, early, prior_kind="zero-mean", eta=eta, solver="direct"
+        ).fit(x, f)
+        assert np.allclose(fast.coefficients_, direct.coefficients_, atol=1e-8)
+
+    def test_n_folds_reduced_for_tiny_datasets(self, synthetic, rng):
+        basis, _truth, early, _x, _f, _xt, _ft = synthetic
+        x = rng.standard_normal((6, basis.num_vars))
+        f = rng.standard_normal(6) + 8.0
+        model = BmfRegressor(basis, early, prior_kind="select", n_folds=10)
+        model.fit(x, f)  # must not crash with n_folds > K
+        assert model.coefficients_ is not None
+
+
+class TestValidation:
+    def test_bad_prior_kind_rejected(self, synthetic):
+        basis, _t, early, *_ = synthetic
+        with pytest.raises(ValueError, match="prior_kind"):
+            BmfRegressor(basis, early, prior_kind="flat")
+
+    def test_both_alpha_and_priors_rejected(self, synthetic):
+        basis, _t, early, *_ = synthetic
+        with pytest.raises(ValueError, match="exactly one"):
+            BmfRegressor(basis, early, priors=[zero_mean_prior(early)])
+
+    def test_neither_alpha_nor_priors_rejected(self, synthetic):
+        basis, *_ = synthetic
+        with pytest.raises(ValueError, match="exactly one"):
+            BmfRegressor(basis)
+
+    def test_fixed_eta_with_select_rejected(self, synthetic):
+        basis, _t, early, *_ = synthetic
+        with pytest.raises(ValueError, match="select"):
+            BmfRegressor(basis, early, prior_kind="select", eta=1.0)
+
+    def test_negative_eta_rejected(self, synthetic):
+        basis, _t, early, *_ = synthetic
+        with pytest.raises(ValueError, match="positive"):
+            BmfRegressor(basis, early, prior_kind="zero-mean", eta=-1.0)
+
+    def test_wrong_alpha_length_rejected(self, synthetic):
+        basis, *_ = synthetic
+        with pytest.raises(ValueError, match="alpha_early"):
+            BmfRegressor(basis, np.ones(3))
+
+    def test_wrong_prior_size_rejected(self, synthetic):
+        basis, *_ = synthetic
+        with pytest.raises(ValueError, match="covers"):
+            BmfRegressor(basis, priors=[uninformative_prior(3)])
+
+    def test_empty_priors_rejected(self, synthetic):
+        basis, *_ = synthetic
+        with pytest.raises(ValueError, match="empty"):
+            BmfRegressor(basis, priors=[])
+
+
+class TestPredictStd:
+    def test_positive_and_finite(self, synthetic):
+        basis, _truth, early, x, f, x_test, _ft = synthetic
+        model = BmfRegressor(basis, early, prior_kind="nonzero-mean").fit(x, f)
+        std = model.predict_std(x_test[:20])
+        assert std.shape == (20,)
+        assert np.all(std >= 0)
+        assert np.all(np.isfinite(std))
+
+    def test_smaller_near_training_points(self, synthetic):
+        basis, _truth, early, x, f, _xt, _ft = synthetic
+        model = BmfRegressor(basis, early, prior_kind="nonzero-mean").fit(x, f)
+        at_train = model.predict_std(x[:5]).mean()
+        far = model.predict_std(8.0 * np.ones((5, basis.num_vars))).mean()
+        assert at_train < far
+
+    def test_requires_fit_not_fit_design(self, synthetic):
+        basis, _truth, early, x, f, _xt, _ft = synthetic
+        model = BmfRegressor(basis, early, prior_kind="nonzero-mean")
+        model.fit_design(basis.design_matrix(x), f)
+        with pytest.raises(RuntimeError, match="fit\\(\\)"):
+            model.predict_std(x)
+
+    def test_unfitted_rejected(self, synthetic):
+        basis, _truth, early, *_ = synthetic
+        model = BmfRegressor(basis, early, prior_kind="nonzero-mean")
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict_std(np.zeros((1, basis.num_vars)))
+
+
+class TestFuseHelper:
+    def test_returns_fitted_model(self, synthetic):
+        basis, _truth, early, x, f, x_test, f_test = synthetic
+        model = fuse(x, f, basis, early)
+        error = relative_error(model.predict(x_test), f_test)
+        assert error < 0.05
+
+    def test_kwargs_forwarded(self, synthetic):
+        basis, _truth, early, x, f, _xt, _ft = synthetic
+        model = fuse(x, f, basis, early, prior_kind="zero-mean", eta=1.0)
+        assert model.coefficients.shape == (basis.size,)

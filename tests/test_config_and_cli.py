@@ -1,0 +1,86 @@
+"""Unit tests for the benchmark-scale configuration and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Stage
+from repro.experiments import config
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestScaleConfig:
+    def test_default_scale_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert config.scale() == "small"
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert config.scale() == "medium"
+
+    def test_scale_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "PAPER")
+        assert config.scale() == "paper"
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            config.scale()
+
+    def test_repeats_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPEATS", raising=False)
+        assert config.repeats() == 3
+        assert config.repeats(default=7) == 7
+
+    def test_repeats_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "10")
+        assert config.repeats() == 10
+
+    def test_invalid_repeats_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "0")
+        with pytest.raises(ValueError, match="REPRO_REPEATS"):
+            config.repeats()
+
+    def test_small_instances_are_small(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        ro = config.make_ring_oscillator()
+        assert ro.num_vars(Stage.POST_LAYOUT) < 1000
+        sram = config.make_sram()
+        assert sram.num_vars(Stage.POST_LAYOUT) < 3000
+
+    def test_medium_larger_than_small(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        small = config.make_ring_oscillator().num_vars(Stage.POST_LAYOUT)
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        medium = config.make_ring_oscillator().num_vars(Stage.POST_LAYOUT)
+        assert medium > 2 * small
+
+    def test_sample_counts_match_paper(self):
+        assert config.table_sample_counts() == tuple(range(100, 1000, 100))
+
+    def test_early_samples_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EARLY_SAMPLES", raising=False)
+        assert config.early_samples() == 3000
+
+
+class TestCli:
+    def test_every_table_and_figure_has_a_runner(self):
+        expected = {f"table{i}" for i in range(1, 7)}
+        expected |= {"fig4", "fig5", "fig7", "fig8"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_fig7_runs(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["fig7"]) == 0
+        output = capsys.readouterr().out
+        assert "read_delay" in output
+        assert "Histogram" in output
+
+    def test_report_subcommand(self, capsys):
+        assert main(["report"]) == 0
+        output = capsys.readouterr().out
+        # Either saved results are echoed or the helpful hint is shown.
+        assert "###" in output or "no saved results" in output or "no .txt" in output

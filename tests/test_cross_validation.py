@@ -1,0 +1,140 @@
+"""Unit tests for hyper-parameter / prior selection (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.bmf import (
+    KernelMapSolver,
+    cross_validate_eta,
+    default_eta_grid,
+    nonzero_mean_prior,
+    select_prior_and_eta,
+    zero_mean_prior,
+)
+
+
+@pytest.fixture
+def fusion_data(rng):
+    """Late data whose early prior is excellent -> NZM should win."""
+    num_samples, num_terms = 60, 150
+    design = rng.standard_normal((num_samples, num_terms))
+    truth = rng.standard_normal(num_terms) * (rng.random(num_terms) < 0.3)
+    truth[0] = 5.0
+    target = design @ truth + 0.02 * rng.standard_normal(num_samples)
+    early_good = truth * (1 + 0.05 * rng.standard_normal(num_terms))
+    return design, target, truth, early_good
+
+
+class TestDefaultGrid:
+    def test_grid_is_positive_and_geometric(self):
+        prior = zero_mean_prior(np.array([1.0, 2.0, 0.5]))
+        grid = default_eta_grid(prior, num_samples=100)
+        assert np.all(grid > 0)
+        ratios = grid[1:] / grid[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_grid_scales_with_sample_count(self):
+        prior = zero_mean_prior(np.ones(4))
+        small = default_eta_grid(prior, num_samples=10)
+        large = default_eta_grid(prior, num_samples=1000)
+        assert np.allclose(large / small, 100.0)
+
+    def test_grid_centered_on_median_scale(self):
+        prior = zero_mean_prior(np.array([10.0, 10.0, 10.0]))
+        grid = default_eta_grid(prior, num_samples=1)
+        reference = 100.0  # K * median(s^2) = 1 * 100
+        assert grid.min() < reference < grid.max()
+
+    def test_all_missing_prior_still_works(self):
+        from repro.bmf import uninformative_prior
+
+        grid = default_eta_grid(uninformative_prior(5), num_samples=50)
+        assert np.all(np.isfinite(grid)) and np.all(grid > 0)
+
+
+class TestCrossValidateEta:
+    def test_returns_one_error_per_eta(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        solver = KernelMapSolver(design, target, nonzero_mean_prior(early))
+        errors = cross_validate_eta(solver, [0.1, 1.0, 10.0], n_folds=4)
+        assert errors.shape == (3,)
+        assert np.all(errors > 0)
+
+    def test_extreme_etas_are_worse(self, fusion_data):
+        """The CV error curve is U-ish: both extremes lose to the middle."""
+        design, target, _truth, early = fusion_data
+        prior = nonzero_mean_prior(early)
+        solver = KernelMapSolver(design, target, prior)
+        grid = default_eta_grid(prior, design.shape[0])
+        errors = cross_validate_eta(solver, grid, n_folds=5)
+        best = errors.min()
+        assert errors[0] > best
+        assert errors[-1] > best
+
+    def test_invalid_eta_rejected(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        solver = KernelMapSolver(design, target, zero_mean_prior(early))
+        with pytest.raises(ValueError, match="positive"):
+            cross_validate_eta(solver, [1.0, -1.0], n_folds=3)
+
+    def test_invalid_folds_rejected(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        solver = KernelMapSolver(design, target, zero_mean_prior(early))
+        with pytest.raises(ValueError, match="n_folds"):
+            cross_validate_eta(solver, [1.0], n_folds=1)
+
+
+class TestSelectPriorAndEta:
+    def test_good_prior_selects_nonzero_mean(self, fusion_data):
+        """Accurate early info -> the sign-carrying NZM prior should win."""
+        design, target, _truth, early = fusion_data
+        report = select_prior_and_eta(
+            design,
+            target,
+            [zero_mean_prior(early), nonzero_mean_prior(early)],
+        )
+        assert report.prior.name == "nonzero-mean"
+        assert np.isfinite(report.error)
+
+    def test_sign_scrambled_prior_selects_zero_mean(self, fusion_data, rng):
+        """Sign-scrambled early coefficients: magnitudes fine, means wrong.
+
+        This is exactly the situation the paper says favors the zero-mean
+        prior (it only encodes magnitudes).
+        """
+        design, target, _truth, early = fusion_data
+        scrambled = np.abs(early) * rng.choice([-1.0, 1.0], early.shape)
+        report = select_prior_and_eta(
+            design,
+            target,
+            [zero_mean_prior(scrambled), nonzero_mean_prior(scrambled)],
+        )
+        assert report.prior.name == "zero-mean"
+
+    def test_report_contains_all_curves(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        report = select_prior_and_eta(
+            design,
+            target,
+            [zero_mean_prior(early), nonzero_mean_prior(early)],
+        )
+        assert set(report.per_prior_errors) == {"zero-mean", "nonzero-mean"}
+        assert set(report.per_prior_grids) == {"zero-mean", "nonzero-mean"}
+        for name, errors in report.per_prior_errors.items():
+            assert errors.shape == report.per_prior_grids[name].shape
+
+    def test_explicit_grids_respected(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        grid = [0.5, 5.0]
+        report = select_prior_and_eta(
+            design,
+            target,
+            [zero_mean_prior(early)],
+            eta_grids={"zero-mean": grid},
+        )
+        assert report.eta in grid
+
+    def test_empty_priors_rejected(self, fusion_data):
+        design, target, _truth, _early = fusion_data
+        with pytest.raises(ValueError, match="at least one"):
+            select_prior_and_eta(design, target, [])

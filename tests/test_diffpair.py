@@ -1,0 +1,80 @@
+"""Unit tests for the MNA-simulated differential pair (Section IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.circuits import Stage
+from repro.circuits.diffpair import DifferentialPair
+from repro.regression import LeastSquaresRegressor
+
+
+class TestConstruction:
+    def test_variable_counts(self, diffpair):
+        assert diffpair.num_vars(Stage.SCHEMATIC) == 4
+        assert diffpair.num_vars(Stage.POST_LAYOUT) == 2 * 2 + 2
+
+    def test_finger_map_matches_spaces(self, diffpair):
+        fmap = diffpair.finger_map()
+        assert fmap.num_early_vars == diffpair.num_vars(Stage.SCHEMATIC)
+        assert fmap.num_late_vars == diffpair.num_vars(Stage.POST_LAYOUT)
+
+    def test_invalid_fingers_rejected(self):
+        with pytest.raises(ValueError, match="fingers"):
+            DifferentialPair(fingers=0)
+
+
+class TestSimulation:
+    def test_zero_mismatch_zero_offset(self, diffpair):
+        x = np.zeros((1, 4))
+        offset = diffpair.simulate(Stage.SCHEMATIC, x, "offset_voltage")
+        assert abs(offset[0]) < 1e-7
+
+    def test_gain_matches_hand_analysis(self, diffpair):
+        """gm * R_load for the resistively loaded pair."""
+        x = np.zeros((1, 4))
+        gain = diffpair.simulate(Stage.SCHEMATIC, x, "gain")[0]
+        half_current = diffpair.tail_current / 2
+        vov = np.sqrt(2 * half_current / diffpair.kp)
+        gm = diffpair.kp * vov
+        expected = gm * diffpair.load_resistance
+        assert gain == pytest.approx(expected, rel=0.05)
+
+    def test_offset_is_linear_in_vth_mismatch(self, diffpair):
+        """V_OS ~ sigma_vth * (x1 - x2): the paper's eq. (36) structure."""
+        basis = OrthonormalBasis.linear(4)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((60, 4))
+        offset = diffpair.simulate(Stage.SCHEMATIC, x, "offset_voltage")
+        model = LeastSquaresRegressor(basis).fit(x, offset)
+        coefficients = model.coefficients_
+        assert coefficients[1] == pytest.approx(diffpair.sigma_vth, rel=0.05)
+        assert coefficients[2] == pytest.approx(-diffpair.sigma_vth, rel=0.05)
+        # Load mismatch contributes with opposite signs too.
+        assert coefficients[3] < 0 < coefficients[4]
+        # And the linear model is nearly exact.
+        assert model.fitted_model().error_on(x, offset) < 0.02
+
+    def test_postlayout_finger_equivalence(self, diffpair, rng):
+        """Post-layout offset evaluated at finger samples equals the
+        schematic offset at the projected samples (same total mismatch)."""
+        x_late = diffpair.sample(Stage.POST_LAYOUT, 10, rng)
+        late = diffpair.simulate(Stage.POST_LAYOUT, x_late, "offset_voltage")
+        x_early = diffpair.finger_map().project_samples(x_late)
+        early = diffpair.simulate(Stage.SCHEMATIC, x_early, "offset_voltage")
+        # Not identical (layout shifts the loads) but extremely correlated.
+        assert np.corrcoef(late, early)[0, 1] > 0.999
+
+    def test_offset_statistics(self, diffpair, rng):
+        x = diffpair.sample(Stage.SCHEMATIC, 200, rng)
+        offset = diffpair.simulate(Stage.SCHEMATIC, x, "offset_voltage")
+        # sigma_vos ~ sqrt(2) * sigma_vth plus the load term.
+        expected = np.sqrt(
+            2 * diffpair.sigma_vth**2
+            + 2 * (diffpair.sigma_load * 0.3) ** 2  # load term is smaller
+        )
+        assert offset.std() == pytest.approx(expected, rel=0.3)
+
+    def test_unknown_metric_rejected(self, diffpair):
+        with pytest.raises(ValueError, match="unknown metric"):
+            diffpair.simulate(Stage.SCHEMATIC, np.zeros((1, 4)), "psrr")

@@ -1,0 +1,106 @@
+"""Unit tests for the elastic-net coordinate-descent baseline."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.regression import ElasticNetRegressor, coordinate_descent
+from repro.regression.elastic_net import _soft_threshold
+
+
+class TestSoftThreshold:
+    def test_above_threshold(self):
+        assert _soft_threshold(3.0, 1.0) == 2.0
+
+    def test_below_negative_threshold(self):
+        assert _soft_threshold(-3.0, 1.0) == -2.0
+
+    def test_inside_dead_zone(self):
+        assert _soft_threshold(0.5, 1.0) == 0.0
+        assert _soft_threshold(-0.5, 1.0) == 0.0
+
+
+class TestCoordinateDescent:
+    def test_pure_l2_matches_ridge_closed_form(self, rng):
+        design = rng.standard_normal((30, 6))
+        target = rng.standard_normal(30)
+        penalty = 0.5
+        num_samples = design.shape[0]
+        solution = coordinate_descent(
+            design, target, penalty, l1_ratio=0.0, tol=1e-12, max_sweeps=5000
+        )
+        # Objective: 1/(2K)||f - Ga||^2 + penalty/2 ||a||^2
+        reference = np.linalg.solve(
+            design.T @ design / num_samples + penalty * np.eye(6),
+            design.T @ target / num_samples,
+        )
+        assert np.allclose(solution, reference, atol=1e-8)
+
+    def test_large_l1_penalty_zeroes_everything(self, rng):
+        design = rng.standard_normal((20, 8))
+        target = rng.standard_normal(20)
+        solution = coordinate_descent(design, target, penalty=1e6, l1_ratio=1.0)
+        assert np.allclose(solution, 0.0)
+
+    def test_lasso_recovers_sparse_signal(self, rng):
+        design = rng.standard_normal((80, 40))
+        truth = np.zeros(40)
+        truth[[3, 17, 29]] = [2.0, -1.5, 1.0]
+        target = design @ truth
+        solution = coordinate_descent(
+            design, target, penalty=1e-3, l1_ratio=1.0, tol=1e-10, max_sweeps=2000
+        )
+        assert set(np.flatnonzero(np.abs(solution) > 0.1)) == {3, 17, 29}
+
+    def test_warm_start_converges_same_place(self, rng):
+        design = rng.standard_normal((25, 10))
+        target = rng.standard_normal(25)
+        cold = coordinate_descent(design, target, 0.1, tol=1e-12, max_sweeps=5000)
+        warm = coordinate_descent(
+            design, target, 0.1, tol=1e-12, max_sweeps=5000,
+            warm_start=rng.standard_normal(10),
+        )
+        assert np.allclose(cold, warm, atol=1e-6)
+
+    def test_invalid_penalty_rejected(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            coordinate_descent(np.ones((3, 2)), np.ones(3), penalty=0.0)
+
+    def test_invalid_l1_ratio_rejected(self):
+        with pytest.raises(ValueError, match="l1_ratio"):
+            coordinate_descent(np.ones((3, 2)), np.ones(3), 1.0, l1_ratio=1.5)
+
+    def test_zero_column_ignored(self, rng):
+        design = rng.standard_normal((10, 3))
+        design[:, 1] = 0.0
+        solution = coordinate_descent(design, rng.standard_normal(10), 0.1)
+        assert solution[1] == 0.0
+
+
+class TestElasticNetRegressor:
+    def test_recovers_sparse_model(self, rng):
+        basis = OrthonormalBasis.linear(50)
+        truth = np.zeros(basis.size)
+        truth[[0, 5, 20]] = [3.0, 1.5, -2.0]
+        x = rng.standard_normal((120, 50))
+        f = basis.evaluate(truth, x) + 0.01 * rng.standard_normal(120)
+        model = ElasticNetRegressor(basis, n_folds=3, num_penalties=8).fit(x, f)
+        x_test = rng.standard_normal((300, 50))
+        reference = basis.evaluate(truth, x_test)
+        error = np.linalg.norm(model.predict(x_test) - reference)
+        assert error / np.linalg.norm(reference) < 0.05
+
+    def test_explicit_penalty_grid(self, rng):
+        basis = OrthonormalBasis.linear(10)
+        x = rng.standard_normal((40, 10))
+        f = rng.standard_normal(40)
+        model = ElasticNetRegressor(basis, penalties=[0.01, 0.1, 1.0], n_folds=2)
+        model.fit(x, f)
+        assert model.chosen_penalty_ in (0.01, 0.1, 1.0)
+
+    def test_too_few_samples_skips_cv(self, rng):
+        basis = OrthonormalBasis.linear(8)
+        x = rng.standard_normal((5, 8))
+        f = rng.standard_normal(5)
+        model = ElasticNetRegressor(basis, n_folds=5).fit(x, f)
+        assert model.chosen_penalty_ is not None

@@ -1,0 +1,132 @@
+"""Unit tests for evidence-based (type-II ML) prior/eta selection."""
+
+import numpy as np
+import pytest
+
+from repro.bmf import (
+    BmfRegressor,
+    KernelMapSolver,
+    log_evidence,
+    nonzero_mean_prior,
+    select_prior_and_eta_by_evidence,
+    zero_mean_prior,
+)
+from repro.basis import OrthonormalBasis
+from repro.regression import relative_error
+
+
+@pytest.fixture
+def fusion_data(rng):
+    num_samples, num_terms = 60, 150
+    design = rng.standard_normal((num_samples, num_terms))
+    truth = rng.standard_normal(num_terms) * (rng.random(num_terms) < 0.3)
+    truth[0] = 5.0
+    target = design @ truth + 0.02 * rng.standard_normal(num_samples)
+    early = truth * (1 + 0.05 * rng.standard_normal(num_terms))
+    return design, target, truth, early
+
+
+class TestLogEvidence:
+    def test_matches_dense_marginal_likelihood(self, fusion_data):
+        """Cross-check the eigen-decomposed form against brute force."""
+        design, target, _truth, early = fusion_data
+        prior = nonzero_mean_prior(early)
+        solver = KernelMapSolver(design, target, prior)
+        etas = np.array([0.1, 1.0, 10.0])
+        values = log_evidence(solver, etas)
+
+        residual = solver.centered_target
+        num_samples = residual.shape[0]
+        for eta, value in zip(etas, values):
+            covariance = solver.kernel + eta * np.eye(num_samples)
+            tau_sq = float(residual @ np.linalg.solve(covariance, residual))
+            tau_sq /= num_samples
+            sign, log_det = np.linalg.slogdet(covariance)
+            assert sign > 0
+            expected = (
+                -0.5 * num_samples * (np.log(2 * np.pi * tau_sq) + 1.0)
+                - 0.5 * log_det
+            )
+            assert value == pytest.approx(expected, rel=1e-9)
+
+    def test_peaks_in_the_interior(self, fusion_data):
+        """The evidence curve has a maximum away from the grid edges."""
+        design, target, _truth, early = fusion_data
+        prior = nonzero_mean_prior(early)
+        solver = KernelMapSolver(design, target, prior)
+        scale = float(np.mean(early**2)) * 60
+        grid = np.geomspace(1e-6, 1e10, 25) * scale
+        values = log_evidence(solver, grid)
+        best = int(np.argmax(values))
+        assert 0 < best < len(grid) - 1
+
+    def test_invalid_eta_rejected(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        solver = KernelMapSolver(design, target, zero_mean_prior(early))
+        with pytest.raises(ValueError, match="positive"):
+            log_evidence(solver, [1.0, 0.0])
+
+
+class TestSelectByEvidence:
+    def test_good_prior_wins(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        report = select_prior_and_eta_by_evidence(
+            design,
+            target,
+            [zero_mean_prior(early), nonzero_mean_prior(early)],
+        )
+        assert report.prior.name == "nonzero-mean"
+        assert np.isfinite(report.log_evidence)
+
+    def test_scrambled_prior_flips_choice(self, fusion_data, rng):
+        design, target, _truth, early = fusion_data
+        scrambled = np.abs(early) * rng.choice([-1.0, 1.0], early.shape)
+        report = select_prior_and_eta_by_evidence(
+            design,
+            target,
+            [zero_mean_prior(scrambled), nonzero_mean_prior(scrambled)],
+        )
+        assert report.prior.name == "zero-mean"
+
+    def test_empty_priors_rejected(self, fusion_data):
+        design, target, *_ = fusion_data
+        with pytest.raises(ValueError, match="at least one"):
+            select_prior_and_eta_by_evidence(design, target, [])
+
+
+class TestEvidenceSelectionInRegressor:
+    def test_comparable_accuracy_to_cv(self, fusion_data, rng):
+        design, target, truth, early = fusion_data
+        basis = OrthonormalBasis.linear(149)  # 150 terms incl constant
+        x_test = rng.standard_normal((500, 149))
+        reference = basis.design_matrix(x_test) @ truth
+
+        def error_with(selection):
+            model = BmfRegressor(
+                basis, early, prior_kind="select", selection=selection
+            )
+            model.fit_design(design, target)
+            return relative_error(
+                basis.design_matrix(x_test) @ model.coefficients_, reference
+            )
+
+        cv_error = error_with("cv")
+        evidence_error = error_with("evidence")
+        assert evidence_error < 3 * cv_error
+        assert evidence_error < 0.05
+
+    def test_reports_stored(self, fusion_data):
+        design, target, _truth, early = fusion_data
+        basis = OrthonormalBasis.linear(149)
+        model = BmfRegressor(
+            basis, early, prior_kind="select", selection="evidence"
+        )
+        model.fit_design(design, target)
+        assert model.evidence_report_ is not None
+        assert model.cv_report_ is None
+
+    def test_invalid_selection_rejected(self, fusion_data):
+        _design, _target, _truth, early = fusion_data
+        basis = OrthonormalBasis.linear(149)
+        with pytest.raises(ValueError, match="selection"):
+            BmfRegressor(basis, early, selection="aic")

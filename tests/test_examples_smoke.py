@@ -1,0 +1,36 @@
+"""Smoke test: the quickstart example runs and reports BMF winning.
+
+The heavier examples (minutes each) are exercised by hand / CI nightly;
+the quickstart is fast enough to guard in the unit suite so the documented
+entry point can never silently rot.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.fixture
+def examples_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES))
+    yield
+    sys.modules.pop("quickstart", None)
+
+
+def test_quickstart_runs_and_bmf_wins(examples_path, capsys):
+    import quickstart
+
+    quickstart.main()
+    output = capsys.readouterr().out
+    assert "BMF-PS error" in output
+    assert "OMP error" in output
+    assert "more accurate" in output
+    # Parse the two error percentages and check the headline ordering.
+    bmf_line = next(l for l in output.splitlines() if l.startswith("BMF-PS"))
+    omp_line = next(l for l in output.splitlines() if l.startswith("OMP"))
+    bmf_error = float(bmf_line.split(":")[1].split("%")[0])
+    omp_error = float(omp_line.split(":")[1].split("%")[0])
+    assert bmf_error < omp_error

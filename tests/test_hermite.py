@@ -1,0 +1,135 @@
+"""Unit tests for the univariate orthonormal Hermite polynomials."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.basis import (
+    hermite_coefficients,
+    hermite_he,
+    hermite_orthonormal,
+    hermite_orthonormal_all,
+)
+
+
+class TestHermiteHe:
+    def test_degree_zero_is_one(self):
+        x = np.linspace(-3, 3, 7)
+        assert np.allclose(hermite_he(0, x), 1.0)
+
+    def test_degree_one_is_identity(self):
+        x = np.linspace(-3, 3, 7)
+        assert np.allclose(hermite_he(1, x), x)
+
+    def test_degree_two_explicit(self):
+        x = np.linspace(-3, 3, 7)
+        assert np.allclose(hermite_he(2, x), x**2 - 1)
+
+    def test_degree_three_explicit(self):
+        x = np.linspace(-3, 3, 7)
+        assert np.allclose(hermite_he(3, x), x**3 - 3 * x)
+
+    def test_degree_four_explicit(self):
+        x = np.linspace(-2, 2, 5)
+        assert np.allclose(hermite_he(4, x), x**4 - 6 * x**2 + 3)
+
+    def test_scalar_input_promoted(self):
+        assert hermite_he(2, 2.0) == pytest.approx(3.0)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            hermite_he(-1, np.zeros(3))
+
+    def test_preserves_input_shape(self):
+        x = np.zeros((4, 5))
+        assert hermite_he(3, x).shape == (4, 5)
+
+    def test_does_not_mutate_input(self):
+        x = np.linspace(-1, 1, 5)
+        original = x.copy()
+        hermite_he(5, x)
+        assert np.array_equal(x, original)
+
+
+class TestOrthonormal:
+    def test_matches_paper_eq4_degree2(self):
+        """g_3(x) = (x^2 - 1)/sqrt(2) exactly as in eq. (4)."""
+        x = np.linspace(-3, 3, 11)
+        assert np.allclose(
+            hermite_orthonormal(2, x), (x**2 - 1) / math.sqrt(2)
+        )
+
+    def test_normalization_factor(self):
+        x = np.array([1.7])
+        for degree in range(6):
+            expected = hermite_he(degree, x) / math.sqrt(math.factorial(degree))
+            assert np.allclose(hermite_orthonormal(degree, x), expected)
+
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3, 4, 5])
+    def test_unit_variance_under_gaussian(self, degree, rng):
+        """E[g_n(x)^2] = 1 for x ~ N(0,1), by Monte Carlo.
+
+        The estimator's own variance grows quickly with the degree (the
+        integrand has heavy tails), hence the degree-dependent tolerance.
+        """
+        x = rng.standard_normal(400_000)
+        moment = np.mean(hermite_orthonormal(degree, x) ** 2)
+        tolerance = 0.05 if degree <= 3 else 0.2
+        assert moment == pytest.approx(1.0, rel=tolerance)
+
+    @pytest.mark.parametrize("pair", [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    def test_orthogonality_under_gaussian(self, pair, rng):
+        """E[g_i g_j] = 0 for i != j, by Monte Carlo."""
+        i, j = pair
+        x = rng.standard_normal(400_000)
+        cross = np.mean(hermite_orthonormal(i, x) * hermite_orthonormal(j, x))
+        assert abs(cross) < 0.05
+
+
+class TestBatchEvaluation:
+    def test_matches_individual_evaluation(self):
+        x = np.linspace(-2.5, 2.5, 9)
+        batch = hermite_orthonormal_all(6, x)
+        for degree in range(7):
+            assert np.allclose(batch[degree], hermite_orthonormal(degree, x))
+
+    def test_output_shape(self):
+        x = np.zeros(13)
+        assert hermite_orthonormal_all(4, x).shape == (5, 13)
+
+    def test_degree_zero_only(self):
+        out = hermite_orthonormal_all(0, np.array([5.0, -5.0]))
+        assert np.allclose(out, 1.0)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            hermite_orthonormal_all(-2, np.zeros(3))
+
+
+class TestCoefficients:
+    def test_degree_zero(self):
+        assert np.allclose(hermite_coefficients(0), [1.0])
+
+    def test_degree_one(self):
+        assert np.allclose(hermite_coefficients(1), [0.0, 1.0])
+
+    def test_degree_two_matches_eq4(self):
+        # (x^2 - 1)/sqrt(2)
+        expected = np.array([-1.0, 0.0, 1.0]) / math.sqrt(2)
+        assert np.allclose(hermite_coefficients(2), expected)
+
+    def test_degree_three(self):
+        expected = np.array([0.0, -3.0, 0.0, 1.0]) / math.sqrt(6)
+        assert np.allclose(hermite_coefficients(3), expected)
+
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3, 4, 5, 6])
+    def test_polynomial_evaluation_agrees(self, degree):
+        x = np.linspace(-2, 2, 9)
+        coeffs = hermite_coefficients(degree)
+        values = sum(c * x**k for k, c in enumerate(coeffs))
+        assert np.allclose(values, hermite_orthonormal(degree, x))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            hermite_coefficients(-1)

@@ -1,0 +1,88 @@
+"""Unit tests for mean-shift importance-sampling yield estimation."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.applications import estimate_failure_probability
+from repro.basis import OrthonormalBasis
+from repro.regression import FittedModel
+
+
+@pytest.fixture
+def linear_model():
+    """f(x) = 2 x1 + 1 x2: N(0, 5); P(f > t) = Phi(-t/sqrt(5))."""
+    basis = OrthonormalBasis.linear(2)
+    return FittedModel(basis, np.array([0.0, 2.0, 1.0]))
+
+
+class TestImportanceSampling:
+    def test_matches_closed_form_at_4_sigma(self, linear_model, rng):
+        sigma_f = np.sqrt(5.0)
+        spec = 4.0 * sigma_f  # a 4-sigma spec: P ~ 3.2e-5
+        result = estimate_failure_probability(
+            linear_model, 50_000, rng, spec_high=spec
+        )
+        expected = norm.sf(4.0)
+        assert result.probability == pytest.approx(expected, rel=0.15)
+
+    def test_plain_mc_would_need_billions(self, linear_model, rng):
+        """At 5.5 sigma the IS estimator still resolves the probability."""
+        sigma_f = np.sqrt(5.0)
+        spec = 5.5 * sigma_f
+        result = estimate_failure_probability(
+            linear_model, 100_000, rng, spec_high=spec
+        )
+        expected = norm.sf(5.5)  # ~1.9e-8
+        assert result.probability == pytest.approx(expected, rel=0.3)
+        assert result.std_error < result.probability  # resolved, not noise
+
+    def test_spec_low_direction(self, linear_model, rng):
+        sigma_f = np.sqrt(5.0)
+        result = estimate_failure_probability(
+            linear_model, 50_000, rng, spec_low=-4.0 * sigma_f
+        )
+        assert result.probability == pytest.approx(norm.sf(4.0), rel=0.15)
+
+    def test_unbiased_for_explicit_shift(self, linear_model, rng):
+        """Any shift gives an unbiased estimate (just different variance)."""
+        sigma_f = np.sqrt(5.0)
+        spec = 3.0 * sigma_f
+        shifted = estimate_failure_probability(
+            linear_model, 200_000, rng, spec_high=spec,
+            shift=np.array([2.0, 1.0]),
+        )
+        assert shifted.probability == pytest.approx(norm.sf(3.0), rel=0.2)
+
+    def test_sigma_level(self, linear_model, rng):
+        sigma_f = np.sqrt(5.0)
+        result = estimate_failure_probability(
+            linear_model, 50_000, rng, spec_high=4.0 * sigma_f
+        )
+        assert result.sigma_level() == pytest.approx(4.0, abs=0.1)
+
+    def test_shift_points_toward_failure(self, linear_model, rng):
+        result = estimate_failure_probability(
+            linear_model, 1000, rng, spec_high=8.0
+        )
+        # The auto-shift must align with the model gradient (2, 1).
+        direction = result.shift / np.linalg.norm(result.shift)
+        expected = np.array([2.0, 1.0]) / np.sqrt(5.0)
+        assert np.allclose(direction, expected, atol=1e-6)
+
+    def test_validation(self, linear_model, rng):
+        with pytest.raises(ValueError, match="num_samples"):
+            estimate_failure_probability(linear_model, 0, rng, spec_high=1.0)
+        with pytest.raises(ValueError, match="spec"):
+            estimate_failure_probability(linear_model, 10, rng)
+        with pytest.raises(ValueError, match="shift"):
+            estimate_failure_probability(
+                linear_model, 10, rng, spec_high=1.0, shift=np.ones(5)
+            )
+
+    def test_no_failure_region_returns_tiny_probability(self, linear_model, rng):
+        """Spec far beyond the search ball: estimate ~ 0 without crashing."""
+        result = estimate_failure_probability(
+            linear_model, 20_000, rng, spec_high=100.0, search_sigma=5.0
+        )
+        assert result.probability < 1e-10

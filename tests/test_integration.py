@@ -1,0 +1,136 @@
+"""Integration tests: the paper's full flow on laptop-sized circuits.
+
+These exercise the complete pipeline -- schematic Monte Carlo, early-stage
+fit, prior construction (with missing-prior handling / prior mapping),
+late-stage fusion, and the downstream applications -- and assert the
+paper's qualitative claims end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BmfRegressor,
+    FusionProblem,
+    OrthogonalMatchingPursuit,
+    Stage,
+    fuse,
+)
+from repro.applications import estimate_yield, worst_case_corner
+from repro.basis import OrthonormalBasis
+from repro.bmf import map_prior_coefficients, uninformative_prior
+from repro.montecarlo import simulate_dataset
+from repro.regression import LeastSquaresRegressor, relative_error
+
+
+class TestRingOscillatorFlow:
+    @pytest.fixture(scope="class")
+    def fused(self, tiny_ro):
+        rng = np.random.default_rng(77)
+        problem = FusionProblem(tiny_ro, "frequency")
+        alpha_early = problem.fit_early_model(800, rng, method="omp")
+        aligned = problem.align_early_coefficients(alpha_early)
+        train = simulate_dataset(tiny_ro, Stage.POST_LAYOUT, 60, rng, ["frequency"])
+        test = simulate_dataset(tiny_ro, Stage.POST_LAYOUT, 300, rng, ["frequency"])
+        bmf = BmfRegressor(
+            problem.late_basis,
+            aligned,
+            prior_kind="select",
+            missing_indices=problem.missing_indices(),
+        ).fit(train.x, train.metric("frequency"))
+        return problem, train, test, bmf
+
+    def test_bmf_beats_omp_at_equal_samples(self, fused, tiny_ro):
+        problem, train, test, bmf = fused
+        f = train.metric("frequency")
+        omp = OrthogonalMatchingPursuit(problem.late_basis).fit(train.x, f)
+        bmf_error = relative_error(bmf.predict(test.x), test.metric("frequency"))
+        omp_error = relative_error(omp.predict(test.x), test.metric("frequency"))
+        assert bmf_error < 0.8 * omp_error
+
+    def test_bmf_few_samples_rivals_omp_many(self, fused, tiny_ro):
+        """The 9x claim in miniature: BMF@60 vs OMP@300."""
+        problem, _train, test, bmf = fused
+        rng = np.random.default_rng(78)
+        big = simulate_dataset(tiny_ro, Stage.POST_LAYOUT, 300, rng, ["frequency"])
+        omp = OrthogonalMatchingPursuit(problem.late_basis).fit(
+            big.x, big.metric("frequency")
+        )
+        bmf_error = relative_error(bmf.predict(test.x), test.metric("frequency"))
+        omp_error = relative_error(omp.predict(test.x), test.metric("frequency"))
+        assert bmf_error < 2.0 * omp_error
+
+    def test_fused_model_supports_yield_estimation(self, fused):
+        _problem, _train, test, bmf = fused
+        rng = np.random.default_rng(79)
+        model = bmf.fitted_model()
+        f_test = test.metric("frequency")
+        spec = float(np.mean(f_test) - 2 * np.std(f_test))
+        estimate = estimate_yield(model, 100_000, rng, spec_low=spec)
+        true_fraction = float(np.mean(f_test >= spec))
+        assert estimate.probability == pytest.approx(true_fraction, abs=0.05)
+
+    def test_fused_model_supports_corner_extraction(self, fused, tiny_ro):
+        _problem, _train, _test, bmf = fused
+        corner = worst_case_corner(bmf.fitted_model(), sigma=3.0, direction="min")
+        simulated = tiny_ro.simulate(
+            Stage.POST_LAYOUT, corner.x[np.newaxis, :], "frequency"
+        )[0]
+        # The model-predicted worst corner is genuinely slow in simulation.
+        nominal = tiny_ro.simulate(
+            Stage.POST_LAYOUT, np.zeros((1, corner.x.size)), "frequency"
+        )[0]
+        assert simulated < nominal
+        assert corner.value == pytest.approx(simulated, rel=0.05)
+
+
+class TestSramFlow:
+    def test_fusion_beats_no_prior(self, tiny_sram):
+        rng = np.random.default_rng(80)
+        problem = FusionProblem(tiny_sram, "read_delay")
+        alpha_early = problem.fit_early_model(900, rng, method="ridge")
+        aligned = problem.align_early_coefficients(alpha_early)
+        train = simulate_dataset(tiny_sram, Stage.POST_LAYOUT, 50, rng)
+        test = simulate_dataset(tiny_sram, Stage.POST_LAYOUT, 200, rng)
+        f = train.metric("read_delay")
+
+        bmf = BmfRegressor(
+            problem.late_basis,
+            aligned,
+            prior_kind="select",
+            missing_indices=problem.missing_indices(),
+        ).fit(train.x, f)
+        blind = BmfRegressor(
+            problem.late_basis,
+            priors=[uninformative_prior(problem.late_basis.size)],
+            prior_kind="zero-mean",
+        ).fit(train.x, f)
+
+        reference = test.metric("read_delay")
+        fused_error = relative_error(bmf.predict(test.x), reference)
+        blind_error = relative_error(blind.predict(test.x), reference)
+        assert fused_error < 0.8 * blind_error
+        assert fused_error < 0.02
+
+
+class TestDiffPairMappingFlow:
+    def test_mapped_prior_enables_underdetermined_fit(self, diffpair):
+        """Section IV-A end-to-end: schematic LS fit -> finger mapping ->
+        BMF from fewer samples than coefficients."""
+        rng = np.random.default_rng(81)
+        metric = "offset_voltage"
+        early_basis = OrthonormalBasis.linear(diffpair.num_vars(Stage.SCHEMATIC))
+        x_early = diffpair.sample(Stage.SCHEMATIC, 150, rng)
+        f_early = diffpair.simulate(Stage.SCHEMATIC, x_early, metric)
+        early = LeastSquaresRegressor(early_basis).fit(x_early, f_early)
+
+        mapping = map_prior_coefficients(
+            early_basis, early.coefficients_, diffpair.finger_map()
+        )
+        x_late = diffpair.sample(Stage.POST_LAYOUT, 5, rng)
+        f_late = diffpair.simulate(Stage.POST_LAYOUT, x_late, metric)
+        model = fuse(x_late, f_late, mapping.late_basis, mapping.beta)
+
+        x_test = diffpair.sample(Stage.POST_LAYOUT, 150, rng)
+        f_test = diffpair.simulate(Stage.POST_LAYOUT, x_test, metric)
+        assert relative_error(model.predict(x_test), f_test) < 0.1

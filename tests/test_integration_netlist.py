@@ -1,0 +1,70 @@
+"""Integration: performance modeling of a text-netlist circuit.
+
+Exercises the netlist parser + DC engine as a Monte Carlo "simulator" for
+a common-source amplifier whose threshold voltage and load resistor vary,
+then fits and uses a performance model -- the workflow a downstream user
+would run on their own SPICE decks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.applications import estimate_yield
+from repro.basis import OrthonormalBasis
+from repro.regression import LeastSquaresRegressor
+from repro.spice import dc_operating_point, parse_netlist
+
+TEMPLATE = """cs amplifier
+VDD vdd 0 1.8
+VG g 0 0.9
+RD vdd d {rd}
+M1 d g 0 NMOS kp=2e-4 vth={vth} lambda=0.02
+"""
+
+
+def simulate_output_voltage(samples: np.ndarray) -> np.ndarray:
+    """DC output voltage under (vth, rd) variation."""
+    out = np.empty(samples.shape[0])
+    for k, (x_vth, x_rd) in enumerate(samples):
+        netlist = TEMPLATE.format(
+            vth=0.5 + 0.02 * x_vth, rd=10e3 * (1 + 0.05 * x_rd)
+        )
+        circuit = parse_netlist(netlist)
+        out[k] = dc_operating_point(circuit).voltage("d")
+    return out
+
+
+class TestNetlistModelingFlow:
+    @pytest.fixture(scope="class")
+    def model(self):
+        rng = np.random.default_rng(31)
+        basis = OrthonormalBasis.total_degree(2, 2)
+        x = rng.standard_normal((60, 2))
+        f = simulate_output_voltage(x)
+        regressor = LeastSquaresRegressor(basis).fit(x, f)
+        return basis, regressor.fitted_model()
+
+    def test_model_is_accurate(self, model):
+        _basis, fitted = model
+        rng = np.random.default_rng(32)
+        x_test = rng.standard_normal((40, 2))
+        f_test = simulate_output_voltage(x_test)
+        assert fitted.error_on(x_test, f_test) < 0.01
+
+    def test_sensitivities_have_physical_signs(self, model):
+        _basis, fitted = model
+        # Higher vth -> less current -> higher Vd: positive coefficient.
+        vth_coefficient = fitted.coefficients[1]
+        assert vth_coefficient > 0
+        # Bigger RD -> more drop -> lower Vd: negative coefficient.
+        rd_coefficient = fitted.coefficients[2]
+        assert rd_coefficient < 0
+
+    def test_model_supports_yield(self, model):
+        _basis, fitted = model
+        rng = np.random.default_rng(33)
+        nominal = float(fitted.predict(np.zeros(2)))
+        estimate = estimate_yield(
+            fitted, 50_000, rng, spec_low=nominal - 0.1, spec_high=nominal + 0.1
+        )
+        assert 0.5 < estimate.probability <= 1.0

@@ -1,0 +1,52 @@
+"""Unit tests for the least-squares baseline (Section II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.regression import LeastSquaresRegressor
+
+
+class TestLeastSquares:
+    def test_exact_recovery_noiseless(self, rng):
+        basis = OrthonormalBasis.linear(6)
+        truth = rng.standard_normal(basis.size)
+        x = rng.standard_normal((40, 6))
+        f = basis.evaluate(truth, x)
+        model = LeastSquaresRegressor(basis).fit(x, f)
+        assert np.allclose(model.coefficients_, truth)
+
+    def test_noise_averaging(self, rng):
+        """With many samples the estimate converges on the truth."""
+        basis = OrthonormalBasis.linear(3)
+        truth = np.array([2.0, 1.0, -1.0, 0.5])
+        x = rng.standard_normal((20_000, 3))
+        f = basis.evaluate(truth, x) + 0.1 * rng.standard_normal(20_000)
+        model = LeastSquaresRegressor(basis).fit(x, f)
+        assert np.allclose(model.coefficients_, truth, atol=0.01)
+
+    def test_underdetermined_rejected_by_default(self, rng):
+        basis = OrthonormalBasis.linear(50)
+        x = rng.standard_normal((10, 50))
+        with pytest.raises(ValueError, match="underdetermined"):
+            LeastSquaresRegressor(basis).fit(x, np.zeros(10))
+
+    def test_underdetermined_allowed_when_opted_in(self, rng):
+        basis = OrthonormalBasis.linear(50)
+        x = rng.standard_normal((10, 50))
+        f = rng.standard_normal(10)
+        model = LeastSquaresRegressor(basis, require_overdetermined=False)
+        model.fit(x, f)
+        # Minimum-norm solution interpolates the training data ...
+        assert np.allclose(model.predict(x), f)
+        # ... but that is exactly the high-dimensional failure mode: it has
+        # no reason to generalize.
+        assert model.coefficients_ is not None
+
+    def test_quadratic_basis(self, rng):
+        basis = OrthonormalBasis.total_degree(3, 2)
+        truth = rng.standard_normal(basis.size)
+        x = rng.standard_normal((100, 3))
+        f = basis.evaluate(truth, x)
+        model = LeastSquaresRegressor(basis).fit(x, f)
+        assert np.allclose(model.coefficients_, truth, atol=1e-8)

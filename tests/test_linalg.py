@@ -1,0 +1,135 @@
+"""Unit tests for the linear-algebra kernels (SPD solves, Woodbury)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    posterior_variance_diagonal,
+    solve_diag_plus_gram,
+    solve_diag_plus_gram_direct,
+    solve_least_squares,
+    solve_spd,
+)
+
+
+def random_spd(rng, size):
+    root = rng.standard_normal((size, size))
+    return root @ root.T + size * np.eye(size)
+
+
+class TestSolveSpd:
+    def test_matches_numpy_solve(self, rng):
+        matrix = random_spd(rng, 12)
+        rhs = rng.standard_normal(12)
+        assert np.allclose(solve_spd(matrix, rhs), np.linalg.solve(matrix, rhs))
+
+    def test_identity(self):
+        rhs = np.arange(5.0)
+        assert np.allclose(solve_spd(np.eye(5), rhs), rhs)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            solve_spd(np.ones((3, 4)), np.ones(3))
+
+    def test_mismatched_rhs_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            solve_spd(np.eye(3), np.ones(4))
+
+    def test_indefinite_fallback_does_not_crash(self, rng):
+        """A numerically indefinite matrix falls back to the clipped solve."""
+        matrix = np.diag([1.0, 1e-30, -1e-30])
+        result = solve_spd(matrix, np.array([1.0, 0.0, 0.0]))
+        assert np.isfinite(result).all()
+        assert result[0] == pytest.approx(1.0)
+
+
+class TestLeastSquares:
+    def test_overdetermined_recovery(self, rng):
+        design = rng.standard_normal((50, 5))
+        truth = rng.standard_normal(5)
+        solution = solve_least_squares(design, design @ truth)
+        assert np.allclose(solution, truth)
+
+    def test_underdetermined_minimum_norm(self, rng):
+        design = rng.standard_normal((3, 10))
+        target = rng.standard_normal(3)
+        solution = solve_least_squares(design, target)
+        assert np.allclose(design @ solution, target)
+        # Minimum-norm solution lies in the row space.
+        null_component = solution - design.T @ np.linalg.solve(
+            design @ design.T, design @ solution
+        )
+        assert np.allclose(null_component, 0.0, atol=1e-10)
+
+
+class TestWoodbury:
+    @pytest.mark.parametrize("num_samples,num_terms", [(5, 20), (20, 5), (10, 10)])
+    def test_matches_direct(self, rng, num_samples, num_terms):
+        design = rng.standard_normal((num_samples, num_terms))
+        diag = rng.uniform(0.1, 10.0, num_terms)
+        rhs = rng.standard_normal(num_terms)
+        fast = solve_diag_plus_gram(diag, design, rhs, scale=2.5)
+        direct = solve_diag_plus_gram_direct(diag, design, rhs, scale=2.5)
+        assert np.allclose(fast, direct, atol=1e-10)
+
+    def test_matches_dense_reference(self, rng):
+        design = rng.standard_normal((6, 15))
+        diag = rng.uniform(0.5, 5.0, 15)
+        rhs = rng.standard_normal(15)
+        system = np.diag(diag) + 3.0 * design.T @ design
+        reference = np.linalg.solve(system, rhs)
+        assert np.allclose(
+            solve_diag_plus_gram(diag, design, rhs, scale=3.0), reference
+        )
+
+    def test_wide_dynamic_range_diag(self, rng):
+        """Prior variances spanning many decades (BMF's regime)."""
+        design = rng.standard_normal((8, 30))
+        diag = 10.0 ** rng.uniform(-6, 6, 30)
+        rhs = rng.standard_normal(30)
+        fast = solve_diag_plus_gram(diag, design, rhs)
+        direct = solve_diag_plus_gram_direct(diag, design, rhs)
+        scale = np.max(np.abs(direct))
+        assert np.allclose(fast, direct, atol=1e-8 * scale)
+
+    def test_non_positive_diag_rejected(self, rng):
+        design = rng.standard_normal((4, 6))
+        with pytest.raises(ValueError, match="positive"):
+            solve_diag_plus_gram(np.zeros(6), design, np.ones(6))
+
+    def test_non_positive_scale_rejected(self, rng):
+        design = rng.standard_normal((4, 6))
+        with pytest.raises(ValueError, match="scale"):
+            solve_diag_plus_gram(np.ones(6), design, np.ones(6), scale=0.0)
+
+    def test_shape_validation(self, rng):
+        design = rng.standard_normal((4, 6))
+        with pytest.raises(ValueError, match="diag"):
+            solve_diag_plus_gram(np.ones(5), design, np.ones(6))
+        with pytest.raises(ValueError, match="rhs"):
+            solve_diag_plus_gram(np.ones(6), design, np.ones(5))
+
+
+class TestPosteriorVariance:
+    def test_matches_dense_inverse_diagonal(self, rng):
+        design = rng.standard_normal((7, 12))
+        diag = rng.uniform(0.2, 3.0, 12)
+        system = np.diag(diag) + 1.7 * design.T @ design
+        expected = np.diag(np.linalg.inv(system))
+        computed = posterior_variance_diagonal(diag, design, scale=1.7)
+        assert np.allclose(computed, expected)
+
+    def test_no_data_returns_prior_variance(self):
+        diag = np.array([2.0, 4.0])
+        design = np.zeros((0, 2))
+        assert np.allclose(
+            posterior_variance_diagonal(diag, design), 1.0 / diag
+        )
+
+    def test_variances_positive_and_shrinking(self, rng):
+        """Observing data can only shrink posterior variances."""
+        design = rng.standard_normal((10, 8))
+        diag = rng.uniform(0.5, 2.0, 8)
+        posterior = posterior_variance_diagonal(diag, design)
+        assert np.all(posterior > 0)
+        assert np.all(posterior <= 1.0 / diag + 1e-12)

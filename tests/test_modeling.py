@@ -1,0 +1,93 @@
+"""Unit tests for the FusionProblem stage bridge."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FusionProblem, Stage
+
+
+class TestFusionProblem:
+    def test_bases_match_stage_dimensions(self, tiny_ro):
+        problem = FusionProblem(tiny_ro, "frequency")
+        assert problem.early_basis.num_vars == tiny_ro.num_vars(Stage.SCHEMATIC)
+        assert problem.late_basis.num_vars == tiny_ro.num_vars(Stage.POST_LAYOUT)
+
+    def test_unknown_metric_rejected(self, tiny_ro):
+        with pytest.raises(ValueError, match="no metric"):
+            FusionProblem(tiny_ro, "psrr")
+
+    def test_missing_indices_are_parasitic_terms(self, tiny_ro):
+        problem = FusionProblem(tiny_ro, "power")
+        missing = problem.missing_indices()
+        expected_count = tiny_ro.num_vars(Stage.POST_LAYOUT) - tiny_ro.num_vars(
+            Stage.SCHEMATIC
+        )
+        assert len(missing) == expected_count
+        assert missing[0] == problem.early_basis.size
+        assert missing[-1] == problem.late_basis.size - 1
+
+    def test_alignment_embeds_and_zero_pads(self, tiny_ro, rng):
+        problem = FusionProblem(tiny_ro, "power")
+        alpha = rng.standard_normal(problem.early_basis.size)
+        aligned = problem.align_early_coefficients(alpha)
+        assert aligned.shape == (problem.late_basis.size,)
+        assert np.allclose(aligned[: alpha.size], alpha)
+        assert np.allclose(aligned[alpha.size :], 0.0)
+
+    def test_alignment_rejects_wrong_length(self, tiny_ro):
+        problem = FusionProblem(tiny_ro, "power")
+        with pytest.raises(ValueError, match="early coefficients"):
+            problem.align_early_coefficients(np.zeros(3))
+
+    @pytest.mark.parametrize("method", ["omp", "ridge"])
+    def test_fit_early_model_is_accurate(self, tiny_ro, rng, method):
+        problem = FusionProblem(tiny_ro, "frequency")
+        alpha = problem.fit_early_model(600, rng, method=method)
+        assert alpha.shape == (problem.early_basis.size,)
+        # The fitted schematic model should predict schematic data well.
+        x = tiny_ro.sample(Stage.SCHEMATIC, 200, rng)
+        f = tiny_ro.simulate(Stage.SCHEMATIC, x, "frequency")
+        prediction = problem.early_basis.evaluate(alpha, x)
+        error = np.linalg.norm(prediction - f) / np.linalg.norm(f)
+        assert error < 0.02
+
+    def test_fit_early_model_bad_method_rejected(self, tiny_ro, rng):
+        problem = FusionProblem(tiny_ro, "power")
+        with pytest.raises(ValueError, match="method"):
+            problem.fit_early_model(50, rng, method="lasso")
+
+    def test_invalid_degree_rejected(self, tiny_ro):
+        with pytest.raises(ValueError, match="degree"):
+            FusionProblem(tiny_ro, "power", degree=0)
+
+
+class TestQuadraticFusionProblem:
+    """degree=2: alignment is no longer a prefix embedding."""
+
+    @pytest.fixture
+    def problem(self):
+        from repro.circuits import FiveTransistorOta
+
+        return FusionProblem(FiveTransistorOta(), "offset_voltage", degree=2)
+
+    def test_basis_sizes(self, problem):
+        assert problem.early_basis.size == 28  # C(8, 2)
+        assert problem.late_basis.size == 45  # C(10, 2)
+
+    def test_alignment_preserves_multi_indices(self, problem, rng):
+        alpha = rng.standard_normal(problem.early_basis.size)
+        aligned = problem.align_early_coefficients(alpha)
+        for m, index in enumerate(problem.early_basis.indices):
+            late_position = problem.late_basis.index_of(index)
+            assert aligned[late_position] == alpha[m]
+
+    def test_missing_terms_touch_parasitics_only(self, problem):
+        num_schematic = problem.testbench.num_vars(Stage.SCHEMATIC)
+        for m in problem.missing_indices():
+            index = problem.late_basis.indices[m]
+            assert any(var >= num_schematic for var, _deg in index)
+
+    def test_shared_plus_missing_covers_basis(self, problem):
+        assert problem.num_shared_terms + len(problem.missing_indices()) == (
+            problem.late_basis.size
+        )

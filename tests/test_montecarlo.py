@@ -1,0 +1,94 @@
+"""Unit tests for the Monte Carlo engine and dataset handling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Stage
+from repro.montecarlo import Dataset, simulate_dataset, train_test_split
+
+
+@pytest.fixture
+def dataset(rng):
+    x = rng.standard_normal((20, 3))
+    return Dataset(
+        x,
+        {"a": x[:, 0] * 2, "b": x[:, 1] + 1},
+        Stage.SCHEMATIC,
+        "toy",
+    )
+
+
+class TestDataset:
+    def test_properties(self, dataset):
+        assert dataset.size == 20
+        assert dataset.num_vars == 3
+
+    def test_metric_lookup(self, dataset):
+        assert np.allclose(dataset.metric("a"), dataset.x[:, 0] * 2)
+        with pytest.raises(KeyError, match="no metric"):
+            dataset.metric("c")
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError, match="expected"):
+            Dataset(rng.standard_normal((5, 2)), {"m": np.zeros(4)}, Stage.SCHEMATIC)
+
+    def test_subset(self, dataset):
+        subset = dataset.subset(np.array([1, 3, 5]))
+        assert subset.size == 3
+        assert np.allclose(subset.x, dataset.x[[1, 3, 5]])
+        assert np.allclose(subset.metric("a"), dataset.metric("a")[[1, 3, 5]])
+        assert subset.stage is dataset.stage
+
+    def test_head(self, dataset):
+        head = dataset.head(4)
+        assert head.size == 4
+        assert np.allclose(head.x, dataset.x[:4])
+
+    def test_head_too_large_rejected(self, dataset):
+        with pytest.raises(ValueError, match="requested"):
+            dataset.head(100)
+
+
+class TestSimulateDataset:
+    def test_all_metrics_by_default(self, tiny_ro, rng):
+        data = simulate_dataset(tiny_ro, Stage.SCHEMATIC, 10, rng)
+        assert set(data.values) == set(tiny_ro.metrics)
+        assert data.size == 10
+        assert data.num_vars == tiny_ro.num_vars(Stage.SCHEMATIC)
+
+    def test_metric_subset(self, tiny_ro, rng):
+        data = simulate_dataset(tiny_ro, Stage.POST_LAYOUT, 5, rng, ["power"])
+        assert set(data.values) == {"power"}
+
+    def test_unknown_metric_rejected(self, tiny_ro, rng):
+        with pytest.raises(ValueError, match="no metric"):
+            simulate_dataset(tiny_ro, Stage.SCHEMATIC, 5, rng, ["iq"])
+
+    def test_values_match_direct_simulation(self, tiny_ro, rng):
+        data = simulate_dataset(tiny_ro, Stage.SCHEMATIC, 5, rng, ["power"])
+        direct = tiny_ro.simulate(Stage.SCHEMATIC, data.x, "power")
+        assert np.allclose(data.metric("power"), direct)
+
+    def test_testbench_name_recorded(self, tiny_ro, rng):
+        data = simulate_dataset(tiny_ro, Stage.SCHEMATIC, 3, rng)
+        assert data.testbench_name == tiny_ro.name
+
+
+class TestTrainTestSplit:
+    def test_deterministic_split(self, dataset):
+        train, test = train_test_split(dataset, 15)
+        assert train.size == 15
+        assert test.size == 5
+        assert np.allclose(train.x, dataset.x[:15])
+
+    def test_shuffled_split_partitions(self, dataset, rng):
+        train, test = train_test_split(dataset, 12, rng)
+        assert train.size == 12 and test.size == 8
+        combined = np.vstack([train.x, test.x])
+        assert np.allclose(np.sort(combined, axis=0), np.sort(dataset.x, axis=0))
+
+    def test_invalid_count_rejected(self, dataset):
+        with pytest.raises(ValueError, match="train_count"):
+            train_test_split(dataset, 0)
+        with pytest.raises(ValueError, match="train_count"):
+            train_test_split(dataset, 20)

@@ -1,0 +1,158 @@
+"""Unit tests for the behavioral MOSFET array."""
+
+import numpy as np
+import pytest
+
+from repro.devices import MosfetArray
+from repro.process import ProcessKit, ProcessSpace
+
+
+@pytest.fixture
+def kit():
+    return ProcessKit(params_per_device=4, interdie_params=4)
+
+
+@pytest.fixture
+def registered(kit):
+    space = ProcessSpace()
+    interdie = space.add_block("g", kit.interdie_params, kind="interdie")
+    array = MosfetArray("m", 5, vth0=0.3, beta0=1e-4, cap0=1e-16, area=1.0)
+    array.register(space, kit)
+    return space, array, list(interdie)
+
+
+class TestRegistration:
+    def test_allocates_contiguous_block(self, registered, kit):
+        space, array, _interdie = registered
+        assert space.size == kit.interdie_params + 5 * kit.params_per_device
+        assert array.mismatch_columns()[0] == kit.interdie_params
+
+    def test_device_columns(self, registered, kit):
+        _space, array, _interdie = registered
+        cols = array.device_columns(2)
+        assert len(cols) == kit.params_per_device
+        assert cols[0] == kit.interdie_params + 2 * kit.params_per_device
+
+    def test_device_columns_out_of_range(self, registered):
+        _space, array, _ = registered
+        with pytest.raises(IndexError):
+            array.device_columns(5)
+
+    def test_double_registration_rejected(self, registered, kit):
+        space, array, _ = registered
+        with pytest.raises(RuntimeError, match="already registered"):
+            array.register(space, kit)
+
+    def test_unregistered_evaluation_rejected(self, kit, rng):
+        array = MosfetArray("x", 2)
+        with pytest.raises(RuntimeError, match="not registered"):
+            array.electrical(rng.standard_normal((3, 10)), kit, [0])
+
+    def test_variables_tagged_with_device(self, registered):
+        space, _array, _ = registered
+        assert len(space.indices_of_device("m0")) == 4
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            MosfetArray("x", 0)
+
+    def test_parameter_broadcast(self):
+        array = MosfetArray("x", 3, beta0=np.array([1.0, 2.0, 3.0]))
+        assert array.beta0.shape == (3,)
+        with pytest.raises(ValueError, match="beta0"):
+            MosfetArray("x", 3, beta0=np.ones(4))
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(ValueError, match="areas"):
+            MosfetArray("x", 2, area=np.array([1.0, 0.0]))
+
+
+class TestElectrical:
+    def test_nominal_at_zero_variation(self, registered, kit):
+        space, array, interdie = registered
+        zero = np.zeros((1, space.size))
+        electrical = array.electrical(zero, kit, interdie, include_layout_shifts=False)
+        assert np.allclose(electrical.vth, 0.3)
+        assert np.allclose(electrical.beta, 1e-4)
+        assert np.allclose(electrical.cap, 1e-16)
+        assert np.allclose(electrical.leak_scale, 1.0)
+
+    def test_vth_statistics(self, registered, kit, rng):
+        """Vth std = sqrt(sigma_mm^2 + sigma_g^2) per device."""
+        space, array, interdie = registered
+        samples = space.sample(100_000, rng)
+        electrical = array.electrical(samples, kit, interdie, False)
+        expected = np.sqrt(kit.sigma_vth_mm**2 + kit.sigma_vth_g**2)
+        assert np.allclose(electrical.vth.std(axis=0), expected, rtol=0.05)
+        assert np.allclose(electrical.vth.mean(axis=0), 0.3, atol=1e-3)
+
+    def test_interdie_component_is_common(self, registered, kit, rng):
+        """Inter-die variation moves all devices together (correlated)."""
+        space, array, interdie = registered
+        samples = space.sample(20_000, rng)
+        electrical = array.electrical(samples, kit, interdie, False)
+        correlation = np.corrcoef(electrical.vth[:, 0], electrical.vth[:, 1])[0, 1]
+        expected = kit.sigma_vth_g**2 / (kit.sigma_vth_g**2 + kit.sigma_vth_mm**2)
+        assert correlation == pytest.approx(expected, abs=0.05)
+
+    def test_area_scaling_pelgrom(self, kit, rng):
+        """Mismatch scales as 1/sqrt(area)."""
+        space = ProcessSpace()
+        interdie = list(space.add_block("g", kit.interdie_params, kind="interdie"))
+        big = MosfetArray("big", 3, area=4.0)
+        big.register(space, kit)
+        samples = space.sample(100_000, rng)
+        electrical = big.electrical(samples, kit, interdie, False)
+        expected = np.sqrt((kit.sigma_vth_mm / 2.0) ** 2 + kit.sigma_vth_g**2)
+        assert np.allclose(electrical.vth.std(axis=0), expected, rtol=0.05)
+
+    def test_layout_shifts_toggle(self, registered, kit):
+        space, array, interdie = registered
+        array.layout_beta_shift = np.full(5, 0.1)
+        zero = np.zeros((1, space.size))
+        with_shift = array.electrical(zero, kit, interdie, True)
+        without = array.electrical(zero, kit, interdie, False)
+        assert np.allclose(with_shift.beta, 1.1e-4)
+        assert np.allclose(without.beta, 1e-4)
+
+    def test_bad_sample_shape_rejected(self, registered, kit):
+        _space, array, interdie = registered
+        with pytest.raises(ValueError, match="2-D"):
+            array.electrical(np.zeros(5), kit, interdie)
+
+
+class TestCurrents:
+    def test_on_current_magnitude(self, registered, kit):
+        space, array, interdie = registered
+        zero = np.zeros((1, space.size))
+        electrical = array.electrical(zero, kit, interdie, False)
+        current = array.on_current(electrical, vdd=0.9)
+        expected = 1e-4 * (0.9 - 0.3) ** array.alpha
+        assert np.allclose(current, expected)
+
+    def test_on_current_decreases_with_vth(self, registered, kit, rng):
+        space, array, interdie = registered
+        samples = space.sample(2000, rng)
+        electrical = array.electrical(samples, kit, interdie, False)
+        current = array.on_current(electrical, vdd=0.9)
+        correlation = np.corrcoef(
+            electrical.vth[:, 0], current[:, 0]
+        )[0, 1]
+        assert correlation < -0.5
+
+    def test_overdrive_floor(self, registered, kit):
+        """Even a pathological Vth above VDD gives a (floored) current."""
+        space, array, interdie = registered
+        electrical = array.electrical(np.zeros((1, space.size)), kit, interdie, False)
+        electrical.vth[:] = 2.0
+        current = array.on_current(electrical, vdd=0.9)
+        assert np.all(current > 0)
+
+    def test_off_current_exponential_in_vth(self, registered, kit):
+        space, array, interdie = registered
+        electrical = array.electrical(np.zeros((1, space.size)), kit, interdie, False)
+        nominal = array.off_current(electrical, kit).copy()
+        electrical.vth += 0.05  # +50 mV
+        reduced = array.off_current(electrical, kit)
+        expected_ratio = np.exp(-0.05 / (array.subthreshold_slope * kit.thermal_voltage))
+        assert np.allclose(reduced / nominal, expected_ratio)

@@ -1,0 +1,95 @@
+"""Unit tests for sparse multi-index sets."""
+
+import pytest
+
+from repro.basis import (
+    index_set_size,
+    linear_index_set,
+    total_degree_index_set,
+    validate_index_set,
+)
+
+
+class TestLinearIndexSet:
+    def test_size_with_constant(self):
+        assert len(linear_index_set(10)) == 11
+
+    def test_size_without_constant(self):
+        assert len(linear_index_set(10, include_constant=False)) == 10
+
+    def test_constant_first(self):
+        assert linear_index_set(3)[0] == ()
+
+    def test_variables_in_order(self):
+        indices = linear_index_set(4)
+        assert indices[1:] == [((0, 1),), ((1, 1),), ((2, 1),), ((3, 1),)]
+
+    def test_zero_vars(self):
+        assert linear_index_set(0) == [()]
+
+    def test_negative_vars_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            linear_index_set(-1)
+
+
+class TestTotalDegreeIndexSet:
+    def test_degree_zero_is_constant_only(self):
+        assert total_degree_index_set(5, 0) == [()]
+
+    def test_degree_one_equals_linear(self):
+        assert total_degree_index_set(5, 1) == linear_index_set(5)
+
+    @pytest.mark.parametrize(
+        "num_vars,degree", [(2, 2), (3, 2), (2, 3), (4, 2), (5, 3)]
+    )
+    def test_size_is_binomial(self, num_vars, degree):
+        indices = total_degree_index_set(num_vars, degree)
+        assert len(indices) == index_set_size(num_vars, degree)
+
+    def test_2d_degree2_matches_paper_eq5(self):
+        """Eq. (5): 1, x1, x2, (x1^2-1)/sqrt2, x1*x2, ... graded order."""
+        indices = total_degree_index_set(2, 2)
+        assert indices[0] == ()
+        assert indices[1] == ((0, 1),)
+        assert indices[2] == ((1, 1),)
+        # Degree-2 block contains x1^2, x2^2 and the cross term x1*x2.
+        degree2 = set(indices[3:])
+        assert degree2 == {((0, 2),), ((1, 2),), ((0, 1), (1, 1))}
+
+    def test_graded_ordering(self):
+        indices = total_degree_index_set(3, 3)
+        degrees = [sum(d for _, d in idx) for idx in indices]
+        assert degrees == sorted(degrees)
+
+    def test_no_duplicates(self):
+        indices = total_degree_index_set(4, 3)
+        assert len(indices) == len(set(indices))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            total_degree_index_set(3, -1)
+
+
+class TestValidation:
+    def test_accepts_valid_set(self):
+        validate_index_set([(), ((0, 1),), ((1, 2),)], num_vars=2)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_index_set([((0, 1),), ((0, 1),)], num_vars=2)
+
+    def test_rejects_out_of_range_variable(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_index_set([((5, 1),)], num_vars=3)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError, match="non-positive degree"):
+            validate_index_set([((0, 0),)], num_vars=2)
+
+    def test_rejects_unsorted_variables(self):
+        with pytest.raises(ValueError, match="unsorted"):
+            validate_index_set([((1, 1), (0, 1))], num_vars=2)
+
+    def test_rejects_repeated_variable_in_one_index(self):
+        with pytest.raises(ValueError, match="unsorted or repeated"):
+            validate_index_set([((0, 1), (0, 2))], num_vars=2)

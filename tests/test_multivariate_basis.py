@@ -1,0 +1,145 @@
+"""Unit tests for the multivariate orthonormal basis and design matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+
+
+class TestConstruction:
+    def test_linear_size(self):
+        assert OrthonormalBasis.linear(20).size == 21
+
+    def test_linear_without_constant(self):
+        assert OrthonormalBasis.linear(20, include_constant=False).size == 20
+
+    def test_total_degree_size(self):
+        assert OrthonormalBasis.total_degree(4, 2).size == 15  # C(6,2)
+
+    def test_len_matches_size(self):
+        basis = OrthonormalBasis.linear(7)
+        assert len(basis) == basis.size
+
+    def test_is_linear(self):
+        assert OrthonormalBasis.linear(5).is_linear()
+        assert not OrthonormalBasis.total_degree(3, 2).is_linear()
+
+    def test_max_degree(self):
+        assert OrthonormalBasis.linear(5).max_degree == 1
+        assert OrthonormalBasis.total_degree(3, 4).max_degree == 4
+
+    def test_total_degrees(self):
+        basis = OrthonormalBasis.total_degree(2, 2)
+        degrees = basis.total_degrees()
+        assert degrees[0] == 0
+        assert set(degrees[1:3]) == {1}
+        assert set(degrees[3:]) == {2}
+
+    def test_equality(self):
+        assert OrthonormalBasis.linear(4) == OrthonormalBasis.linear(4)
+        assert OrthonormalBasis.linear(4) != OrthonormalBasis.linear(5)
+
+    def test_invalid_indices_rejected(self):
+        with pytest.raises(ValueError):
+            OrthonormalBasis(2, [((3, 1),)])
+
+
+class TestDesignMatrix:
+    def test_linear_design_structure(self, rng):
+        basis = OrthonormalBasis.linear(4)
+        x = rng.standard_normal((10, 4))
+        design = basis.design_matrix(x)
+        assert design.shape == (10, 5)
+        assert np.allclose(design[:, 0], 1.0)
+        assert np.allclose(design[:, 1:], x)
+
+    def test_single_sample_promoted(self):
+        basis = OrthonormalBasis.linear(3)
+        design = basis.design_matrix(np.zeros(3))
+        assert design.shape == (1, 4)
+
+    def test_wrong_width_rejected(self, rng):
+        basis = OrthonormalBasis.linear(3)
+        with pytest.raises(ValueError, match=r"\(K, 3\)"):
+            basis.design_matrix(rng.standard_normal((5, 4)))
+
+    def test_column_subset(self, rng):
+        basis = OrthonormalBasis.linear(5)
+        x = rng.standard_normal((7, 5))
+        full = basis.design_matrix(x)
+        subset = basis.design_matrix(x, columns=[0, 3, 5])
+        assert np.allclose(subset, full[:, [0, 3, 5]])
+
+    def test_quadratic_columns_match_hermite_products(self, rng):
+        basis = OrthonormalBasis.total_degree(2, 2)
+        x = rng.standard_normal((20, 2))
+        design = basis.design_matrix(x)
+        # Find the (x1^2 - 1)/sqrt(2) column.
+        col = basis.index_of(((0, 2),))
+        assert np.allclose(design[:, col], (x[:, 0] ** 2 - 1) / math.sqrt(2))
+        # And the cross term x1 * x2.
+        col = basis.index_of(((0, 1), (1, 1)))
+        assert np.allclose(design[:, col], x[:, 0] * x[:, 1])
+
+    def test_generic_path_matches_linear_fast_path(self, rng):
+        """A linear basis expressed with an extra degree-2 term falls back
+        to the generic path; its linear columns must agree with the fast
+        path of a purely linear basis."""
+        x = rng.standard_normal((15, 3))
+        linear = OrthonormalBasis.linear(3)
+        mixed = OrthonormalBasis(
+            3, list(linear.indices) + [((0, 2),)]
+        )
+        fast = linear.design_matrix(x)
+        generic = mixed.design_matrix(x)
+        assert np.allclose(generic[:, : linear.size], fast)
+
+    def test_gram_is_identity_under_gaussian(self, rng):
+        """Monte Carlo orthonormality: G^T G / K -> I (eq. 3)."""
+        basis = OrthonormalBasis.total_degree(3, 2)
+        x = rng.standard_normal((200_000, 3))
+        design = basis.design_matrix(x)
+        gram = design.T @ design / x.shape[0]
+        assert np.allclose(gram, np.eye(basis.size), atol=0.05)
+
+
+class TestEvaluate:
+    def test_linear_combination(self, rng):
+        basis = OrthonormalBasis.linear(4)
+        coeffs = rng.standard_normal(5)
+        x = rng.standard_normal((9, 4))
+        expected = coeffs[0] + x @ coeffs[1:]
+        assert np.allclose(basis.evaluate(coeffs, x), expected)
+
+    def test_single_sample_returns_scalar(self):
+        basis = OrthonormalBasis.linear(2)
+        value = basis.evaluate(np.array([1.0, 2.0, 3.0]), np.array([1.0, 1.0]))
+        assert np.isscalar(value) or value.ndim == 0
+        assert float(value) == pytest.approx(6.0)
+
+    def test_wrong_coefficient_count_rejected(self):
+        basis = OrthonormalBasis.linear(3)
+        with pytest.raises(ValueError, match="4 coefficients"):
+            basis.evaluate(np.zeros(7), np.zeros(3))
+
+
+class TestStructureHelpers:
+    def test_index_of_found(self):
+        basis = OrthonormalBasis.linear(3)
+        assert basis.index_of(((1, 1),)) == 2
+
+    def test_index_of_missing(self):
+        basis = OrthonormalBasis.linear(3)
+        with pytest.raises(KeyError):
+            basis.index_of(((0, 2),))
+
+    def test_restricted_to(self, rng):
+        basis = OrthonormalBasis.linear(5)
+        restricted = basis.restricted_to([0, 2, 4])
+        assert restricted.size == 3
+        x = rng.standard_normal((6, 5))
+        assert np.allclose(
+            restricted.design_matrix(x), basis.design_matrix(x)[:, [0, 2, 4]]
+        )

@@ -1,0 +1,145 @@
+"""Unit tests for orthogonal matching pursuit (Section II-C, ref. [13])."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.regression import OrthogonalMatchingPursuit, omp_path
+from repro.regression.omp import OmpPath
+
+
+def sparse_problem(rng, num_vars=60, nonzero=5, num_samples=50, noise=0.0):
+    basis = OrthonormalBasis.linear(num_vars)
+    truth = np.zeros(basis.size)
+    support = rng.choice(np.arange(1, basis.size), nonzero, replace=False)
+    truth[support] = rng.uniform(1.0, 3.0, nonzero) * rng.choice([-1, 1], nonzero)
+    x = rng.standard_normal((num_samples, num_vars))
+    f = basis.evaluate(truth, x)
+    if noise:
+        f = f + noise * rng.standard_normal(num_samples)
+    return basis, truth, support, x, f
+
+
+class TestOmpPath:
+    def test_recovers_exact_support(self, rng):
+        basis, truth, support, x, f = sparse_problem(rng)
+        design = basis.design_matrix(x)
+        path = omp_path(design, f, max_terms=5)
+        assert set(path.selected) == set(support)
+
+    def test_coefficients_converge_to_truth(self, rng):
+        basis, truth, _support, x, f = sparse_problem(rng)
+        design = basis.design_matrix(x)
+        path = omp_path(design, f, max_terms=5)
+        dense = path.dense_coefficients(basis.size)
+        assert np.allclose(dense, truth, atol=1e-8)
+
+    def test_residual_norms_decrease(self, rng):
+        basis, _t, _s, x, f = sparse_problem(rng, noise=0.05)
+        design = basis.design_matrix(x)
+        path = omp_path(design, f, max_terms=10)
+        norms = np.array(path.residual_norms)
+        assert np.all(np.diff(norms) <= 1e-12)
+
+    def test_residual_tolerance_stops_early(self, rng):
+        basis, _t, _s, x, f = sparse_problem(rng)
+        design = basis.design_matrix(x)
+        path = omp_path(design, f, max_terms=40, residual_tol=1e-10)
+        assert len(path.selected) <= 6  # stops right after exact recovery
+
+    def test_max_terms_capped_by_samples(self, rng):
+        design = rng.standard_normal((8, 30))
+        path = omp_path(design, rng.standard_normal(8), max_terms=100)
+        assert len(path.selected) <= 8
+
+    def test_duplicate_columns_not_selected_twice(self, rng):
+        """A column identical to an already-selected one must be skipped."""
+        base = rng.standard_normal((20, 5))
+        design = np.hstack([base, base[:, :1]])  # column 5 duplicates column 0
+        target = base[:, 0] * 2.0
+        path = omp_path(design, target, max_terms=6)
+        assert not {0, 5}.issubset(set(path.selected))
+
+    def test_zero_target(self, rng):
+        design = rng.standard_normal((10, 8))
+        path = omp_path(design, np.zeros(10), max_terms=5)
+        assert path.selected == []
+
+    def test_empty_path_dense_coefficients(self):
+        path = OmpPath()
+        assert np.allclose(path.dense_coefficients(7), 0.0)
+
+    def test_dense_coefficients_at_intermediate_step(self, rng):
+        basis, _t, _s, x, f = sparse_problem(rng)
+        design = basis.design_matrix(x)
+        path = omp_path(design, f, max_terms=5)
+        dense = path.dense_coefficients(basis.size, step=1)
+        assert np.count_nonzero(dense) == 2
+
+
+class TestOrthogonalMatchingPursuit:
+    def test_cv_selection_finds_sparse_model(self, rng):
+        basis, truth, _s, x, f = sparse_problem(rng, noise=0.02)
+        model = OrthogonalMatchingPursuit(basis).fit(x, f)
+        x_test = rng.standard_normal((200, 60))
+        error = np.linalg.norm(
+            model.predict(x_test) - basis.evaluate(truth, x_test)
+        ) / np.linalg.norm(basis.evaluate(truth, x_test))
+        assert error < 0.1
+
+    def test_cv_does_not_grossly_overfit(self, rng):
+        """Pure-noise target: CV should keep the model very small."""
+        basis = OrthonormalBasis.linear(40)
+        x = rng.standard_normal((60, 40))
+        f = rng.standard_normal(60)
+        model = OrthogonalMatchingPursuit(basis).fit(x, f)
+        assert len(model.selected_terms_) < 20
+
+    def test_fixed_selection_uses_exact_order(self, rng):
+        basis, _t, _s, x, f = sparse_problem(rng)
+        model = OrthogonalMatchingPursuit(
+            basis, max_terms=3, selection="fixed"
+        ).fit(x, f)
+        assert len(model.selected_terms_) == 3
+
+    def test_fixed_requires_max_terms(self):
+        with pytest.raises(ValueError, match="max_terms"):
+            OrthogonalMatchingPursuit(OrthonormalBasis.linear(5), selection="fixed")
+
+    def test_invalid_selection_rejected(self):
+        with pytest.raises(ValueError, match="selection"):
+            OrthogonalMatchingPursuit(OrthonormalBasis.linear(5), selection="best")
+
+    def test_invalid_folds_rejected(self):
+        with pytest.raises(ValueError, match="n_folds"):
+            OrthogonalMatchingPursuit(OrthonormalBasis.linear(5), n_folds=1)
+
+    def test_cv_errors_recorded(self, rng):
+        basis, _t, _s, x, f = sparse_problem(rng, noise=0.05)
+        model = OrthogonalMatchingPursuit(basis).fit(x, f)
+        assert model.cv_errors_ is not None
+        assert np.isfinite(model.cv_errors_).any()
+
+    def test_underdetermined_regime(self, rng):
+        """M >> K: the regime the method exists for.
+
+        Greedy recovery needs K ~ O(s log M) samples -- at K=40 OMP
+        genuinely fails on 300 variables (that coherence limit is why the
+        paper's OMP needs ~10^3 samples); K=100 is comfortably enough.
+        """
+        basis, truth, _s, x, f = sparse_problem(
+            rng, num_vars=300, nonzero=4, num_samples=100
+        )
+        model = OrthogonalMatchingPursuit(basis).fit(x, f)
+        x_test = rng.standard_normal((200, 300))
+        reference = basis.evaluate(truth, x_test)
+        error = np.linalg.norm(model.predict(x_test) - reference)
+        assert error / np.linalg.norm(reference) < 0.05
+
+    def test_few_samples_skips_cv(self, rng):
+        """With fewer than 2*n_folds samples, CV is skipped gracefully."""
+        basis = OrthonormalBasis.linear(10)
+        x = rng.standard_normal((6, 10))
+        f = rng.standard_normal(6)
+        model = OrthogonalMatchingPursuit(basis, n_folds=5).fit(x, f)
+        assert model.coefficients_ is not None

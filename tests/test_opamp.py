@@ -1,0 +1,90 @@
+"""Unit tests for the MNA-simulated 5T OTA testbench."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FiveTransistorOta, Stage
+
+
+@pytest.fixture(scope="module")
+def ota():
+    return FiveTransistorOta()
+
+
+class TestConstruction:
+    def test_variable_counts(self, ota):
+        assert ota.num_vars(Stage.SCHEMATIC) == 6
+        assert ota.num_vars(Stage.POST_LAYOUT) == 8
+
+    def test_metrics(self, ota):
+        assert ota.metrics == (
+            "offset_voltage",
+            "dc_gain",
+            "unity_gain_bandwidth",
+        )
+
+
+class TestNominalPoint:
+    def test_gain_matches_hand_analysis(self, ota):
+        """A = gm1 (ro2 || ro4) at the nominal bias."""
+        x = np.zeros((1, 6))
+        gain = ota.simulate(Stage.SCHEMATIC, x, "dc_gain")[0]
+        half = ota.tail_current / 2
+        gm = ota.kp_input * np.sqrt(2 * half / ota.kp_input)
+        r_out = 1.0 / (2 * ota.lambda_ * half)  # ro2 || ro4
+        expected = gm * r_out
+        assert gain == pytest.approx(expected, rel=0.25)
+
+    def test_bandwidth_matches_gm_over_cl(self, ota):
+        """Follower -3 dB frequency ~= gm / (2 pi C_L)."""
+        x = np.zeros((1, 6))
+        bandwidth = ota.simulate(
+            Stage.SCHEMATIC, x, "unity_gain_bandwidth"
+        )[0]
+        half = ota.tail_current / 2
+        gm = ota.kp_input * np.sqrt(2 * half / ota.kp_input)
+        expected = gm / (2 * np.pi * ota.load_cap)
+        assert bandwidth == pytest.approx(expected, rel=0.3)
+
+    def test_nominal_offset_is_small(self, ota):
+        x = np.zeros((1, 6))
+        offset = ota.simulate(Stage.SCHEMATIC, x, "offset_voltage")[0]
+        assert abs(offset) < 0.03  # systematic offset only
+
+
+class TestVariation:
+    def test_offset_antisymmetric_in_input_pair(self, ota):
+        x = np.zeros((3, 6))
+        x[1, 0] = 2.0  # M1 threshold up
+        x[2, 1] = 2.0  # M2 threshold up
+        offsets = ota.simulate(Stage.SCHEMATIC, x, "offset_voltage")
+        assert (offsets[1] - offsets[0]) * (offsets[2] - offsets[0]) < 0
+
+    def test_bandwidth_decreases_with_load_cap(self, ota):
+        x = np.zeros((2, 6))
+        x[1, 4] = 3.0  # +15% load cap
+        bandwidths = ota.simulate(Stage.SCHEMATIC, x, "unity_gain_bandwidth")
+        assert bandwidths[1] < bandwidths[0]
+
+    def test_bandwidth_increases_with_tail_current(self, ota):
+        x = np.zeros((2, 6))
+        x[1, 5] = 3.0  # +9% tail current -> more gm
+        bandwidths = ota.simulate(Stage.SCHEMATIC, x, "unity_gain_bandwidth")
+        assert bandwidths[1] > bandwidths[0]
+
+    def test_postlayout_is_slower(self, ota, rng):
+        x_post = ota.sample(Stage.POST_LAYOUT, 10, rng)
+        x_sch = x_post[:, :6]
+        post = ota.simulate(Stage.POST_LAYOUT, x_post, "unity_gain_bandwidth")
+        sch = ota.simulate(Stage.SCHEMATIC, x_sch, "unity_gain_bandwidth")
+        assert post.mean() < sch.mean()
+
+    def test_offset_spread(self, ota, rng):
+        x = ota.sample(Stage.SCHEMATIC, 60, rng)
+        offsets = ota.simulate(Stage.SCHEMATIC, x, "offset_voltage")
+        # Input-pair mismatch ~ sqrt(2) * sigma_vth, plus mirror term.
+        assert 0.5 * ota.sigma_vth < offsets.std() < 4 * ota.sigma_vth
+
+    def test_unknown_metric_rejected(self, ota):
+        with pytest.raises(ValueError, match="unknown metric"):
+            ota.simulate(Stage.SCHEMATIC, np.zeros((1, 6)), "psrr")

@@ -1,0 +1,61 @@
+"""Smoke tests at the paper's dimensionality (construction + evaluation).
+
+The benchmarks default to small circuits; these tests make sure the
+paper-scale instances (RO ~7.2k variables, SRAM ~63k) actually build,
+sample, and simulate without shape or memory bugs -- a handful of samples
+only, so they stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import RingOscillator, SramReadPath, Stage
+
+
+class TestPaperScaleRo:
+    @pytest.fixture(scope="class")
+    def ro(self):
+        return RingOscillator.paper_scale()
+
+    def test_dimensionality(self, ro):
+        assert ro.kit.params_per_device == 40
+        assert 6500 <= ro.num_vars(Stage.POST_LAYOUT) <= 8000
+
+    def test_simulation_runs(self, ro):
+        rng = np.random.default_rng(9)
+        x = ro.sample(Stage.POST_LAYOUT, 5, rng)
+        for metric in ro.metrics:
+            values = ro.simulate(Stage.POST_LAYOUT, x, metric)
+            assert values.shape == (5,)
+            assert np.all(np.isfinite(values))
+
+    def test_schematic_stage_consistent(self, ro):
+        rng = np.random.default_rng(10)
+        x = ro.sample(Stage.SCHEMATIC, 3, rng)
+        f = ro.simulate(Stage.SCHEMATIC, x, "frequency")
+        assert np.all(f > 0)
+
+
+class TestPaperScaleSram:
+    @pytest.fixture(scope="class")
+    def sram(self):
+        return SramReadPath.paper_scale()
+
+    def test_dimensionality(self, sram):
+        assert 55_000 <= sram.num_vars(Stage.POST_LAYOUT) <= 70_000
+
+    def test_simulation_runs(self, sram):
+        rng = np.random.default_rng(11)
+        x = sram.sample(Stage.POST_LAYOUT, 3, rng)
+        delay = sram.simulate(Stage.POST_LAYOUT, x, "read_delay")
+        assert delay.shape == (3,)
+        assert np.all(delay > 0)
+
+    def test_fusion_problem_builds(self, sram):
+        """The 63k-term linear basis and its alignment map stay tractable."""
+        from repro.circuits import FusionProblem
+
+        problem = FusionProblem(sram, "read_delay")
+        assert problem.late_basis.size == sram.num_vars(Stage.POST_LAYOUT) + 1
+        missing = problem.missing_indices()
+        assert len(missing) == sram._num_parasitics

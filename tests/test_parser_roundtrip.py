@@ -1,0 +1,79 @@
+"""Round-trip tests: parsed netlists behave exactly like Python-built ones."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Mosfet,
+    Pulse,
+    Resistor,
+    VoltageSource,
+    ac_analysis,
+    dc_operating_point,
+    parse_netlist,
+    transient,
+)
+
+
+class TestTransientRoundTrip:
+    def test_rc_pulse_matches_python_circuit(self):
+        parsed = parse_netlist(
+            """rc
+            VIN in 0 PULSE(0 1 1n 1p 1p 1m)
+            R1 in out 1k
+            C1 out 0 1p
+            """
+        )
+        built = Circuit("rc")
+        built.add(
+            VoltageSource(
+                "VIN", "in", "0",
+                waveform=Pulse(0, 1, delay=1e-9, rise=1e-12, fall=1e-12,
+                               width=1e-3),
+            )
+        )
+        built.add(Resistor("R1", "in", "out", 1e3))
+        built.add(Capacitor("C1", "out", "0", 1e-12))
+
+        parsed_result = transient(parsed, 5e-9, 1e-11, initial="zero")
+        built_result = transient(built, 5e-9, 1e-11, initial="zero")
+        assert np.allclose(
+            parsed_result.voltage("out"), built_result.voltage("out")
+        )
+
+
+class TestAcRoundTrip:
+    def test_cs_amp_matches_python_circuit(self):
+        parsed = parse_netlist(
+            """cs
+            VDD vdd 0 1.8
+            VG g 0 0.9
+            RD vdd d 10k
+            CL d 0 1p
+            M1 d g 0 NMOS kp=2e-4 vth=0.5 lambda=0.02
+            """
+        )
+        built = Circuit("cs")
+        built.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        built.add(VoltageSource("VG", "g", "0", dc=0.9))
+        built.add(Resistor("RD", "vdd", "d", 10e3))
+        built.add(Capacitor("CL", "d", "0", 1e-12))
+        built.add(Mosfet("M1", "d", "g", "0", kp=2e-4, vth=0.5, lambda_=0.02))
+
+        frequencies = np.geomspace(1e3, 1e9, 10)
+        parsed_gain = ac_analysis(parsed, frequencies, "VG").gain("d")
+        built_gain = ac_analysis(built, frequencies, "VG").gain("d")
+        assert np.allclose(parsed_gain, built_gain)
+
+    def test_operating_points_identical(self):
+        text = """bias
+        VDD vdd 0 1.2
+        R1 vdd mid 2k
+        R2 mid 0 1k
+        """
+        op_a = dc_operating_point(parse_netlist(text))
+        op_b = dc_operating_point(parse_netlist(text))
+        assert op_a.voltage("mid") == op_b.voltage("mid")
+        assert op_a.voltage("mid") == pytest.approx(0.4)

@@ -1,0 +1,138 @@
+"""Unit tests for multifinger prior mapping (Section IV-A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.bmf import FingerMap, map_prior_coefficients
+
+
+class TestFingerMap:
+    def test_variable_counts(self):
+        fmap = FingerMap((2, 3, 1))
+        assert fmap.num_early_vars == 3
+        assert fmap.num_late_vars == 6
+
+    def test_offsets(self):
+        fmap = FingerMap((2, 3, 1))
+        assert list(fmap.offsets()) == [0, 2, 5]
+
+    def test_fingers_of(self):
+        fmap = FingerMap((2, 3, 1))
+        assert list(fmap.fingers_of(1)) == [2, 3, 4]
+        assert list(fmap.fingers_of(2)) == [5]
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            FingerMap((2, 0))
+
+    def test_project_samples_normalization(self, rng):
+        """x_r = sum_t x_{r,t} / sqrt(W) stays standard normal."""
+        fmap = FingerMap((4, 2))
+        late = rng.standard_normal((50_000, 6))
+        early = fmap.project_samples(late)
+        assert early.shape == (50_000, 2)
+        assert np.allclose(early.std(axis=0), 1.0, atol=0.02)
+
+    def test_project_single_sample(self):
+        fmap = FingerMap((2,))
+        out = fmap.project_samples(np.array([1.0, 1.0]))
+        assert out[0, 0] == pytest.approx(math.sqrt(2))
+
+    def test_project_wrong_width_rejected(self, rng):
+        fmap = FingerMap((2, 2))
+        with pytest.raises(ValueError, match="late variables"):
+            fmap.project_samples(rng.standard_normal((3, 5)))
+
+
+class TestLinearMapping:
+    """The paper's eq. (36)-(37) differential-pair scenario."""
+
+    def test_diffpair_example(self):
+        early_basis = OrthonormalBasis.linear(2)
+        alpha = np.array([0.1, 2.0, -2.0])  # const, x1, x2
+        mapping = map_prior_coefficients(early_basis, alpha, FingerMap((2, 2)))
+        assert mapping.late_basis.size == 5  # const + 4 fingers
+        # eq. (49): each finger gets alpha / sqrt(2).
+        assert mapping.beta[0] == pytest.approx(0.1)
+        assert np.allclose(mapping.beta[1:3], 2.0 / math.sqrt(2))
+        assert np.allclose(mapping.beta[3:5], -2.0 / math.sqrt(2))
+
+    def test_groups_structure(self):
+        early_basis = OrthonormalBasis.linear(2)
+        mapping = map_prior_coefficients(
+            early_basis, np.ones(3), FingerMap((2, 3))
+        )
+        assert mapping.groups[0] == [0]  # constant
+        assert len(mapping.groups[1]) == 2
+        assert len(mapping.groups[2]) == 3
+
+    def test_single_finger_is_identity(self, rng):
+        early_basis = OrthonormalBasis.linear(3)
+        alpha = rng.standard_normal(4)
+        mapping = map_prior_coefficients(early_basis, alpha, FingerMap((1, 1, 1)))
+        assert mapping.late_basis.indices == early_basis.indices
+        assert np.allclose(mapping.beta, alpha)
+
+    def test_variance_preserved_eq45(self, rng):
+        """Eq. (45): the mapped model captures the same variability.
+
+        Evaluate the early model on projected samples and the mapped model
+        on the finger samples -- with equal per-finger split they agree
+        exactly for linear bases.
+        """
+        early_basis = OrthonormalBasis.linear(2)
+        alpha = np.array([1.0, 2.0, -0.7])
+        fmap = FingerMap((3, 2))
+        mapping = map_prior_coefficients(early_basis, alpha, fmap)
+        late_samples = rng.standard_normal((100, 5))
+        early_values = early_basis.evaluate(alpha, fmap.project_samples(late_samples))
+        mapped_values = mapping.late_basis.evaluate(mapping.beta, late_samples)
+        assert np.allclose(early_values, mapped_values)
+
+
+class TestHigherOrderMapping:
+    def test_quadratic_multiplicity(self):
+        """A degree-2 factor in W fingers maps to W(W+1)/2 functions."""
+        early_basis = OrthonormalBasis(1, [((0, 2),)])
+        mapping = map_prior_coefficients(
+            early_basis, np.array([1.0]), FingerMap((3,))
+        )
+        assert mapping.late_basis.size == 6  # 3 squares + 3 cross terms
+        assert np.allclose(mapping.beta, 1.0 / math.sqrt(6))
+
+    def test_cross_term_mapping(self):
+        """x1 * x2 with 2 fingers each -> 4 cross products."""
+        early_basis = OrthonormalBasis(2, [((0, 1), (1, 1))])
+        mapping = map_prior_coefficients(
+            early_basis, np.array([2.0]), FingerMap((2, 2))
+        )
+        assert mapping.late_basis.size == 4
+        assert np.allclose(mapping.beta, 1.0)  # 2 / sqrt(4)
+
+    def test_mapped_set_is_permutation_invariant(self):
+        """Swapping two fingers of one device maps the basis set onto itself
+        (the paper's permutation-invariance property, eqs. 40-43)."""
+        early_basis = OrthonormalBasis.total_degree(1, 2)
+        mapping = map_prior_coefficients(
+            early_basis, np.ones(early_basis.size), FingerMap((2,))
+        )
+        swapped = set()
+        swap = {0: 1, 1: 0}
+        for index in mapping.late_basis.indices:
+            swapped.add(tuple(sorted((swap[v], d) for v, d in index)))
+        assert swapped == set(mapping.late_basis.indices)
+
+
+class TestValidation:
+    def test_coefficient_count_mismatch_rejected(self):
+        early_basis = OrthonormalBasis.linear(2)
+        with pytest.raises(ValueError, match="early coefficients"):
+            map_prior_coefficients(early_basis, np.ones(5), FingerMap((2, 2)))
+
+    def test_finger_map_size_mismatch_rejected(self):
+        early_basis = OrthonormalBasis.linear(3)
+        with pytest.raises(ValueError, match="variables"):
+            map_prior_coefficients(early_basis, np.ones(4), FingerMap((2, 2)))

@@ -1,0 +1,122 @@
+"""Unit tests for the BMF prior definitions (Section III-A, IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.bmf import (
+    GaussianCoefficientPrior,
+    nonzero_mean_prior,
+    uninformative_prior,
+    zero_mean_prior,
+)
+
+
+class TestZeroMeanPrior:
+    def test_mean_is_zero(self):
+        prior = zero_mean_prior(np.array([1.0, -2.0, 0.5]))
+        assert np.allclose(prior.mean, 0.0)
+
+    def test_scale_is_magnitude_eq16(self):
+        """Eq. (16): sigma_m = |alpha_E,m|."""
+        alpha = np.array([1.0, -2.0, 0.5, 0.0])
+        prior = zero_mean_prior(alpha)
+        assert np.allclose(prior.scale, np.abs(alpha))
+
+    def test_name(self):
+        assert zero_mean_prior(np.ones(2)).name == "zero-mean"
+
+    def test_zero_coefficient_pins(self):
+        prior = zero_mean_prior(np.array([1.0, 0.0]))
+        assert list(prior.pinned_mask()) == [False, True]
+
+
+class TestNonzeroMeanPrior:
+    def test_mean_is_early_coefficients(self):
+        alpha = np.array([1.0, -2.0, 0.5])
+        prior = nonzero_mean_prior(alpha)
+        assert np.allclose(prior.mean, alpha)
+
+    def test_scale_proportional_to_magnitude_eq19(self):
+        alpha = np.array([1.0, -2.0, 0.5])
+        prior = nonzero_mean_prior(alpha)
+        assert np.allclose(prior.scale, np.abs(alpha))
+
+    def test_independent_copy(self):
+        alpha = np.array([1.0, 2.0])
+        prior = nonzero_mean_prior(alpha)
+        alpha[0] = 99.0
+        assert prior.mean[0] == 1.0
+
+
+class TestUninformativePrior:
+    def test_all_missing(self):
+        prior = uninformative_prior(5)
+        assert prior.missing_mask().all()
+        assert np.allclose(prior.mean, 0.0)
+
+
+class TestValidation:
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GaussianCoefficientPrior(np.zeros(2), np.array([1.0, -1.0]))
+
+    def test_nan_scale_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GaussianCoefficientPrior(np.zeros(2), np.array([1.0, np.nan]))
+
+    def test_infinite_mean_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            GaussianCoefficientPrior(np.array([np.inf, 0.0]), np.ones(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            GaussianCoefficientPrior(np.zeros(3), np.ones(2))
+
+    def test_infinite_scale_allowed(self):
+        prior = GaussianCoefficientPrior(np.zeros(2), np.array([1.0, np.inf]))
+        assert list(prior.missing_mask()) == [False, True]
+
+
+class TestMissingKnowledge:
+    def test_with_missing_marks_scale_infinite(self):
+        prior = nonzero_mean_prior(np.array([1.0, 2.0, 3.0]))
+        updated = prior.with_missing([1])
+        assert np.isinf(updated.scale[1])
+        assert updated.mean[1] == 0.0
+        # Original untouched (priors are immutable values).
+        assert prior.scale[1] == 2.0
+
+    def test_extended_appends_missing(self):
+        prior = zero_mean_prior(np.array([1.0, 2.0]))
+        extended = prior.extended(3)
+        assert extended.size == 5
+        assert extended.missing_mask().sum() == 3
+        assert np.allclose(extended.scale[:2], [1.0, 2.0])
+
+    def test_extended_zero_is_noop(self):
+        prior = zero_mean_prior(np.array([1.0]))
+        assert prior.extended(0).size == 1
+
+    def test_extended_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            zero_mean_prior(np.ones(2)).extended(-1)
+
+
+class TestEffectiveScale:
+    def test_no_missing_returns_original(self):
+        prior = zero_mean_prior(np.array([1.0, 2.0]))
+        assert prior.effective_scale() is prior.scale
+
+    def test_default_missing_scale_is_1e3_of_max(self):
+        prior = zero_mean_prior(np.array([1.0, 5.0])).with_missing([0])
+        effective = prior.effective_scale()
+        assert effective[0] == pytest.approx(5e3)
+        assert effective[1] == 5.0
+
+    def test_explicit_missing_scale(self):
+        prior = uninformative_prior(3)
+        assert np.allclose(prior.effective_scale(42.0), 42.0)
+
+    def test_all_missing_defaults_to_1e3(self):
+        prior = uninformative_prior(2)
+        assert np.allclose(prior.effective_scale(), 1e3)

@@ -1,0 +1,134 @@
+"""Unit tests for the process-variation substrate (space + PDK)."""
+
+import numpy as np
+import pytest
+
+from repro.process import PHYSICAL_DELTAS, ProcessKit, ProcessSpace, VariationVariable
+
+
+class TestVariationVariable:
+    def test_defaults(self):
+        var = VariationVariable("x0")
+        assert var.kind == "mismatch"
+        assert var.device is None
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            VariationVariable("x0", kind="global")
+
+
+class TestProcessSpace:
+    def test_add_and_lookup(self):
+        space = ProcessSpace()
+        index = space.add(VariationVariable("a"))
+        assert index == 0
+        assert space.index_of("a") == 0
+
+    def test_duplicate_name_rejected(self):
+        space = ProcessSpace([VariationVariable("a")])
+        with pytest.raises(ValueError, match="duplicate"):
+            space.add(VariationVariable("a"))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="no variation variable"):
+            ProcessSpace().index_of("ghost")
+
+    def test_add_block(self):
+        space = ProcessSpace()
+        block = space.add_block("dev.m", 4, kind="mismatch", device="dev")
+        assert list(block) == [0, 1, 2, 3]
+        assert space.size == 4
+        assert space.variables[2].name == "dev.m2"
+
+    def test_indices_of_kind(self):
+        space = ProcessSpace(
+            [
+                VariationVariable("g0", kind="interdie"),
+                VariationVariable("m0", kind="mismatch"),
+                VariationVariable("p0", kind="parasitic"),
+                VariationVariable("m1", kind="mismatch"),
+            ]
+        )
+        assert list(space.indices_of_kind("mismatch")) == [1, 3]
+        assert list(space.indices_of_kind("interdie")) == [0]
+        with pytest.raises(ValueError, match="kind"):
+            space.indices_of_kind("wibble")
+
+    def test_indices_of_device(self):
+        space = ProcessSpace(
+            [
+                VariationVariable("a", device="m1"),
+                VariationVariable("b", device="m2"),
+                VariationVariable("c", device="m1"),
+            ]
+        )
+        assert list(space.indices_of_device("m1")) == [0, 2]
+
+    def test_extended_is_a_copy(self):
+        base = ProcessSpace([VariationVariable("a")])
+        extended = base.extended([VariationVariable("b")])
+        assert base.size == 1
+        assert extended.size == 2
+        assert extended.index_of("a") == 0
+
+    def test_sampling_shape_and_distribution(self, rng):
+        space = ProcessSpace([VariationVariable(f"v{i}") for i in range(6)])
+        samples = space.sample(50_000, rng)
+        assert samples.shape == (50_000, 6)
+        assert np.allclose(samples.mean(axis=0), 0.0, atol=0.03)
+        assert np.allclose(samples.std(axis=0), 1.0, atol=0.03)
+
+    def test_negative_sample_count_rejected(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProcessSpace().sample(-1, rng)
+
+
+class TestProcessKit:
+    def test_projections_unit_norm(self):
+        kit = ProcessKit(params_per_device=10, interdie_params=7)
+        for delta in PHYSICAL_DELTAS:
+            assert np.linalg.norm(kit.mismatch_projection(delta)) == pytest.approx(1.0)
+            assert np.linalg.norm(kit.interdie_projection(delta)) == pytest.approx(1.0)
+            assert kit.mismatch_projection(delta).shape == (10,)
+            assert kit.interdie_projection(delta).shape == (7,)
+
+    def test_projections_mutually_orthogonal(self):
+        """Physical deltas are independent principal components: pushing the
+        raw variables along the vth direction must not leak into cap/beta."""
+        kit = ProcessKit(params_per_device=12, interdie_params=6)
+        for accessor in (kit.mismatch_projection, kit.interdie_projection):
+            for i, a in enumerate(PHYSICAL_DELTAS):
+                for b in PHYSICAL_DELTAS[i + 1 :]:
+                    assert abs(accessor(a) @ accessor(b)) < 1e-10
+
+    def test_deterministic_given_seed(self):
+        a = ProcessKit(seed=5)
+        b = ProcessKit(seed=5)
+        assert np.allclose(a.mismatch_projection("vth"), b.mismatch_projection("vth"))
+
+    def test_different_seeds_differ(self):
+        a = ProcessKit(seed=5)
+        b = ProcessKit(seed=6)
+        assert not np.allclose(
+            a.mismatch_projection("vth"), b.mismatch_projection("vth")
+        )
+
+    def test_sigma_accessors(self):
+        kit = ProcessKit(sigma_vth_mm=0.02, sigma_beta_g=0.03)
+        assert kit.mismatch_sigma("vth") == 0.02
+        assert kit.interdie_sigma("beta") == 0.03
+
+    def test_unknown_delta_rejected(self):
+        kit = ProcessKit()
+        with pytest.raises(ValueError, match="delta"):
+            kit.mismatch_sigma("mobility")
+
+    def test_thermal_voltage(self):
+        kit = ProcessKit(temperature=300.0)
+        assert kit.thermal_voltage == pytest.approx(0.02585, rel=1e-3)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError, match="params_per_device"):
+            ProcessKit(params_per_device=0)
+        with pytest.raises(ValueError, match="interdie_params"):
+            ProcessKit(interdie_params=0)

@@ -1,0 +1,97 @@
+"""Additional property-based tests for the newer algorithm modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bmf import KernelMapSolver, log_evidence, nonzero_mean_prior
+from repro.regression import lars_path, omp_path, sparse_bayesian_fit
+from repro.spice import parse_value
+
+
+class TestLarsProperties:
+    @given(
+        st.integers(min_value=8, max_value=30),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_training_residual_never_increases(self, num_samples, num_terms, seed):
+        """Each LAR step moves mu toward the target along an ascent
+        direction, so the training residual is non-increasing."""
+        rng = np.random.default_rng(seed)
+        design = rng.standard_normal((num_samples, num_terms))
+        target = rng.standard_normal(num_samples)
+        path = lars_path(design, target, num_terms)
+        previous = np.linalg.norm(target)
+        for step in range(len(path.coefficients_per_step)):
+            dense = path.dense_coefficients(num_terms, step=step)
+            residual = np.linalg.norm(target - design @ dense)
+            assert residual <= previous + 1e-9
+            previous = residual
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_lars_and_omp_agree_on_orthogonal_designs(self, seed):
+        """With exactly orthogonal columns both methods pick the same
+        support (ordering by absolute correlation)."""
+        rng = np.random.default_rng(seed)
+        q, _ = np.linalg.qr(rng.standard_normal((20, 6)))
+        truth = np.zeros(6)
+        truth[rng.integers(0, 6)] = 2.0
+        truth[rng.integers(0, 6)] += -1.0
+        target = q @ truth
+        if np.linalg.norm(target) < 1e-9:
+            return
+        nonzero = int(np.count_nonzero(truth))
+        lars = lars_path(q, target, nonzero)
+        omp = omp_path(q, target, nonzero)
+        assert set(lars.selected) == set(omp.selected)
+
+
+class TestSparseBayesianProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_noiseless_single_term_recovered(self, seed):
+        rng = np.random.default_rng(seed)
+        design = rng.standard_normal((30, 15))
+        index = int(rng.integers(0, 15))
+        target = 2.5 * design[:, index]
+        mean, _alpha, _noise = sparse_bayesian_fit(design, target)
+        assert int(np.argmax(np.abs(mean))) == index
+        assert mean[index] == pytest.approx(2.5, rel=0.05)
+
+
+class TestEvidenceProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_evidence_finite_over_wide_grids(self, seed):
+        rng = np.random.default_rng(seed)
+        design = rng.standard_normal((15, 40))
+        early = rng.uniform(0.5, 2.0, 40)
+        target = design @ early + 0.1 * rng.standard_normal(15)
+        solver = KernelMapSolver(design, target, nonzero_mean_prior(early))
+        grid = np.geomspace(1e-8, 1e8, 9)
+        values = log_evidence(solver, grid)
+        assert np.all(np.isfinite(values))
+
+
+class TestParserValueProperties:
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    @settings(max_examples=50)
+    def test_plain_float_round_trip(self, value):
+        assert parse_value(repr(value)) == pytest.approx(value)
+
+    @given(
+        st.floats(min_value=0.001, max_value=999.0),
+        st.sampled_from(["f", "p", "n", "u", "m", "k", "meg", "g", "t"]),
+    )
+    @settings(max_examples=50)
+    def test_suffix_scaling(self, base, suffix):
+        scale = {
+            "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+            "k": 1e3, "meg": 1e6, "g": 1e9, "t": 1e12,
+        }[suffix]
+        token = f"{base!r}{suffix}"
+        assert parse_value(token) == pytest.approx(base * scale)

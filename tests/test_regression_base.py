@@ -1,0 +1,124 @@
+"""Unit tests for the estimator protocol, FittedModel, and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.regression import FittedModel, relative_error, rms_error
+from repro.regression.base import BasisRegressor
+
+
+class _MeanRegressor(BasisRegressor):
+    """Trivial concrete regressor: constant term = mean, rest zero."""
+
+    def _fit_design(self, design, target):
+        coefficients = np.zeros(design.shape[1])
+        coefficients[0] = float(np.mean(target))
+        return coefficients
+
+
+class TestRelativeError:
+    def test_perfect_prediction(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        assert relative_error(actual, actual) == 0.0
+
+    def test_matches_eq59(self, rng):
+        predicted = rng.standard_normal(40)
+        actual = rng.standard_normal(40) + 5.0
+        expected = np.linalg.norm(predicted - actual) / np.linalg.norm(actual)
+        assert relative_error(predicted, actual) == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            relative_error(np.zeros(3), np.zeros(4))
+
+    def test_zero_norm_rejected(self):
+        with pytest.raises(ValueError, match="zero norm"):
+            relative_error(np.ones(3), np.zeros(3))
+
+    def test_scale_invariance(self, rng):
+        predicted = rng.standard_normal(20) + 3.0
+        actual = rng.standard_normal(20) + 3.0
+        assert relative_error(10 * predicted, 10 * actual) == pytest.approx(
+            relative_error(predicted, actual)
+        )
+
+
+class TestRmsError:
+    def test_known_value(self):
+        assert rms_error(np.array([1.0, 1.0]), np.array([0.0, 0.0])) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            rms_error(np.zeros(2), np.zeros(3))
+
+
+class TestFittedModel:
+    def test_predict(self, rng):
+        basis = OrthonormalBasis.linear(3)
+        coefficients = np.array([1.0, 2.0, 0.0, -1.0])
+        model = FittedModel(basis, coefficients)
+        x = rng.standard_normal((5, 3))
+        assert np.allclose(model.predict(x), 1.0 + 2 * x[:, 0] - x[:, 2])
+
+    def test_wrong_coefficient_count_rejected(self):
+        with pytest.raises(ValueError, match="4 coefficients"):
+            FittedModel(OrthonormalBasis.linear(3), np.zeros(6))
+
+    def test_error_on(self, rng):
+        basis = OrthonormalBasis.linear(2)
+        model = FittedModel(basis, np.array([5.0, 1.0, 1.0]))
+        x = rng.standard_normal((10, 2))
+        f = model.predict(x)
+        assert model.error_on(x, f) == 0.0
+
+    def test_sparsity(self):
+        basis = OrthonormalBasis.linear(4)
+        model = FittedModel(basis, np.array([1.0, 0.0, 0.5, 0.0, 1e-15]))
+        assert model.sparsity() == 3
+        assert model.sparsity(threshold=1e-10) == 2
+
+
+class TestBasisRegressorProtocol:
+    def test_fit_predict_roundtrip(self, rng):
+        basis = OrthonormalBasis.linear(3)
+        x = rng.standard_normal((20, 3))
+        f = rng.standard_normal(20) + 4.0
+        model = _MeanRegressor(basis).fit(x, f)
+        assert np.allclose(model.predict(x), np.mean(f))
+
+    def test_fit_design_stores_coefficients(self, rng):
+        basis = OrthonormalBasis.linear(2)
+        regressor = _MeanRegressor(basis)
+        design = basis.design_matrix(rng.standard_normal((5, 2)))
+        returned = regressor.fit_design(design, np.ones(5))
+        assert regressor.coefficients_ is returned
+
+    def test_predict_before_fit_rejected(self):
+        regressor = _MeanRegressor(OrthonormalBasis.linear(2))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            regressor.predict(np.zeros((1, 2)))
+
+    def test_fitted_model_before_fit_rejected(self):
+        regressor = _MeanRegressor(OrthonormalBasis.linear(2))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            regressor.fitted_model()
+
+    def test_non_2d_x_rejected(self):
+        regressor = _MeanRegressor(OrthonormalBasis.linear(2))
+        with pytest.raises(ValueError, match="2-D"):
+            regressor.fit(np.zeros(2), np.zeros(1))
+
+    def test_target_length_mismatch_rejected(self, rng):
+        regressor = _MeanRegressor(OrthonormalBasis.linear(2))
+        with pytest.raises(ValueError, match="match x"):
+            regressor.fit(rng.standard_normal((5, 2)), np.zeros(4))
+
+    def test_fitted_model_detached(self, rng):
+        basis = OrthonormalBasis.linear(2)
+        regressor = _MeanRegressor(basis).fit(
+            rng.standard_normal((5, 2)), np.full(5, 2.0)
+        )
+        model = regressor.fitted_model()
+        assert isinstance(model, FittedModel)
+        assert model.predict(np.zeros((1, 2)))[0] == pytest.approx(2.0)

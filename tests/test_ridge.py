@@ -1,0 +1,66 @@
+"""Unit tests for ridge regression."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.regression import RidgeRegressor
+
+
+class TestRidge:
+    def test_matches_closed_form(self, rng):
+        """Shrinkage applies to the centered target; the intercept gets the
+        mean back (standard unpenalized-intercept ridge)."""
+        basis = OrthonormalBasis.linear(4)
+        x = rng.standard_normal((12, 4))
+        f = rng.standard_normal(12)
+        penalty = 0.7
+        model = RidgeRegressor(basis, penalty=penalty).fit(x, f)
+        design = basis.design_matrix(x)
+        centered = f - f.mean()
+        reference = np.linalg.solve(
+            penalty * np.eye(basis.size) + design.T @ design,
+            design.T @ centered,
+        )
+        reference[0] += f.mean()
+        assert np.allclose(model.coefficients_, reference)
+
+    def test_intercept_unpenalized(self, rng):
+        """A huge-mean target must not be shrunk toward zero."""
+        basis = OrthonormalBasis.linear(3)
+        x = rng.standard_normal((30, 3))
+        f = 1e9 + rng.standard_normal(30)
+        model = RidgeRegressor(basis, penalty=100.0).fit(x, f)
+        prediction = model.predict(rng.standard_normal((10, 3)))
+        assert np.allclose(prediction, 1e9, rtol=1e-6)
+
+    def test_shrinks_with_penalty(self, rng):
+        basis = OrthonormalBasis.linear(5)
+        x = rng.standard_normal((30, 5))
+        f = rng.standard_normal(30) + 2.0
+        weak = RidgeRegressor(basis, penalty=1e-6).fit(x, f)
+        strong = RidgeRegressor(basis, penalty=1e6).fit(x, f)
+        assert np.linalg.norm(strong.coefficients_) < np.linalg.norm(
+            weak.coefficients_
+        )
+
+    def test_small_penalty_approaches_least_squares(self, rng):
+        basis = OrthonormalBasis.linear(3)
+        truth = rng.standard_normal(basis.size)
+        x = rng.standard_normal((40, 3))
+        f = basis.evaluate(truth, x)
+        model = RidgeRegressor(basis, penalty=1e-6).fit(x, f)
+        assert np.allclose(model.coefficients_, truth, atol=1e-5)
+
+    def test_underdetermined_works(self, rng):
+        """Ridge handles M >> K thanks to the Woodbury fast path."""
+        basis = OrthonormalBasis.linear(500)
+        x = rng.standard_normal((20, 500))
+        f = rng.standard_normal(20)
+        model = RidgeRegressor(basis, penalty=1.0).fit(x, f)
+        assert model.coefficients_.shape == (501,)
+        assert np.isfinite(model.coefficients_).all()
+
+    def test_non_positive_penalty_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            RidgeRegressor(OrthonormalBasis.linear(3), penalty=0.0)

@@ -1,0 +1,122 @@
+"""Unit tests for the ring-oscillator testbench."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import RingOscillator, Stage
+
+
+class TestConstruction:
+    def test_variable_counts(self, tiny_ro, tiny_kit):
+        devices = 2 * tiny_ro.n_ring + 2 * tiny_ro.n_buffer
+        expected = tiny_kit.interdie_params + devices * tiny_kit.params_per_device
+        assert tiny_ro.num_vars(Stage.SCHEMATIC) == expected
+        nets = tiny_ro.n_ring + tiny_ro.n_buffer
+        assert tiny_ro.num_vars(Stage.POST_LAYOUT) == expected + nets
+
+    def test_even_ring_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            RingOscillator(n_ring=6)
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            RingOscillator(n_ring=1)
+
+    def test_no_buffer_rejected(self):
+        with pytest.raises(ValueError, match="n_buffer"):
+            RingOscillator(n_buffer=0)
+
+    def test_paper_scale_dimensionality(self):
+        ro = RingOscillator.paper_scale()
+        assert 6500 <= ro.num_vars(Stage.POST_LAYOUT) <= 8000
+
+    def test_metrics_declared(self, tiny_ro):
+        assert tiny_ro.metrics == ("power", "phase_noise", "frequency")
+
+
+class TestSimulation:
+    def test_unknown_metric_rejected(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.SCHEMATIC, 2, rng)
+        with pytest.raises(ValueError, match="unknown metric"):
+            tiny_ro.simulate(Stage.SCHEMATIC, x, "gain")
+
+    def test_wrong_sample_width_rejected(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.SCHEMATIC, 2, rng)
+        with pytest.raises(ValueError, match="expects samples"):
+            tiny_ro.simulate(Stage.POST_LAYOUT, x, "power")
+
+    def test_deterministic(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.POST_LAYOUT, 5, rng)
+        a = tiny_ro.simulate(Stage.POST_LAYOUT, x, "frequency")
+        b = tiny_ro.simulate(Stage.POST_LAYOUT, x, "frequency")
+        assert np.array_equal(a, b)
+
+    def test_plausible_magnitudes(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.POST_LAYOUT, 200, rng)
+        frequency = tiny_ro.simulate(Stage.POST_LAYOUT, x, "frequency")
+        power = tiny_ro.simulate(Stage.POST_LAYOUT, x, "power")
+        noise = tiny_ro.simulate(Stage.POST_LAYOUT, x, "phase_noise")
+        assert np.all((frequency > 1e8) & (frequency < 1e12))
+        assert np.all((power > 1e-7) & (power < 1e-1))
+        assert np.all((noise > -160) & (noise < -40))
+
+    def test_relative_spread_is_a_few_percent(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.POST_LAYOUT, 3000, rng)
+        for metric in ("power", "frequency"):
+            values = tiny_ro.simulate(Stage.POST_LAYOUT, x, metric)
+            rel = values.std() / abs(values.mean())
+            assert 0.01 < rel < 0.2, metric
+
+    def test_simulate_all(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.SCHEMATIC, 3, rng)
+        values = tiny_ro.simulate_all(Stage.SCHEMATIC, x)
+        assert set(values) == set(tiny_ro.metrics)
+
+
+class TestStageDifferences:
+    def test_layout_slows_the_oscillator(self, tiny_ro, rng):
+        """Wire loading + cap shifts: post-layout frequency is lower."""
+        x_post = tiny_ro.sample(Stage.POST_LAYOUT, 500, rng)
+        x_sch = x_post[:, : tiny_ro.num_vars(Stage.SCHEMATIC)]
+        f_sch = tiny_ro.simulate(Stage.SCHEMATIC, x_sch, "frequency")
+        f_post = tiny_ro.simulate(Stage.POST_LAYOUT, x_post, "frequency")
+        assert f_post.mean() < f_sch.mean()
+
+    def test_stages_strongly_correlated(self, tiny_ro, rng):
+        """Same mismatch -> the two stages move together (the BMF premise)."""
+        x_post = tiny_ro.sample(Stage.POST_LAYOUT, 500, rng)
+        x_sch = x_post[:, : tiny_ro.num_vars(Stage.SCHEMATIC)]
+        f_sch = tiny_ro.simulate(Stage.SCHEMATIC, x_sch, "frequency")
+        f_post = tiny_ro.simulate(Stage.POST_LAYOUT, x_post, "frequency")
+        assert np.corrcoef(f_sch, f_post)[0, 1] > 0.9
+
+    def test_parasitic_variables_matter_post_layout(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.POST_LAYOUT, 1, rng)
+        base = tiny_ro.simulate(Stage.POST_LAYOUT, x, "frequency")[0]
+        shifted = x.copy()
+        shifted[:, tiny_ro.num_vars(Stage.SCHEMATIC) :] += 2.0
+        slower = tiny_ro.simulate(Stage.POST_LAYOUT, shifted, "frequency")[0]
+        assert slower < base  # more wire cap -> slower
+
+    def test_parasitic_variables_ignored_at_schematic(self, tiny_ro, rng):
+        """Schematic evaluation does not depend on (absent) parasitics."""
+        x = tiny_ro.sample(Stage.SCHEMATIC, 3, rng)
+        f = tiny_ro.simulate(Stage.SCHEMATIC, x, "power")
+        assert np.all(np.isfinite(f))
+
+
+class TestPhysics:
+    def test_higher_global_vth_means_slower_and_less_leaky(self, tiny_ro, tiny_kit):
+        """Push the global vth projection: frequency drops, leakage drops."""
+        space_size = tiny_ro.num_vars(Stage.POST_LAYOUT)
+        x = np.zeros((2, space_size))
+        projection = tiny_kit.interdie_projection("vth")
+        x[1, : tiny_kit.interdie_params] = 3.0 * projection
+        frequency = tiny_ro.simulate(Stage.POST_LAYOUT, x, "frequency")
+        assert frequency[1] < frequency[0]
+
+    def test_power_scales_with_frequency(self, tiny_ro, rng):
+        x = tiny_ro.sample(Stage.POST_LAYOUT, 2000, rng)
+        frequency = tiny_ro.simulate(Stage.POST_LAYOUT, x, "frequency")
+        power = tiny_ro.simulate(Stage.POST_LAYOUT, x, "power")
+        assert np.corrcoef(frequency, power)[0, 1] > 0.5

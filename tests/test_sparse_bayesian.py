@@ -1,0 +1,85 @@
+"""Unit tests for sparse Bayesian learning (ref. [29] baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis
+from repro.regression import SparseBayesianRegressor, sparse_bayesian_fit
+
+
+class TestSparseBayesianFit:
+    def test_recovers_sparse_signal(self, rng):
+        design = rng.standard_normal((70, 120))
+        truth = np.zeros(120)
+        truth[[5, 40, 90]] = [2.0, -1.5, 1.0]
+        target = design @ truth + 0.02 * rng.standard_normal(70)
+        mean, alpha, noise = sparse_bayesian_fit(design, target)
+        big = np.flatnonzero(np.abs(mean) > 0.2)
+        assert set(big) == {5, 40, 90}
+        assert np.allclose(mean[big], truth[big], atol=0.1)
+
+    def test_noise_estimate_is_sane(self, rng):
+        design = rng.standard_normal((80, 30))
+        truth = np.zeros(30)
+        truth[2] = 3.0
+        sigma = 0.1
+        target = design @ truth + sigma * rng.standard_normal(80)
+        _mean, _alpha, noise = sparse_bayesian_fit(design, target)
+        assert noise == pytest.approx(sigma**2, rel=0.5)
+
+    def test_pure_noise_prunes_everything_important(self, rng):
+        design = rng.standard_normal((60, 40))
+        target = rng.standard_normal(60)
+        mean, _alpha, noise = sparse_bayesian_fit(design, target)
+        # Whatever survives must explain almost nothing.
+        assert np.linalg.norm(design @ mean) < 2 * np.linalg.norm(target)
+        assert noise > 0.3 * np.var(target)
+
+
+class TestSparseBayesianRegressor:
+    def test_accurate_prediction(self, rng):
+        basis = OrthonormalBasis.linear(80)
+        truth = np.zeros(basis.size)
+        truth[0] = 5.0
+        truth[[3, 20, 50]] = [2.0, -1.0, 0.5]
+        x = rng.standard_normal((60, 80))
+        f = basis.evaluate(truth, x) + 0.02 * rng.standard_normal(60)
+        model = SparseBayesianRegressor(basis).fit(x, f)
+        x_test = rng.standard_normal((400, 80))
+        reference = basis.evaluate(truth, x_test)
+        error = np.linalg.norm(model.predict(x_test) - reference)
+        assert error / np.linalg.norm(reference) < 0.02
+
+    def test_huge_mean_handled_by_intercept(self, rng):
+        """The centering path must keep a 1e9-mean target workable."""
+        basis = OrthonormalBasis.linear(20)
+        x = rng.standard_normal((50, 20))
+        f = 1e9 + 2.0 * x[:, 3] + 0.01 * rng.standard_normal(50)
+        model = SparseBayesianRegressor(basis).fit(x, f)
+        prediction = model.predict(np.zeros((1, 20)))
+        assert prediction[0] == pytest.approx(1e9, rel=1e-6)
+
+    def test_num_relevant(self, rng):
+        basis = OrthonormalBasis.linear(50)
+        truth = np.zeros(basis.size)
+        truth[7] = 2.0
+        x = rng.standard_normal((60, 50))
+        f = basis.evaluate(truth, x) + 0.01 * rng.standard_normal(60)
+        model = SparseBayesianRegressor(basis).fit(x, f)
+        # Pruning keeps a fraction of the basis; the true term dominates.
+        assert 1 <= model.num_relevant() < basis.size
+        assert int(np.argmax(np.abs(model.coefficients_[1:]))) + 1 == 7
+
+    def test_num_relevant_before_fit_rejected(self):
+        model = SparseBayesianRegressor(OrthonormalBasis.linear(5))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.num_relevant()
+
+    def test_records_hyperparameters(self, rng):
+        basis = OrthonormalBasis.linear(10)
+        x = rng.standard_normal((30, 10))
+        f = x[:, 0] + 0.05 * rng.standard_normal(30)
+        model = SparseBayesianRegressor(basis).fit(x, f)
+        assert model.precisions_ is not None
+        assert model.precisions_.shape == (basis.size,)
+        assert model.noise_variance_ > 0

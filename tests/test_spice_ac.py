@@ -1,0 +1,95 @@
+"""Unit tests for small-signal AC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+    ac_analysis,
+)
+
+
+def rc_lowpass():
+    ckt = Circuit("lp")
+    ckt.add(VoltageSource("VIN", "in", "0", dc=0.0))
+    ckt.add(Resistor("R", "in", "out", 1e3))
+    ckt.add(Capacitor("C", "out", "0", 1e-9))  # pole at ~159 kHz
+    return ckt
+
+
+class TestRcLowpass:
+    def test_dc_gain_is_unity(self):
+        result = ac_analysis(rc_lowpass(), [1.0], "VIN")
+        assert result.gain("out")[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_pole_frequency(self):
+        pole = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        result = ac_analysis(rc_lowpass(), [pole], "VIN")
+        assert result.gain("out")[0] == pytest.approx(1 / np.sqrt(2), rel=1e-3)
+        assert result.phase("out")[0] == pytest.approx(-np.pi / 4, rel=1e-3)
+
+    def test_rolloff_20db_per_decade(self):
+        pole = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        freqs = [100 * pole, 1000 * pole]
+        result = ac_analysis(rc_lowpass(), freqs, "VIN")
+        drop = result.gain_db("out")[0] - result.gain_db("out")[1]
+        assert drop == pytest.approx(20.0, abs=0.1)
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ac_analysis(rc_lowpass(), [0.0], "VIN")
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(KeyError):
+            ac_analysis(rc_lowpass(), [1.0], "VX")
+
+    def test_non_source_input_rejected(self):
+        with pytest.raises(TypeError, match="independent source"):
+            ac_analysis(rc_lowpass(), [1.0], "R")
+
+
+class TestCommonSourceAmp:
+    def build(self):
+        ckt = Circuit("cs")
+        ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        ckt.add(VoltageSource("VG", "g", "0", dc=0.9))
+        ckt.add(Resistor("RD", "vdd", "d", 10e3))
+        ckt.add(Mosfet("M1", "d", "g", "0", kp=2e-4, vth=0.5, lambda_=0.02))
+        return ckt
+
+    def test_low_frequency_gain_matches_gm_ro_rd(self):
+        ckt = self.build()
+        result = ac_analysis(ckt, [1.0], "VG")
+        # Hand analysis at the operating point.
+        fet = ckt.element("M1")
+        from repro.spice import dc_operating_point
+
+        op = dc_operating_point(ckt)
+        _ids, gm, gds = fet.ids(0.9, op.voltage("d"))
+        expected = gm / (gds + 1e-4)  # RD = 10k -> 1e-4 S
+        assert result.gain("d")[0] == pytest.approx(expected, rel=1e-4)
+
+    def test_inverting_phase(self):
+        result = ac_analysis(self.build(), [1.0], "VG")
+        assert abs(result.phase("d")[0]) == pytest.approx(np.pi, abs=1e-3)
+
+    def test_output_pole_from_load_cap(self):
+        ckt = self.build()
+        ckt.add(Capacitor("CL", "d", "0", 1e-12))
+        low = ac_analysis(ckt, [1e3], "VG").gain("d")[0]
+        high = ac_analysis(ckt, [1e9], "VG").gain("d")[0]
+        assert high < 0.2 * low
+
+
+class TestCurrentSourceInput:
+    def test_transimpedance(self):
+        ckt = Circuit("ti")
+        ckt.add(CurrentSource("IIN", "0", "n", dc=0.0))
+        ckt.add(Resistor("R", "n", "0", 5e3))
+        result = ac_analysis(ckt, [1.0], "IIN")
+        assert result.gain("n")[0] == pytest.approx(5e3, rel=1e-6)

@@ -1,0 +1,157 @@
+"""Unit tests for DC operating-point analysis."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    Vccs,
+    VoltageSource,
+    dc_operating_point,
+)
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        ckt = Circuit("divider")
+        ckt.add(VoltageSource("V1", "in", "0", dc=2.0))
+        ckt.add(Resistor("R1", "in", "out", 1e3))
+        ckt.add(Resistor("R2", "out", "0", 3e3))
+        op = dc_operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(1.5, rel=1e-6)
+        assert op.source_currents["V1"] == pytest.approx(-0.5e-3, rel=1e-4)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit("ir")
+        ckt.add(CurrentSource("I1", "0", "n", dc=1e-3))
+        ckt.add(Resistor("R1", "n", "0", 2e3))
+        op = dc_operating_point(ckt)
+        assert op.voltage("n") == pytest.approx(2.0, rel=1e-6)
+
+    def test_resistor_ladder(self):
+        ckt = Circuit("ladder")
+        ckt.add(VoltageSource("V1", "n0", "0", dc=1.0))
+        for i in range(5):
+            ckt.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", 1e3))
+        ckt.add(Resistor("Rend", "n5", "0", 1e3))
+        op = dc_operating_point(ckt)
+        # Equal resistors: uniform voltage steps.
+        for i in range(6):
+            assert op.voltage(f"n{i}") == pytest.approx(1.0 - i / 6.0, rel=1e-6)
+
+    def test_vccs(self):
+        ckt = Circuit("vccs")
+        ckt.add(VoltageSource("V1", "c", "0", dc=0.5))
+        ckt.add(Resistor("Rc", "c", "0", 1e6))
+        ckt.add(Vccs("G1", "0", "out", "c", "0", gm=1e-3))
+        ckt.add(Resistor("RL", "out", "0", 2e3))
+        op = dc_operating_point(ckt)
+        # i = gm * 0.5 = 0.5 mA into RL -> 1.0 V
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_two_voltage_sources(self):
+        ckt = Circuit("two-sources")
+        ckt.add(VoltageSource("VA", "a", "0", dc=1.0))
+        ckt.add(VoltageSource("VB", "b", "0", dc=2.0))
+        ckt.add(Resistor("R", "a", "b", 1e3))
+        op = dc_operating_point(ckt)
+        assert op.source_currents["VA"] == pytest.approx(1e-3, rel=1e-4)
+        assert op.source_currents["VB"] == pytest.approx(-1e-3, rel=1e-4)
+
+    def test_ground_aliases(self):
+        ckt = Circuit("gnd")
+        ckt.add(VoltageSource("V1", "n", "gnd", dc=1.0))
+        ckt.add(Resistor("R1", "n", "0", 1e3))
+        op = dc_operating_point(ckt)
+        assert op.voltage("n") == pytest.approx(1.0)
+        assert op.voltage("gnd") == 0.0
+
+
+class TestMosfetBias:
+    def test_nmos_saturation_bias(self):
+        """Common-source stage; compare against the analytic solution."""
+        ckt = Circuit("cs")
+        ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        ckt.add(VoltageSource("VG", "g", "0", dc=0.9))
+        ckt.add(Resistor("RD", "vdd", "d", 10e3))
+        ckt.add(Mosfet("M1", "d", "g", "0", kp=2e-4, vth=0.5, lambda_=0.0))
+        op = dc_operating_point(ckt)
+        ids = 0.5 * 2e-4 * (0.9 - 0.5) ** 2
+        assert op.voltage("d") == pytest.approx(1.8 - 10e3 * ids, rel=1e-4)
+
+    def test_pmos_mirror_of_nmos(self):
+        ckt = Circuit("pmos")
+        ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        ckt.add(VoltageSource("VG", "g", "0", dc=0.9))
+        ckt.add(Resistor("RD", "d", "0", 10e3))
+        ckt.add(
+            Mosfet("M1", "d", "g", "vdd", kp=2e-4, vth=0.5, polarity="pmos",
+                   lambda_=0.0)
+        )
+        op = dc_operating_point(ckt)
+        ids = 0.5 * 2e-4 * (1.8 - 0.9 - 0.5) ** 2
+        assert op.voltage("d") == pytest.approx(10e3 * ids, rel=1e-4)
+
+    def test_diode_connected_nmos(self):
+        """Diode-connected device: Vgs settles where I_R = I_D."""
+        ckt = Circuit("diode")
+        ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        ckt.add(Resistor("R", "vdd", "d", 20e3))
+        ckt.add(Mosfet("M1", "d", "d", "0", kp=5e-4, vth=0.4, lambda_=0.0))
+        op = dc_operating_point(ckt)
+        vd = op.voltage("d")
+        ids = 0.5 * 5e-4 * (vd - 0.4) ** 2
+        assert (1.8 - vd) / 20e3 == pytest.approx(ids, rel=1e-3)
+
+    def test_cmos_inverter_transfer_extremes(self):
+        for vin, expect_high in ((0.0, True), (1.0, False)):
+            ckt = Circuit("inv")
+            ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.0))
+            ckt.add(VoltageSource("VIN", "in", "0", dc=vin))
+            ckt.add(Mosfet("MN", "out", "in", "0", kp=4e-4, vth=0.3))
+            ckt.add(
+                Mosfet("MP", "out", "in", "vdd", kp=3e-4, vth=0.3,
+                       polarity="pmos")
+            )
+            ckt.add(Resistor("RL", "out", "0", 1e9))  # leak path for DC
+            op = dc_operating_point(ckt)
+            if expect_high:
+                assert op.voltage("out") > 0.95
+            else:
+                assert op.voltage("out") < 0.05
+
+
+class TestRobustness:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError, match="no elements"):
+            dc_operating_point(Circuit("empty"))
+
+    def test_floating_circuit_rejected(self):
+        ckt = Circuit("floating")
+        ckt.add(Resistor("R1", "a", "b", 1e3))
+        with pytest.raises(ValueError, match="ground"):
+            dc_operating_point(ckt)
+
+    def test_duplicate_element_names_rejected(self):
+        ckt = Circuit("dups")
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.add(Resistor("R1", "a", "0", 1e3))
+
+    def test_bad_initial_guess_shape_rejected(self):
+        ckt = Circuit("d")
+        ckt.add(VoltageSource("V1", "a", "0", dc=1.0))
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(ValueError, match="initial guess"):
+            dc_operating_point(ckt, initial=np.zeros(10))
+
+    def test_unknown_node_lookup_rejected(self):
+        ckt = Circuit("d")
+        ckt.add(VoltageSource("V1", "a", "0", dc=1.0))
+        ckt.add(Resistor("R1", "a", "0", 1e3))
+        op = dc_operating_point(ckt)
+        with pytest.raises(KeyError):
+            op.voltage("zz")

@@ -1,0 +1,147 @@
+"""Unit tests for SPICE-lite elements and source waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    CurrentSource,
+    DcValue,
+    Mosfet,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    VoltageSource,
+)
+
+
+class TestWaveforms:
+    def test_dc_value_constant(self):
+        wave = DcValue(2.5)
+        assert wave.value(0.0) == 2.5
+        assert wave.value(1e9) == 2.5
+
+    def test_pulse_phases(self):
+        wave = Pulse(0.0, 1.0, delay=1.0, rise=0.5, fall=0.25, width=2.0)
+        assert wave.value(0.5) == 0.0          # before delay
+        assert wave.value(1.25) == pytest.approx(0.5)  # mid rise
+        assert wave.value(2.0) == 1.0          # high plateau
+        assert wave.value(3.5 + 0.125) == pytest.approx(0.5)  # mid fall
+        assert wave.value(10.0) == 0.0         # back low
+
+    def test_pulse_periodic(self):
+        wave = Pulse(0.0, 1.0, rise=0.1, fall=0.1, width=0.4, period=1.0)
+        assert wave.value(0.3) == 1.0
+        assert wave.value(1.3) == 1.0
+        assert wave.value(0.8) == 0.0
+        assert wave.value(2.8) == 0.0
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError, match="rise"):
+            Pulse(0, 1, rise=0.0)
+        with pytest.raises(ValueError, match="width"):
+            Pulse(0, 1, width=-1.0)
+
+    def test_pwl_interpolation(self):
+        wave = PiecewiseLinear([(0.0, 0.0), (1.0, 2.0), (3.0, 0.0)])
+        assert wave.value(-1.0) == 0.0
+        assert wave.value(0.5) == 1.0
+        assert wave.value(2.0) == 1.0
+        assert wave.value(5.0) == 0.0
+
+    def test_pwl_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            PiecewiseLinear([(0.0, 0.0), (0.0, 1.0)])
+        with pytest.raises(ValueError, match="at least one"):
+            PiecewiseLinear([])
+
+    def test_sine(self):
+        wave = Sine(offset=1.0, amplitude=2.0, frequency=1.0)
+        assert wave.value(0.0) == pytest.approx(1.0)
+        assert wave.value(0.25) == pytest.approx(3.0)
+        with pytest.raises(ValueError, match="frequency"):
+            Sine(0, 1, 0.0)
+
+
+class TestElementValidation:
+    def test_resistor_positive(self):
+        with pytest.raises(ValueError, match="resistance"):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_capacitor_positive(self):
+        with pytest.raises(ValueError, match="capacitance"):
+            Capacitor("C1", "a", "b", -1e-12)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Resistor("", "a", "b", 1.0)
+
+    def test_mosfet_polarity(self):
+        with pytest.raises(ValueError, match="polarity"):
+            Mosfet("M1", "d", "g", "s", kp=1e-3, vth=0.3, polarity="cmos")
+
+    def test_mosfet_kp_positive(self):
+        with pytest.raises(ValueError, match="kp"):
+            Mosfet("M1", "d", "g", "s", kp=0.0, vth=0.3)
+
+    def test_nodes_reported(self):
+        m = Mosfet("M1", "d", "g", "s", kp=1e-3, vth=0.3)
+        assert m.nodes() == ("d", "g", "s")
+        v = VoltageSource("V1", "p", "n", dc=1.0)
+        assert v.nodes() == ("p", "n")
+        i = CurrentSource("I1", "a", "b", dc=1.0)
+        assert i.nodes() == ("a", "b")
+
+
+class TestMosfetModel:
+    def setup_method(self):
+        self.fet = Mosfet("M1", "d", "g", "s", kp=2e-4, vth=0.4, lambda_=0.05)
+
+    def test_cutoff(self):
+        ids, gm, gds = self.fet.ids(vgs=0.3, vds=1.0)
+        assert ids == 0.0 and gm == 0.0 and gds == 0.0
+
+    def test_saturation_current(self):
+        vgs, vds = 1.0, 1.5  # vov = 0.6 < vds
+        ids, gm, gds = self.fet.ids(vgs, vds)
+        expected = 0.5 * 2e-4 * 0.6**2 * (1 + 0.05 * 1.5)
+        assert ids == pytest.approx(expected)
+        assert gm == pytest.approx(2e-4 * 0.6 * (1 + 0.05 * 1.5))
+        assert gds == pytest.approx(0.5 * 2e-4 * 0.6**2 * 0.05)
+
+    def test_triode_current(self):
+        vgs, vds = 1.0, 0.2  # vov = 0.6 > vds
+        ids, _gm, _gds = self.fet.ids(vgs, vds)
+        expected = 2e-4 * (0.6 * 0.2 - 0.5 * 0.04) * (1 + 0.05 * 0.2)
+        assert ids == pytest.approx(expected)
+
+    def test_continuity_at_saturation_edge(self):
+        vgs = 1.0
+        vov = vgs - 0.4
+        below = self.fet.ids(vgs, vov - 1e-9)[0]
+        above = self.fet.ids(vgs, vov + 1e-9)[0]
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_reverse_vds_antisymmetry(self):
+        """Drain/source swap: ids(vgs - vds, -vds) = -ids(vgs, vds)."""
+        forward = self.fet.ids(1.0, 0.5)[0]
+        backward = self.fet.ids(1.0 - 0.5, -0.5)[0]
+        assert backward == pytest.approx(-forward, rel=1e-12)
+
+    def test_gm_is_numeric_derivative(self):
+        vgs, vds, eps = 0.9, 1.2, 1e-7
+        _ids, gm, _gds = self.fet.ids(vgs, vds)
+        numeric = (
+            self.fet.ids(vgs + eps, vds)[0] - self.fet.ids(vgs - eps, vds)[0]
+        ) / (2 * eps)
+        assert gm == pytest.approx(numeric, rel=1e-5)
+
+    def test_gds_is_numeric_derivative(self):
+        for vds in (0.2, 1.2):  # triode and saturation
+            vgs, eps = 0.9, 1e-7
+            _ids, _gm, gds = self.fet.ids(vgs, vds)
+            numeric = (
+                self.fet.ids(vgs, vds + eps)[0] - self.fet.ids(vgs, vds - eps)[0]
+            ) / (2 * eps)
+            assert gds == pytest.approx(numeric, rel=1e-4)

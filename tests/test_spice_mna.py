@@ -1,0 +1,86 @@
+"""Unit tests for the MNA assembly layer (stamps and conventions)."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, MnaSystem, Resistor, VoltageSource
+
+
+@pytest.fixture
+def system():
+    circuit = Circuit("stamp-test")
+    circuit.add(VoltageSource("V1", "a", "0", dc=1.0))
+    circuit.add(Resistor("R1", "a", "b", 1e3))
+    circuit.add(Resistor("R2", "b", "0", 1e3))
+    return MnaSystem(circuit)
+
+
+class TestStructure:
+    def test_unknown_count(self, system):
+        # 2 nodes + 1 voltage-source branch current.
+        assert system.size == 3
+        assert system.num_nodes == 2
+
+    def test_node_index_includes_ground_alias(self, system):
+        assert system.node_index["0"] == -1
+        assert system.node_index["a"] == 0
+        assert system.node_index["b"] == 1
+
+    def test_voltage_of_ground_is_zero(self, system):
+        assert system.voltage_of("0", np.array([5.0, 6.0, 7.0])) == 0.0
+        assert system.voltage_of("a", np.array([5.0, 6.0, 7.0])) == 5.0
+
+    def test_unknown_node_rejected(self, system):
+        with pytest.raises(KeyError):
+            system.voltage_of("zz", np.zeros(3))
+
+    def test_clear(self, system):
+        system.add_conductance("a", "b", 1.0)
+        system.clear()
+        assert np.all(system.matrix == 0)
+        assert np.all(system.rhs == 0)
+
+
+class TestStamps:
+    def test_conductance_stamp_symmetric(self, system):
+        system.add_conductance("a", "b", 2.0)
+        matrix = system.matrix[:2, :2]
+        assert matrix[0, 0] == 2.0 and matrix[1, 1] == 2.0
+        assert matrix[0, 1] == -2.0 and matrix[1, 0] == -2.0
+
+    def test_conductance_to_ground_stamps_diagonal_only(self, system):
+        system.add_conductance("a", "0", 3.0)
+        assert system.matrix[0, 0] == 3.0
+        assert system.matrix[0, 1] == 0.0
+
+    def test_current_injection_sign(self, system):
+        system.add_current("a", 1e-3)
+        assert system.rhs[0] == 1e-3
+        system.add_current("0", 5.0)  # into ground: discarded
+        assert np.all(system.rhs[1:] == 0)
+
+    def test_transconductance_stamp(self, system):
+        system.add_transconductance("a", "0", "b", "0", 1e-3)
+        # i(a->0) = gm * v(b): row a gets +gm at column b.
+        assert system.matrix[0, 1] == 1e-3
+
+    def test_voltage_source_rows(self, system):
+        system.add_voltage_source("a", "0", branch=0, value=1.5)
+        row = system.branch_index(0)
+        assert system.matrix[0, row] == 1.0
+        assert system.matrix[row, 0] == 1.0
+        assert system.rhs[row] == 1.5
+
+    def test_gmin_touches_node_diagonal_only(self, system):
+        system.add_gmin(1e-9)
+        assert system.matrix[0, 0] == 1e-9
+        assert system.matrix[1, 1] == 1e-9
+        assert system.matrix[2, 2] == 0.0  # branch rows untouched
+
+    def test_assembled_system_solves_divider(self, system):
+        # Stamp manually and check against the analytic divider.
+        system.add_conductance("a", "b", 1e-3)
+        system.add_conductance("b", "0", 1e-3)
+        system.add_voltage_source("a", "0", branch=0, value=1.0)
+        solution = system.solve()
+        assert system.voltage_of("b", solution) == pytest.approx(0.5)

@@ -1,0 +1,193 @@
+"""Unit tests for the SPICE-style netlist parser."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    NetlistSyntaxError,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Vccs,
+    VoltageSource,
+    ac_analysis,
+    dc_operating_point,
+    parse_netlist,
+    parse_value,
+)
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("1", 1.0),
+            ("2.5", 2.5),
+            ("-3e-2", -0.03),
+            ("1k", 1e3),
+            ("2.2K", 2.2e3),
+            ("10meg", 1e7),
+            ("5u", 5e-6),
+            ("100n", 1e-7),
+            ("10p", 1e-11),
+            ("3f", 3e-15),
+            ("1g", 1e9),
+            ("2t", 2e12),
+            ("1m", 1e-3),
+            ("10pF", 1e-11),  # trailing unit letters ignored
+            ("5kOhm", 5e3),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_value("abc")
+
+
+class TestElementCards:
+    def test_rc_divider(self):
+        circuit = parse_netlist(
+            """test divider
+            V1 in 0 2.0
+            R1 in out 1k
+            R2 out 0 3k
+            """
+        )
+        assert circuit.name == "test divider"
+        assert len(circuit.elements) == 3
+        assert isinstance(circuit.element("R1"), Resistor)
+        op = dc_operating_point(circuit)
+        assert op.voltage("out") == pytest.approx(1.5)
+
+    def test_capacitor_and_comment_handling(self):
+        circuit = parse_netlist(
+            """* all comments
+            C1 a 0 10p  * ten picofarad
+            R1 a 0 1k   ; shunt
+            .end
+            """
+        )
+        assert isinstance(circuit.element("C1"), Capacitor)
+        assert circuit.element("C1").capacitance == pytest.approx(1e-11)
+
+    def test_pulse_source(self):
+        circuit = parse_netlist("V1 n 0 PULSE(0 1 1n 10p 10p 5n)\nR1 n 0 1k\n")
+        source = circuit.element("V1")
+        assert isinstance(source.waveform, Pulse)
+        assert source.waveform.value(3e-9) == pytest.approx(1.0)
+
+    def test_sin_source(self):
+        circuit = parse_netlist("I1 n 0 SIN(0 1m 1meg)\nR1 n 0 1k\n")
+        assert isinstance(circuit.element("I1").waveform, Sine)
+
+    def test_pwl_source(self):
+        circuit = parse_netlist("V1 n 0 PWL(0 0 1n 1 2n 0)\nR1 n 0 1k\n")
+        wave = circuit.element("V1").waveform
+        assert isinstance(wave, PiecewiseLinear)
+        assert wave.value(0.5e-9) == pytest.approx(0.5)
+
+    def test_dc_keyword_and_ac_marker(self):
+        circuit = parse_netlist("VIN in 0 DC 0.65 AC\nR1 in 0 1k\n")
+        op = dc_operating_point(circuit)
+        assert op.voltage("in") == pytest.approx(0.65)
+
+    def test_vccs(self):
+        circuit = parse_netlist(
+            """G1 0 out c 0 1m
+            VC c 0 0.5
+            RC c 0 1meg
+            RL out 0 2k
+            """
+        )
+        assert isinstance(circuit.element("G1"), Vccs)
+        op = dc_operating_point(circuit)
+        assert op.voltage("out") == pytest.approx(1.0)
+
+    def test_mosfet_card(self):
+        circuit = parse_netlist(
+            """VDD vdd 0 1.8
+            VG g 0 0.9
+            RD vdd d 10k
+            M1 d g 0 NMOS kp=2e-4 vth=0.5 lambda=0
+            """
+        )
+        fet = circuit.element("M1")
+        assert isinstance(fet, Mosfet)
+        assert fet.polarity == "nmos"
+        op = dc_operating_point(circuit)
+        ids = 0.5 * 2e-4 * 0.4**2
+        assert op.voltage("d") == pytest.approx(1.8 - 10e3 * ids, rel=1e-4)
+
+    def test_pmos_card(self):
+        circuit = parse_netlist(
+            "M2 d g vdd PMOS kp=1m vth=0.4\nVD vdd 0 1.2\nR1 d 0 1k\nVG g 0 0.5\n"
+        )
+        assert circuit.element("M2").polarity == "pmos"
+        assert circuit.element("M2").kp == pytest.approx(1e-3)
+
+    def test_full_amplifier_netlist_runs_ac(self):
+        circuit = parse_netlist(
+            """common source amp
+            VDD vdd 0 1.8
+            VG g 0 0.9
+            RD vdd d 10k
+            CL d 0 1p
+            M1 d g 0 NMOS kp=2e-4 vth=0.5 lambda=0.02
+            """
+        )
+        result = ac_analysis(circuit, [1.0], "VG")
+        assert result.gain("d")[0] > 0.5
+
+
+class TestErrors:
+    def test_unknown_element(self):
+        with pytest.raises(NetlistSyntaxError, match="unknown element"):
+            parse_netlist("title\nQ1 c b e model\nR1 a 0 1\n")
+
+    def test_too_few_fields(self):
+        with pytest.raises(NetlistSyntaxError, match="at least"):
+            parse_netlist("title\nR1 a 0\n")
+
+    def test_bad_value(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a 0 banana\n")
+
+    def test_mosfet_missing_params(self):
+        with pytest.raises(NetlistSyntaxError, match="kp= and vth="):
+            parse_netlist("M1 d g s NMOS\n")
+
+    def test_mosfet_unknown_model(self):
+        with pytest.raises(NetlistSyntaxError, match="unknown model"):
+            parse_netlist("M1 d g s JFET kp=1m vth=0.4\n")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_netlist("R1 a 0 1k\nR2 b 0 oops\n")
+        except NetlistSyntaxError as error:
+            assert error.line_number == 2
+        else:  # pragma: no cover
+            pytest.fail("expected NetlistSyntaxError")
+
+    def test_pwl_odd_values_rejected(self):
+        with pytest.raises(NetlistSyntaxError, match="even number"):
+            parse_netlist("V1 a 0 PWL(0 0 1n)\n")
+
+
+class TestTitleHandling:
+    def test_first_line_as_title(self):
+        circuit = parse_netlist("my circuit title\nR1 a 0 1k\n")
+        assert circuit.name == "my circuit title"
+
+    def test_element_first_line_is_not_a_title(self):
+        circuit = parse_netlist("R1 a 0 1k\nR2 a 0 2k\n")
+        assert len(circuit.elements) == 2
+
+    def test_explicit_name_overrides(self):
+        circuit = parse_netlist("title here\nR1 a 0 1k\n", name="override")
+        assert circuit.name == "override"

@@ -1,0 +1,129 @@
+"""Unit tests for transient analysis."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Mosfet,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    VoltageSource,
+    transient,
+)
+
+
+def rc_circuit(tau_r=1e3, tau_c=1e-12, delay=1e-9):
+    ckt = Circuit("rc")
+    ckt.add(
+        VoltageSource(
+            "VIN", "in", "0",
+            waveform=Pulse(0.0, 1.0, delay=delay, rise=1e-12, width=1e-3),
+        )
+    )
+    ckt.add(Resistor("R", "in", "out", tau_r))
+    ckt.add(Capacitor("C", "out", "0", tau_c))
+    return ckt
+
+
+class TestRcStep:
+    def test_charging_curve(self):
+        result = transient(rc_circuit(), t_stop=6e-9, dt=5e-12, initial="zero")
+        tau = 1e-9
+        crossing = result.crossing_time("out", 1 - np.exp(-1))
+        assert crossing == pytest.approx(1e-9 + tau, rel=0.02)
+
+    def test_final_value(self):
+        result = transient(rc_circuit(), t_stop=10e-9, dt=1e-11, initial="zero")
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_dc_initial_condition(self):
+        """Starting from the DC point with the source low: output stays 0
+        until the pulse."""
+        result = transient(rc_circuit(), t_stop=2e-9, dt=1e-11, initial="dc")
+        before = result.voltage("out")[: int(0.9e-9 / 1e-11)]
+        assert np.allclose(before, 0.0, atol=1e-9)
+
+    def test_time_axis(self):
+        result = transient(rc_circuit(), t_stop=1e-9, dt=1e-10)
+        assert result.times[0] == 0.0
+        assert result.times[-1] >= 1e-9
+        assert np.allclose(np.diff(result.times), 1e-10)
+
+    def test_ground_voltage_is_zero(self):
+        result = transient(rc_circuit(), t_stop=1e-9, dt=1e-10)
+        assert np.allclose(result.voltage("0"), 0.0)
+
+    def test_unknown_node_rejected(self):
+        result = transient(rc_circuit(), t_stop=1e-9, dt=1e-10)
+        with pytest.raises(KeyError):
+            result.voltage("nope")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            transient(rc_circuit(), t_stop=0.0, dt=1e-12)
+        with pytest.raises(ValueError, match="initial"):
+            transient(rc_circuit(), t_stop=1e-9, dt=1e-12, initial="warm")
+
+
+class TestCrossingTime:
+    def test_rising_and_falling(self):
+        ckt = Circuit("tri")
+        ckt.add(
+            VoltageSource(
+                "V", "n", "0",
+                waveform=PiecewiseLinear([(0, 0.0), (1e-9, 1.0), (2e-9, 0.0)]),
+            )
+        )
+        ckt.add(Resistor("R", "n", "0", 1e3))
+        result = transient(ckt, t_stop=2e-9, dt=1e-11, initial="zero")
+        rise = result.crossing_time("n", 0.5, rising=True)
+        fall = result.crossing_time("n", 0.5, rising=False)
+        assert rise == pytest.approx(0.5e-9, rel=0.05)
+        assert fall == pytest.approx(1.5e-9, rel=0.05)
+
+    def test_no_crossing_returns_none(self):
+        result = transient(rc_circuit(), t_stop=0.5e-9, dt=1e-11, initial="zero")
+        assert result.crossing_time("out", 0.9) is None
+
+
+class TestCmosInverter:
+    def test_switching(self):
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.0))
+        ckt.add(
+            VoltageSource(
+                "VIN", "in", "0",
+                waveform=Pulse(0.0, 1.0, delay=0.2e-9, rise=10e-12, width=1e-6),
+            )
+        )
+        ckt.add(Mosfet("MN", "out", "in", "0", kp=4e-4, vth=0.3))
+        ckt.add(Mosfet("MP", "out", "in", "vdd", kp=3e-4, vth=0.3, polarity="pmos"))
+        ckt.add(Capacitor("CL", "out", "0", 5e-15))
+        result = transient(ckt, t_stop=2e-9, dt=2e-12)
+        assert result.voltage("out")[0] == pytest.approx(1.0, abs=1e-3)
+        assert result.voltage("out")[-1] == pytest.approx(0.0, abs=1e-3)
+        assert result.crossing_time("out", 0.5, rising=False) is not None
+
+    def test_propagation_delay_scales_with_load(self):
+        def delay_with_load(cap):
+            ckt = Circuit("inv")
+            ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.0))
+            ckt.add(
+                VoltageSource(
+                    "VIN", "in", "0",
+                    waveform=Pulse(0.0, 1.0, delay=0.1e-9, rise=5e-12, width=1e-6),
+                )
+            )
+            ckt.add(Mosfet("MN", "out", "in", "0", kp=4e-4, vth=0.3))
+            ckt.add(
+                Mosfet("MP", "out", "in", "vdd", kp=3e-4, vth=0.3,
+                       polarity="pmos")
+            )
+            ckt.add(Capacitor("CL", "out", "0", cap))
+            result = transient(ckt, t_stop=3e-9, dt=1e-12)
+            return result.crossing_time("out", 0.5, rising=False) - 0.1e-9
+
+        assert delay_with_load(10e-15) > 1.5 * delay_with_load(5e-15)

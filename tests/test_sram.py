@@ -1,0 +1,112 @@
+"""Unit tests for the SRAM read-path testbench."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import SramReadPath, Stage
+
+
+class TestConstruction:
+    def test_variable_counts(self, tiny_sram, tiny_kit):
+        devices = 6 * tiny_sram.n_cells + 2 + 8 + 2 * tiny_sram.n_timing
+        expected = tiny_kit.interdie_params + devices * tiny_kit.params_per_device
+        assert tiny_sram.num_vars(Stage.SCHEMATIC) == expected
+        assert (
+            tiny_sram.num_vars(Stage.POST_LAYOUT)
+            == expected + tiny_sram._num_parasitics
+        )
+
+    def test_too_few_cells_rejected(self):
+        with pytest.raises(ValueError, match="n_cells"):
+            SramReadPath(n_cells=1)
+
+    def test_bad_accessed_cell_rejected(self):
+        with pytest.raises(ValueError, match="accessed_cell"):
+            SramReadPath(n_cells=8, accessed_cell=8)
+
+    def test_paper_scale_dimensionality(self):
+        sram = SramReadPath.paper_scale()
+        assert 55_000 <= sram.num_vars(Stage.POST_LAYOUT) <= 70_000
+
+
+class TestSimulation:
+    def test_positive_delay(self, tiny_sram, rng):
+        x = tiny_sram.sample(Stage.POST_LAYOUT, 500, rng)
+        delay = tiny_sram.simulate(Stage.POST_LAYOUT, x, "read_delay")
+        assert np.all(delay > 0)
+        assert np.all(delay < 1e-6)  # sane magnitude (sub-microsecond)
+
+    def test_deterministic(self, tiny_sram, rng):
+        x = tiny_sram.sample(Stage.SCHEMATIC, 5, rng)
+        a = tiny_sram.simulate(Stage.SCHEMATIC, x, "read_delay")
+        b = tiny_sram.simulate(Stage.SCHEMATIC, x, "read_delay")
+        assert np.array_equal(a, b)
+
+    def test_relative_spread(self, tiny_sram, rng):
+        x = tiny_sram.sample(Stage.POST_LAYOUT, 3000, rng)
+        delay = tiny_sram.simulate(Stage.POST_LAYOUT, x, "read_delay")
+        rel = delay.std() / delay.mean()
+        assert 0.01 < rel < 0.25
+
+    def test_layout_slows_the_read(self, tiny_sram, rng):
+        x_post = tiny_sram.sample(Stage.POST_LAYOUT, 300, rng)
+        x_sch = x_post[:, : tiny_sram.num_vars(Stage.SCHEMATIC)]
+        t_sch = tiny_sram.simulate(Stage.SCHEMATIC, x_sch, "read_delay")
+        t_post = tiny_sram.simulate(Stage.POST_LAYOUT, x_post, "read_delay")
+        assert t_post.mean() > t_sch.mean()
+
+    def test_stages_strongly_correlated(self, tiny_sram, rng):
+        x_post = tiny_sram.sample(Stage.POST_LAYOUT, 300, rng)
+        x_sch = x_post[:, : tiny_sram.num_vars(Stage.SCHEMATIC)]
+        t_sch = tiny_sram.simulate(Stage.SCHEMATIC, x_sch, "read_delay")
+        t_post = tiny_sram.simulate(Stage.POST_LAYOUT, x_post, "read_delay")
+        assert np.corrcoef(t_sch, t_post)[0, 1] > 0.9
+
+
+class TestPhysics:
+    def test_accessed_cell_dominates(self, tiny_sram, tiny_kit, rng):
+        """Weakening the accessed cell's devices slows the read far more
+        than weakening an unaccessed cell's."""
+        space = tiny_sram.space(Stage.POST_LAYOUT)
+        x = np.zeros((3, space.size))
+        accessed_cols = tiny_sram._access.device_columns(tiny_sram.accessed_cell)
+        other_cols = tiny_sram._access.device_columns(tiny_sram.accessed_cell + 1)
+        vth_proj = tiny_kit.mismatch_projection("vth")
+        x[1, accessed_cols] = 3.0 * vth_proj  # raise accessed-cell Vth
+        x[2, other_cols] = 3.0 * vth_proj  # raise another cell's Vth
+        delay = tiny_sram.simulate(Stage.POST_LAYOUT, x, "read_delay")
+        accessed_effect = abs(delay[1] - delay[0])
+        other_effect = abs(delay[2] - delay[0])
+        assert accessed_effect > 10 * other_effect
+
+    def test_leakage_race(self, tiny_sram, tiny_kit):
+        """Lowering every unaccessed cell's Vth raises leakage -> slower."""
+        space = tiny_sram.space(Stage.POST_LAYOUT)
+        x = np.zeros((2, space.size))
+        vth_proj = tiny_kit.mismatch_projection("vth")
+        for cell in range(tiny_sram.n_cells):
+            if cell == tiny_sram.accessed_cell:
+                continue
+            x[1, tiny_sram._access.device_columns(cell)] = -2.5 * vth_proj
+        delay = tiny_sram.simulate(Stage.POST_LAYOUT, x, "read_delay")
+        assert delay[1] > delay[0]
+
+    def test_sense_amp_offset_shifts_delay(self, tiny_sram, tiny_kit):
+        """SA input-pair Vth imbalance changes the required swing."""
+        space = tiny_sram.space(Stage.POST_LAYOUT)
+        x = np.zeros((3, space.size))
+        vth_proj = tiny_kit.mismatch_projection("vth")
+        x[1, tiny_sram._senseamp.device_columns(0)] = 3.0 * vth_proj
+        x[2, tiny_sram._senseamp.device_columns(1)] = 3.0 * vth_proj
+        delay = tiny_sram.simulate(Stage.POST_LAYOUT, x, "read_delay")
+        # Offset is antisymmetric in the two input devices.
+        assert (delay[1] - delay[0]) * (delay[2] - delay[0]) < 0
+
+    def test_bitline_parasitics_slow_the_read(self, tiny_sram, rng):
+        x = tiny_sram.sample(Stage.POST_LAYOUT, 1, rng)
+        base = tiny_sram.simulate(Stage.POST_LAYOUT, x, "read_delay")[0]
+        loaded = x.copy()
+        start = tiny_sram.num_vars(Stage.SCHEMATIC)
+        loaded[:, start : start + tiny_sram._num_bl_segments] += 2.0
+        slower = tiny_sram.simulate(Stage.POST_LAYOUT, loaded, "read_delay")[0]
+        assert slower > base
