@@ -25,6 +25,7 @@ from . import (
     montecarlo,
     process,
     regression,
+    runtime,
     spice,
 )
 from .basis import OrthonormalBasis
@@ -71,6 +72,7 @@ __all__ = [
     "process",
     "regression",
     "relative_error",
+    "runtime",
     "simulate_dataset",
     "spice",
     "train_test_split",

@@ -12,10 +12,13 @@ the variables.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..runtime.cache import design_cache, fingerprint_array
+from ..runtime.metrics import metrics
 from .hermite import hermite_orthonormal_all
 from .multiindex import (
     MultiIndex,
@@ -57,6 +60,7 @@ class OrthonormalBasis:
         self._max_degree = max(
             (deg for idx in self.indices for _, deg in idx), default=0
         )
+        self._cache_token: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -106,6 +110,19 @@ class OrthonormalBasis:
             return NotImplemented
         return self.num_vars == other.num_vars and self.indices == other.indices
 
+    def cache_token(self) -> str:
+        """Value-identity digest of the basis (design-cache key component).
+
+        Two independently constructed but equal bases share a token, so
+        cached design matrices are reused across instances.
+        """
+        token = self._cache_token
+        if token is None:
+            payload = repr((self.num_vars, self.indices)).encode()
+            token = hashlib.blake2b(payload, digest_size=16).hexdigest()
+            self._cache_token = token
+        return token
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -127,6 +144,17 @@ class OrthonormalBasis:
             ``G`` of shape ``(K, len(columns))`` with
             ``G[k, j] = g_{columns[j]}(x[k])``.
         """
+        x = self._coerce_samples(x)
+        wanted = self._resolve_columns(columns)
+
+        cache = design_cache()
+        if cache is None or x.shape[0] * max(len(wanted), 1) < cache.min_result_cells:
+            return self._assemble(x, wanted)
+        signature = None if columns is None else tuple(wanted)
+        key = (self.cache_token(), fingerprint_array(x), signature)
+        return cache.get_or_compute(key, lambda: self._assemble(x, wanted))
+
+    def _coerce_samples(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
             x = x[np.newaxis, :]
@@ -134,21 +162,172 @@ class OrthonormalBasis:
             raise ValueError(
                 f"expected samples of shape (K, {self.num_vars}), got {x.shape}"
             )
-        wanted = range(self.size) if columns is None else columns
-        num_samples = x.shape[0]
+        return x
 
+    def _resolve_columns(self, columns: Optional[Sequence[int]]) -> List[int]:
+        """Materialize ``columns`` once, normalizing negative indices.
+
+        A generator argument must be consumed exactly once: both table
+        sizing and assembly below iterate the result, so everything works
+        off this single materialized list.
+        """
+        if columns is None:
+            return list(range(self.size))
+        wanted: List[int] = []
+        for c in columns:
+            c = int(c)
+            if c < 0:
+                c += self.size
+            if not 0 <= c < self.size:
+                raise IndexError(
+                    f"column {c} out of range for basis of size {self.size}"
+                )
+            wanted.append(c)
+        return wanted
+
+    def _assemble(self, x: np.ndarray, wanted: List[int]) -> np.ndarray:
+        with metrics.timer("design_matrix"):
+            metrics.increment("design_matrix.calls")
+            metrics.increment("design_matrix.cells", x.shape[0] * len(wanted))
+            if self.is_linear():
+                return self._linear_design_matrix(x, wanted)
+            return self._design_matrix_vectorized(x, wanted)
+
+    # Runs shorter than this are cheaper through the batched gather path
+    # than through an extra slice operation.
+    _MIN_RUN = 4
+
+    def _design_matrix_vectorized(self, x: np.ndarray, wanted: List[int]) -> np.ndarray:
+        """General-path assembly as grouped products of Hermite tables.
+
+        The univariate orthonormal Hermite tables are evaluated in one
+        batched recurrence over every active variable, only up to the
+        highest degree the *selected* columns actually use, and stacked
+        over a shared ones row with a ``(degree, variable)``-major layout.
+        Each output column is a product of rows of that table; columns
+        whose table rows form consecutive runs with a shared second factor
+        (the entire basis in its natural graded order does) are emitted as
+        contiguous slice products, and irregular leftovers fall back to a
+        batched gather-product.  Either way the former per-column Python
+        loop becomes O(active vars + runs) NumPy calls.
+        """
+        num_samples = x.shape[0]
+        num_cols = len(wanted)
+        if num_cols == 0:
+            return np.ones((num_samples, 0), dtype=float)
+
+        max_deg: dict = {}
+        depth = 1
+        for m in wanted:
+            idx = self.indices[m]
+            depth = max(depth, len(idx))
+            for var, deg in idx:
+                if deg > max_deg.get(var, 0):
+                    max_deg[var] = deg
+
+        active = sorted(max_deg)
+        table_degree = max(max_deg.values(), default=0)
+        if table_degree == 0:
+            return np.ones((num_samples, num_cols), dtype=float)
+        # Batched recurrence over all active variables at once:
+        # (table_degree + 1, K, V) -> rows laid out (degree, variable)-major.
+        batch = hermite_orthonormal_all(table_degree, x[:, active])
+        num_active = len(active)
+        stacked = np.empty(
+            (1 + table_degree * num_active, num_samples), dtype=float
+        )
+        stacked[0] = 1.0
+        stacked[1:] = batch[1:].transpose(0, 2, 1).reshape(-1, num_samples)
+        position = {var: p for p, var in enumerate(active)}
+
+        gather = np.zeros((num_cols, depth), dtype=np.intp)
+        for j, m in enumerate(wanted):
+            for level, (var, deg) in enumerate(self.indices[m]):
+                gather[j, level] = 1 + (deg - 1) * num_active + position[var]
+
+        out = np.empty((num_cols, num_samples), dtype=float)
+        leftover = self._emit_slice_runs(stacked, gather, out)
+        if leftover:
+            rows = np.asarray(leftover, dtype=np.intp)
+            product = stacked[gather[rows, 0]]
+            for level in range(1, depth):
+                product *= stacked[gather[rows, level]]
+            out[rows] = product
+        return out.T
+
+    def _emit_slice_runs(
+        self, stacked: np.ndarray, gather: np.ndarray, out: np.ndarray
+    ) -> List[int]:
+        """Write slice-decomposable column runs into ``out``.
+
+        A run is a block of consecutive output columns that are each the
+        product of exactly one stepping table row (consecutive rows of
+        ``stacked``) and one shared fixed row, with any remaining factor
+        levels padded by the ones row.  Returns the column positions that
+        did not fit a run (to be handled by the gather fallback).
+        """
+        num_cols, depth = gather.shape
+        g0 = gather[:, 0]
+        g1 = gather[:, 1] if depth > 1 else np.zeros(num_cols, dtype=np.intp)
+        if depth > 2:
+            shallow = (gather[:, 2:] == 0).all(axis=1)
+        else:
+            shallow = np.ones(num_cols, dtype=bool)
+        if num_cols > 1:
+            pair_ok = shallow[1:] & shallow[:-1]
+            step_a = (np.diff(g0) == 1) & (g1[1:] == g1[:-1]) & pair_ok
+            step_b = (g0[1:] == g0[:-1]) & (np.diff(g1) == 1) & pair_ok
+        else:
+            step_a = step_b = np.zeros(0, dtype=bool)
+
+        leftover: List[int] = []
+        j = 0
+        while j < num_cols:
+            if not shallow[j]:
+                leftover.append(j)
+                j += 1
+                continue
+            length_a = 1
+            while j + length_a < num_cols and step_a[j + length_a - 1]:
+                length_a += 1
+            length_b = 1
+            while j + length_b < num_cols and step_b[j + length_b - 1]:
+                length_b += 1
+            length = max(length_a, length_b)
+            if length < self._MIN_RUN:
+                leftover.append(j)
+                j += 1
+                continue
+            if length_a >= length_b:
+                start, fixed = g0[j], g1[j]
+            else:
+                start, fixed = g1[j], g0[j]
+            stepping = stacked[start : start + length]
+            if fixed == 0:
+                out[j : j + length] = stepping
+            else:
+                np.multiply(stepping, stacked[fixed], out=out[j : j + length])
+            j += length
+        return leftover
+
+    def _design_matrix_loop(
+        self, x: np.ndarray, columns: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Reference per-column assembly (the pre-vectorization algorithm).
+
+        Kept for equivalence tests and as the baseline of the
+        design-matrix benchmark; not used on any production path.
+        """
+        x = self._coerce_samples(x)
+        wanted = self._resolve_columns(columns)
+        num_samples = x.shape[0]
         if self.is_linear():
             return self._linear_design_matrix(x, wanted)
-
-        # General case: precompute univariate polynomial values per degree,
-        # but only for variables that actually appear with degree >= 1.
         active_vars = sorted({v for m in wanted for v, _ in self.indices[m]})
         per_var = {
             v: hermite_orthonormal_all(self._max_degree, x[:, v]) for v in active_vars
         }
-        out = np.empty((num_samples, len(list(wanted))), dtype=float)
-        # ``wanted`` may be a range; re-materialize for double iteration.
-        wanted = list(wanted)
+        out = np.empty((num_samples, len(wanted)), dtype=float)
         for j, m in enumerate(wanted):
             col = np.ones(num_samples, dtype=float)
             for var, deg in self.indices[m]:
@@ -156,17 +335,23 @@ class OrthonormalBasis:
             out[:, j] = col
         return out
 
-    def _linear_design_matrix(self, x: np.ndarray, wanted) -> np.ndarray:
+    def _linear_design_matrix(self, x: np.ndarray, wanted: List[int]) -> np.ndarray:
         """Fast path for linear bases: columns are 1 or a raw variable."""
-        wanted = list(wanted)
         out = np.empty((x.shape[0], len(wanted)), dtype=float)
+        const_pos: List[int] = []
+        var_pos: List[int] = []
+        var_ids: List[int] = []
         for j, m in enumerate(wanted):
             idx = self.indices[m]
             if not idx:
-                out[:, j] = 1.0
+                const_pos.append(j)
             else:
-                var, _deg = idx[0]
-                out[:, j] = x[:, var]
+                var_pos.append(j)
+                var_ids.append(idx[0][0])
+        if const_pos:
+            out[:, const_pos] = 1.0
+        if var_pos:
+            out[:, var_pos] = x[:, var_ids]
         return out
 
     def evaluate(self, coefficients: np.ndarray, x: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..runtime.metrics import metrics as runtime_metrics
 from .map_estimation import KernelMapSolver
 from .priors import GaussianCoefficientPrior
 
@@ -117,13 +118,15 @@ def cross_validate_eta(
             f"n_folds must be in [2, {num_samples}], got {n_folds}"
         )
     errors = np.zeros(len(etas))
-    for train_rows, val_rows in _fold_masks(num_samples, n_folds):
-        actual = solver.target[val_rows]
-        norm = float(np.linalg.norm(actual))
-        scale = norm if norm > 0 else 1.0
-        for i, eta in enumerate(etas):
-            predicted = solver.predict_submatrix(train_rows, val_rows, eta)
-            errors[i] += float(np.linalg.norm(predicted - actual)) / scale
+    with runtime_metrics.timer("bmf.cross_validation"):
+        for train_rows, val_rows in _fold_masks(num_samples, n_folds):
+            actual = solver.target[val_rows]
+            norm = float(np.linalg.norm(actual))
+            scale = norm if norm > 0 else 1.0
+            for i, eta in enumerate(etas):
+                predicted = solver.predict_submatrix(train_rows, val_rows, eta)
+                errors[i] += float(np.linalg.norm(predicted - actual)) / scale
+    runtime_metrics.increment("bmf.cv_evaluations", n_folds * len(etas))
     return errors / n_folds
 
 

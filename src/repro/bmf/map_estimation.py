@@ -61,7 +61,9 @@ def map_estimate(
         the M x M system).
     missing_scale:
         Finite stand-in scale for coefficients with missing prior knowledge;
-        defaults to ``1e3`` x the largest finite prior scale.
+        defaults to ``1e3`` x the largest finite prior scale.  Resolved to a
+        concrete value once, up front, so every internal sub-solve (and both
+        solver paths) substitutes the *same* scale.
 
     Returns
     -------
@@ -86,6 +88,11 @@ def map_estimate(
             f"prior covers {prior.size} coefficients but design has {num_terms}"
         )
 
+    # Resolve the missing-scale default against the FULL prior before any
+    # recursion: the pinned-coefficient sub-solve below sees a prior with a
+    # different set of finite scales, so letting it re-derive the default
+    # would substitute a different value than the fast path uses.
+    missing_scale = prior.resolve_missing_scale(missing_scale)
     scale = prior.effective_scale(missing_scale)
     pinned = scale == 0.0
     if np.all(pinned):
@@ -140,6 +147,7 @@ class KernelMapSolver:
     ):
         design = np.asarray(design, dtype=float)
         target = np.asarray(target, dtype=float)
+        missing_scale = prior.resolve_missing_scale(missing_scale)
         scale = prior.effective_scale(missing_scale)
         self.design = design
         self.target = target

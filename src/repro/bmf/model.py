@@ -218,10 +218,24 @@ class BmfRegressor(BasisRegressor):
         )
 
     def fit(self, x: np.ndarray, f: np.ndarray) -> "BmfRegressor":
-        """Fit from raw samples, keeping the design matrix for uncertainty."""
-        result = super().fit(x, f)
-        self._train_design = self.basis.design_matrix(np.asarray(x, dtype=float))
-        return result
+        """Fit from raw samples, keeping the design matrix for uncertainty.
+
+        Assembles the design matrix once and reuses it for both the fit and
+        :meth:`predict_std` (the base-class ``fit`` would discard it,
+        forcing a second assembly).
+        """
+        x = np.asarray(x, dtype=float)
+        f = np.asarray(f, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D (K, R), got shape {x.shape}")
+        if f.shape != (x.shape[0],):
+            raise ValueError(
+                f"f must have shape ({x.shape[0]},) to match x, got {f.shape}"
+            )
+        design = self.basis.design_matrix(x)
+        self.fit_design(design, f)
+        self._train_design = design
+        return self
 
     def predict_std(self, x: np.ndarray) -> np.ndarray:
         """Posterior predictive standard deviation at new samples.

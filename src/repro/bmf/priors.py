@@ -106,28 +106,48 @@ class GaussianCoefficientPrior:
         scale = np.concatenate([self.scale, np.full(extra_terms, np.inf)])
         return GaussianCoefficientPrior(mean, scale, self.name)
 
+    def resolve_missing_scale(
+        self, missing_scale: Optional[float] = None
+    ) -> Optional[float]:
+        """Concrete stand-in scale for the ``inf`` (prior-free) entries.
+
+        Returns ``None`` when the prior has no missing entries (nothing to
+        substitute).  Otherwise returns ``missing_scale`` itself when given,
+        else the default: ``1e3`` times the largest finite nonzero scale
+        (or ``1e3`` when every scale is zero or missing).
+
+        Solvers should resolve this **once** at their entry point and thread
+        the concrete value everywhere -- re-deriving the default on a
+        sub-problem (e.g. after dropping pinned coefficients) could pick a
+        different reference scale and silently disagree with the full
+        problem.
+        """
+        missing = np.isinf(self.scale)
+        if not np.any(missing):
+            return None
+        if missing_scale is not None:
+            return float(missing_scale)
+        finite = self.scale[~missing & (self.scale > 0)]
+        reference = float(finite.max()) if finite.size else 1.0
+        return 1e3 * reference
+
     def effective_scale(self, missing_scale: Optional[float] = None) -> np.ndarray:
         """Scales with ``inf`` entries replaced by a large finite value.
 
         The fast (Woodbury / kernel) solver needs finite prior variances.
         The paper handles ``sigma = inf`` by noting only ``sigma^{-1}`` enters
         the direct M x M equations; we instead use a very wide but proper
-        prior -- ``missing_scale`` defaulting to ``1e3`` times the largest
-        finite scale -- which is numerically equivalent for prediction and
-        keeps the posterior proper even when the number of prior-free
-        coefficients exceeds the sample count.  (Substitution documented in
-        DESIGN.md.)
+        prior -- ``missing_scale`` defaulting per
+        :meth:`resolve_missing_scale` -- which is numerically equivalent for
+        prediction and keeps the posterior proper even when the number of
+        prior-free coefficients exceeds the sample count.  (Substitution
+        documented in DESIGN.md.)
         """
-        scale = self.scale
-        missing = np.isinf(scale)
-        if not np.any(missing):
-            return scale
-        if missing_scale is None:
-            finite = scale[~missing & (scale > 0)]
-            reference = float(finite.max()) if finite.size else 1.0
-            missing_scale = 1e3 * reference
-        out = scale.copy()
-        out[missing] = missing_scale
+        resolved = self.resolve_missing_scale(missing_scale)
+        if resolved is None:
+            return self.scale
+        out = self.scale.copy()
+        out[np.isinf(self.scale)] = resolved
         return out
 
 

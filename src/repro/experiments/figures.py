@@ -22,7 +22,7 @@ fast-vs-conventional solver ratio, the paper's "up to 600x" claim.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +39,7 @@ from ..circuits.base import Stage, Testbench
 from ..circuits.modeling import FusionProblem
 from ..montecarlo import simulate_dataset
 from ..regression import OrthogonalMatchingPursuit
+from ..runtime.metrics import format_snapshot, metrics as runtime_metrics, snapshot_delta
 
 __all__ = [
     "Histogram",
@@ -126,6 +127,8 @@ class FittingCostCurve:
     sample_counts: Tuple[int, ...]
     seconds: Dict[str, np.ndarray]
     num_terms: int
+    #: Runtime counter/timer deltas accumulated over the whole sweep.
+    runtime_metrics: Dict[str, float] = field(default_factory=dict)
 
     def format(self) -> str:
         methods = list(self.seconds)
@@ -142,6 +145,9 @@ class FittingCostCurve:
             for m, w in zip(methods, widths[1:]):
                 cells.append(f"{self.seconds[m][i]:.4f}".ljust(w))
             lines.append(" | ".join(cells))
+        if self.runtime_metrics:
+            lines.append("")
+            lines.append(format_snapshot(self.runtime_metrics))
         return "\n".join(lines)
 
 
@@ -160,6 +166,7 @@ def run_fitting_cost(
     if rng is None:
         rng = np.random.default_rng(1)
     sample_counts = tuple(int(k) for k in sample_counts)
+    metrics_before = runtime_metrics.snapshot()
 
     problem = FusionProblem(testbench, metric)
     alpha_early = problem.fit_early_model(early_samples, rng, method=early_method)
@@ -204,7 +211,12 @@ def run_fitting_cost(
             )
 
     return FittingCostCurve(
-        testbench.name, metric, sample_counts, seconds, basis.size
+        testbench.name,
+        metric,
+        sample_counts,
+        seconds,
+        basis.size,
+        runtime_metrics=snapshot_delta(metrics_before, runtime_metrics.snapshot()),
     )
 
 

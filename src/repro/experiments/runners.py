@@ -9,7 +9,7 @@ speedup -- the paper's headline 9x (RO) and 4x (SRAM) numbers.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -19,6 +19,7 @@ from ..circuits.base import Stage, Testbench
 from ..circuits.modeling import FusionProblem
 from ..montecarlo import simulate_dataset
 from ..regression import OrthogonalMatchingPursuit, relative_error
+from ..runtime.metrics import format_snapshot, metrics as runtime_metrics, snapshot_delta
 from .cost import CostReport, SimulationCostModel
 
 __all__ = ["CostComparison", "run_cost_comparison"]
@@ -30,6 +31,9 @@ class CostComparison:
 
     baseline: CostReport
     fused: CostReport
+    #: Runtime counter/timer deltas accumulated while the comparison ran
+    #: (design-matrix cells assembled, cache hits, Monte Carlo samples, ...).
+    runtime_metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -76,10 +80,13 @@ class CostComparison:
         width0 = max(len(r[0]) for r in rows)
         width1 = max(len(r[1]) for r in rows)
         width2 = max(len(r[2]) for r in rows)
-        return "\n".join(
+        table = "\n".join(
             f"{a.ljust(width0)} | {b.ljust(width1)} | {c.ljust(width2)}"
             for a, b, c in rows
         )
+        if self.runtime_metrics:
+            table += "\n\n" + format_snapshot(self.runtime_metrics)
+        return table
 
 
 def run_cost_comparison(
@@ -104,6 +111,7 @@ def run_cost_comparison(
     if rng is None:
         rng = np.random.default_rng(2)
     metrics = tuple(metrics)
+    metrics_before = runtime_metrics.snapshot()
     pool = simulate_dataset(
         testbench, Stage.POST_LAYOUT, max(baseline_samples, fused_samples), rng, metrics
     )
@@ -162,4 +170,8 @@ def run_cost_comparison(
         simulation_hours=cost_model.simulation_hours(fused_samples),
         fitting_seconds=fused_fit_seconds,
     )
-    return CostComparison(baseline, fused)
+    return CostComparison(
+        baseline,
+        fused,
+        runtime_metrics=snapshot_delta(metrics_before, runtime_metrics.snapshot()),
+    )

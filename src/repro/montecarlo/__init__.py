@@ -1,5 +1,5 @@
 """Monte Carlo sampling and dataset handling."""
 
-from .engine import Dataset, simulate_dataset, train_test_split
+from .engine import DEFAULT_CHUNK_SIZE, Dataset, simulate_dataset, train_test_split
 
-__all__ = ["Dataset", "simulate_dataset", "train_test_split"]
+__all__ = ["DEFAULT_CHUNK_SIZE", "Dataset", "simulate_dataset", "train_test_split"]

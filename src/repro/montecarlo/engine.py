@@ -3,18 +3,31 @@
 This plays the role of the paper's "transistor-level Monte Carlo
 simulation": draw standard-normal variation samples, run the (behavioral)
 circuit simulation, and package the ``(X, f)`` pairs for model fitting.
+
+Generation can be chunked and spread over a worker pool
+(``simulate_dataset(..., workers=N, chunk_size=...)``).  Chunking is
+deterministic: every chunk gets its own child generator spawned from the
+caller's RNG, and chunk boundaries depend only on ``chunk_size`` -- never
+on the worker count -- so the assembled dataset is bitwise identical
+whether it was produced by one worker or many.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits.base import Stage, Testbench
+from ..runtime.metrics import metrics as runtime_metrics
 
-__all__ = ["Dataset", "simulate_dataset", "train_test_split"]
+__all__ = ["Dataset", "simulate_dataset", "train_test_split", "DEFAULT_CHUNK_SIZE"]
+
+#: Default rows per chunk when chunked generation is requested.  Fixed (and
+#: independent of the worker count) so that results are reproducible.
+DEFAULT_CHUNK_SIZE = 256
 
 
 @dataclass
@@ -41,13 +54,39 @@ class Dataset:
     def __post_init__(self):
         self.x = np.asarray(self.x, dtype=float)
         count = self.x.shape[0]
+        # Normalize into a fresh dict: writing coerced arrays back into the
+        # caller's mapping would mutate caller state and silently share it
+        # between Dataset instances.
+        coerced: Dict[str, np.ndarray] = {}
         for name, series in self.values.items():
             series = np.asarray(series, dtype=float)
             if series.shape != (count,):
                 raise ValueError(
                     f"metric {name!r} has shape {series.shape}, expected ({count},)"
                 )
-            self.values[name] = series
+            coerced[name] = series
+        self.values = coerced
+
+    @classmethod
+    def _from_validated(
+        cls,
+        x: np.ndarray,
+        values: Dict[str, np.ndarray],
+        stage: Stage,
+        testbench_name: str,
+    ) -> "Dataset":
+        """Internal constructor for data derived from an existing dataset.
+
+        Skips ``__post_init__`` coercion: the arrays are already float
+        ndarrays of consistent shape, so re-validating every ``subset`` /
+        ``head`` call would only burn time in sweep loops.
+        """
+        dataset = object.__new__(cls)
+        dataset.x = x
+        dataset.values = values
+        dataset.stage = stage
+        dataset.testbench_name = testbench_name
+        return dataset
 
     @property
     def size(self) -> int:
@@ -72,7 +111,7 @@ class Dataset:
     def subset(self, rows: np.ndarray) -> "Dataset":
         """Dataset restricted to the given sample rows."""
         rows = np.asarray(rows)
-        return Dataset(
+        return Dataset._from_validated(
             self.x[rows],
             {name: series[rows] for name, series in self.values.items()},
             self.stage,
@@ -88,14 +127,44 @@ class Dataset:
         return self.subset(np.arange(count))
 
 
+def _chunk_sizes(count: int, chunk_size: int) -> List[int]:
+    """Row counts per chunk: all ``chunk_size`` except a shorter last one."""
+    sizes = [chunk_size] * (count // chunk_size)
+    if count % chunk_size:
+        sizes.append(count % chunk_size)
+    return sizes
+
+
 def simulate_dataset(
     testbench: Testbench,
     stage: Stage,
     count: int,
     rng: np.random.Generator,
     metrics: Optional[Sequence[str]] = None,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> Dataset:
-    """Draw ``count`` samples at ``stage`` and simulate the given metrics."""
+    """Draw ``count`` samples at ``stage`` and simulate the given metrics.
+
+    Parameters
+    ----------
+    testbench, stage, count, rng:
+        As before: the circuit, its design stage, the number of Monte Carlo
+        samples, and the source of randomness.
+    metrics:
+        Metric names to simulate (default: every metric of the testbench).
+    workers:
+        Size of the thread pool simulating chunks concurrently.  ``None``
+        or ``1`` runs serially.  The result is bitwise identical for every
+        worker count (chunks own spawned child generators and are
+        reassembled in order).
+    chunk_size:
+        Rows per chunk.  Defaults to :data:`DEFAULT_CHUNK_SIZE` when
+        ``workers`` is given, else unchunked.  Note that chunked and
+        unchunked generation draw different (equally valid) sample
+        streams from ``rng``; fix ``chunk_size`` to compare runs.
+    """
     wanted = tuple(metrics) if metrics is not None else testbench.metrics
     for metric in wanted:
         if metric not in testbench.metrics:
@@ -103,8 +172,62 @@ def simulate_dataset(
                 f"{testbench.name} has no metric {metric!r}; "
                 f"available: {testbench.metrics}"
             )
-    samples = testbench.sample(stage, count, rng)
-    values = {metric: testbench.simulate(stage, samples, metric) for metric in wanted}
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    if chunk_size is None and workers is None:
+        # Unchunked path: single draw from the caller's generator, exactly
+        # as before chunking existed (keeps seeded datasets stable).
+        with runtime_metrics.timer("montecarlo.simulate"):
+            samples = testbench.sample(stage, count, rng)
+            values = {
+                metric: testbench.simulate(stage, samples, metric)
+                for metric in wanted
+            }
+        runtime_metrics.increment("montecarlo.samples", count)
+        return Dataset(samples, values, stage, testbench.name)
+
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    num_workers = 1 if workers is None else int(workers)
+    sizes = _chunk_sizes(count, chunk_size)
+    # One child generator per chunk, spawned deterministically from the
+    # caller's RNG: chunk i sees the same stream no matter which worker
+    # runs it, or in which order.
+    child_rngs = rng.spawn(len(sizes))
+
+    def run_chunk(
+        chunk: Tuple[int, np.random.Generator]
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        size, chunk_rng = chunk
+        with runtime_metrics.timer("montecarlo.simulate"):
+            samples = testbench.sample(stage, size, chunk_rng)
+            values = {
+                metric: testbench.simulate(stage, samples, metric)
+                for metric in wanted
+            }
+        return samples, values
+
+    jobs = list(zip(sizes, child_rngs))
+    if num_workers == 1 or len(jobs) <= 1:
+        results = [run_chunk(job) for job in jobs]
+    else:
+        with ThreadPoolExecutor(max_workers=num_workers) as pool:
+            results = list(pool.map(run_chunk, jobs))
+
+    runtime_metrics.increment("montecarlo.samples", count)
+    runtime_metrics.increment("montecarlo.chunks", len(sizes))
+    if not results:
+        samples = testbench.sample(stage, 0, rng)
+        values = {metric: np.zeros(0) for metric in wanted}
+        return Dataset(samples, values, stage, testbench.name)
+    samples = np.concatenate([chunk_samples for chunk_samples, _ in results])
+    values = {
+        metric: np.concatenate([chunk_values[metric] for _, chunk_values in results])
+        for metric in wanted
+    }
     return Dataset(samples, values, stage, testbench.name)
 
 

@@ -1,0 +1,37 @@
+"""Performance runtime layer: instrumentation and caching.
+
+Shared by the basis, Monte Carlo, BMF, and experiments layers:
+
+* :mod:`repro.runtime.metrics` -- process-global counters and timers that
+  the experiment runners attach to their reports;
+* :mod:`repro.runtime.cache` -- a bounded, value-keyed cache of assembled
+  design matrices.
+"""
+
+from .cache import (
+    DesignMatrixCache,
+    design_cache,
+    disable_design_cache,
+    fingerprint_array,
+    set_design_cache,
+)
+from .metrics import (
+    MetricsRegistry,
+    TimerStat,
+    format_snapshot,
+    metrics,
+    snapshot_delta,
+)
+
+__all__ = [
+    "DesignMatrixCache",
+    "MetricsRegistry",
+    "TimerStat",
+    "design_cache",
+    "disable_design_cache",
+    "fingerprint_array",
+    "format_snapshot",
+    "metrics",
+    "set_design_cache",
+    "snapshot_delta",
+]

@@ -1,0 +1,169 @@
+"""Design-matrix cache keyed on basis identity + sample fingerprint.
+
+Assembling the design matrix **G** (eq. 9) is the single most repeated
+computation in the experiment harness: the cost-comparison runner assembles
+it once per metric over the *same* Monte Carlo pool, ``BmfRegressor.fit``
+needs it both for fitting and for posterior uncertainty, and the
+cross-validation sweep re-enters through the same samples.  This module
+memoizes those assemblies.
+
+Keys are value-based, not identity-based: a basis is identified by a digest
+of its multi-index set (so two equal bases built independently share
+entries) and a sample array by a digest of its bytes.  Cached matrices are
+returned with ``writeable=False`` so an accidental in-place edit raises
+instead of silently corrupting every later hit.
+
+The process-global cache is enabled by default and bounded both by entry
+count and total bytes; tiny evaluations (single-sample ``predict`` calls)
+bypass it entirely.  Hits/misses/evictions are reported through
+:mod:`repro.runtime.metrics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .metrics import metrics
+
+__all__ = [
+    "DesignMatrixCache",
+    "fingerprint_array",
+    "design_cache",
+    "set_design_cache",
+    "disable_design_cache",
+]
+
+CacheKey = Tuple[Hashable, ...]
+
+
+def fingerprint_array(x: np.ndarray) -> Tuple[Hashable, ...]:
+    """Value fingerprint of a float array: shape plus a content digest."""
+    x = np.ascontiguousarray(x)
+    digest = hashlib.blake2b(x.view(np.uint8), digest_size=16).hexdigest()
+    return (x.shape, digest)
+
+
+class DesignMatrixCache:
+    """Bounded LRU cache of assembled design matrices.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached matrices.
+    max_bytes:
+        Total byte budget across entries; matrices larger than the whole
+        budget are computed but never stored.
+    min_result_cells:
+        Results with fewer than this many cells (``K * len(columns)``) are
+        not cached -- hashing overhead would exceed the assembly cost.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        max_bytes: int = 256 * 1024 * 1024,
+        min_result_cells: int = 4096,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.min_result_cells = int(min_result_cells)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held."""
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self, key: CacheKey, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """Return the cached matrix for ``key``, computing it on a miss.
+
+        The stored (and returned) array is marked read-only; callers that
+        need to mutate must copy.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if cached is not None:
+            metrics.increment("design_cache.hits")
+            return cached
+
+        result = compute()
+        with self._lock:
+            self.misses += 1
+        metrics.increment("design_cache.misses")
+        if result.size < self.min_result_cells or result.nbytes > self.max_bytes:
+            return result
+        result = np.ascontiguousarray(result)
+        result.flags.writeable = False
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = result
+                self._bytes += result.nbytes
+                self._evict_locked()
+        return result
+
+    def _evict_locked(self) -> None:
+        while self._entries and (
+            len(self._entries) > self.max_entries or self._bytes > self.max_bytes
+        ):
+            _, dropped = self._entries.popitem(last=False)
+            self._bytes -= dropped.nbytes
+            self.evictions += 1
+            metrics.increment("design_cache.evictions")
+
+
+_default_cache: Optional[DesignMatrixCache] = DesignMatrixCache()
+_cache_lock = threading.Lock()
+
+
+def design_cache() -> Optional[DesignMatrixCache]:
+    """The process-global design-matrix cache (``None`` when disabled)."""
+    with _cache_lock:
+        return _default_cache
+
+
+def set_design_cache(
+    cache: Optional[DesignMatrixCache],
+) -> Optional[DesignMatrixCache]:
+    """Install a new global cache (or ``None`` to disable); returns the old."""
+    global _default_cache
+    with _cache_lock:
+        previous = _default_cache
+        _default_cache = cache
+        return previous
+
+
+def disable_design_cache() -> Optional[DesignMatrixCache]:
+    """Convenience: turn global caching off; returns the removed cache."""
+    return set_design_cache(None)

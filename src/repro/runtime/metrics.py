@@ -1,0 +1,128 @@
+"""Lightweight runtime instrumentation: counters and wall-clock timers.
+
+The performance layer (vectorized design matrices, the design-matrix cache,
+chunked Monte Carlo) reports what it did through a process-global
+:class:`MetricsRegistry`.  Experiment runners snapshot the registry before
+and after a run and attach the delta to their reports, so every regenerated
+table/figure records how much work (and how many cache hits) it cost.
+
+The registry is deliberately tiny: integer counters and accumulated
+wall-clock timers behind one lock, cheap enough to leave enabled
+everywhere.  Names are dotted strings (``"design_matrix.cells"``,
+``"design_cache.hits"``, ``"montecarlo.samples"``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+__all__ = [
+    "TimerStat",
+    "MetricsRegistry",
+    "metrics",
+    "snapshot_delta",
+    "format_snapshot",
+]
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock of one named timer."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe named counters and timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    # -- counters ------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def count(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall-clock into the named timer."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stat = self._timers.setdefault(name, TimerStat())
+                stat.calls += 1
+                stat.seconds += elapsed
+
+    def timer_stat(self, name: str) -> TimerStat:
+        """Copy of the named timer's accumulated state."""
+        with self._lock:
+            stat = self._timers.get(name, TimerStat())
+            return TimerStat(stat.calls, stat.seconds)
+
+    # -- aggregate views -----------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Flat view of every counter and timer.
+
+        Timers appear as two keys, ``<name>.calls`` and ``<name>.seconds``.
+        """
+        with self._lock:
+            out: Dict[str, float] = dict(self._counters)
+            for name, stat in self._timers.items():
+                out[f"{name}.calls"] = stat.calls
+                out[f"{name}.seconds"] = stat.seconds
+            return out
+
+    def reset(self) -> None:
+        """Drop every counter and timer."""
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+
+def snapshot_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """What changed between two snapshots (zero-change keys dropped)."""
+    out: Dict[str, float] = {}
+    for name, value in after.items():
+        change = value - before.get(name, 0)
+        if change:
+            out[name] = change
+    return out
+
+
+def format_snapshot(values: Dict[str, float], title: str = "Runtime metrics") -> str:
+    """Render a snapshot (or delta) as an aligned text block."""
+    if not values:
+        return f"{title}: (none)"
+    width = max(len(name) for name in values)
+    lines = [f"{title}:"]
+    for name in sorted(values):
+        value = values[name]
+        if name.endswith(".seconds"):
+            rendered = f"{value:.4f}"
+        else:
+            rendered = f"{value:g}"
+        lines.append(f"  {name.ljust(width)} = {rendered}")
+    return "\n".join(lines)
+
+
+#: Process-global registry used by the library's instrumented hot paths.
+metrics = MetricsRegistry()

@@ -58,6 +58,26 @@ class TestSolverEquivalence:
         assert np.allclose(fast, direct, atol=1e-9)
         assert fast[3] == 0.0 and fast[7] == 0.0
 
+    def test_pinned_plus_missing_agree_for_default_missing_scale(self, problem):
+        """Pinned entries make the direct path recurse on a sub-problem;
+        the missing-scale default must be resolved against the full prior
+        once so both solvers substitute the same value."""
+        design, target, early = problem
+        early = early.copy()
+        early[[3, 7]] = 0.0  # pinned
+        prior = zero_mean_prior(early).with_missing([0, 10, 20])
+        for missing_scale in (None, 500.0):
+            fast = map_estimate(
+                design, target, prior, 1.0,
+                solver="fast", missing_scale=missing_scale,
+            )
+            direct = map_estimate(
+                design, target, prior, 1.0,
+                solver="direct", missing_scale=missing_scale,
+            )
+            assert np.allclose(fast, direct, rtol=1e-7, atol=1e-8), missing_scale
+            assert direct[3] == 0.0 and direct[7] == 0.0
+
 
 class TestMapSemantics:
     def test_matches_paper_eq30(self, problem):

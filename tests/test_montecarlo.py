@@ -48,6 +48,38 @@ class TestDataset:
         with pytest.raises(ValueError, match="requested"):
             dataset.head(100)
 
+    def test_caller_values_dict_not_mutated(self, rng):
+        x = rng.standard_normal((4, 2))
+        values = {"m": [0.0, 1.0, 2.0, 3.0]}
+        data = Dataset(x, values, Stage.SCHEMATIC)
+        assert isinstance(values["m"], list)
+        assert data.values is not values
+        assert isinstance(data.values["m"], np.ndarray)
+
+    def test_datasets_from_shared_dict_are_independent(self, rng):
+        x = rng.standard_normal((4, 2))
+        values = {"m": np.arange(4.0)}
+        first = Dataset(x, values, Stage.SCHEMATIC)
+        second = Dataset(x, values, Stage.SCHEMATIC)
+        second.values["extra"] = np.zeros(4)
+        assert "extra" not in first.values
+        assert "extra" not in values
+
+    def test_subset_and_head_skip_revalidation(self, dataset, monkeypatch):
+        calls = []
+        original = Dataset.__post_init__
+
+        def counting(self):
+            calls.append(1)
+            original(self)
+
+        monkeypatch.setattr(Dataset, "__post_init__", counting)
+        subset = dataset.subset(np.array([0, 2]))
+        head = dataset.head(3)
+        assert calls == []
+        assert subset.size == 2 and head.size == 3
+        assert subset.testbench_name == dataset.testbench_name
+
 
 class TestSimulateDataset:
     def test_all_metrics_by_default(self, tiny_ro, rng):
@@ -72,6 +104,65 @@ class TestSimulateDataset:
     def test_testbench_name_recorded(self, tiny_ro, rng):
         data = simulate_dataset(tiny_ro, Stage.SCHEMATIC, 3, rng)
         assert data.testbench_name == tiny_ro.name
+
+
+class TestChunkedSimulation:
+    def test_worker_count_invariance(self, tiny_ro):
+        """workers=4 must reproduce workers=1 bit for bit (same seed)."""
+        one = simulate_dataset(
+            tiny_ro, Stage.POST_LAYOUT, 500,
+            np.random.default_rng(7), ["frequency"], workers=1, chunk_size=64,
+        )
+        four = simulate_dataset(
+            tiny_ro, Stage.POST_LAYOUT, 500,
+            np.random.default_rng(7), ["frequency"], workers=4, chunk_size=64,
+        )
+        assert np.array_equal(one.x, four.x)
+        assert np.array_equal(one.metric("frequency"), four.metric("frequency"))
+
+    def test_default_chunk_size_used_with_workers(self, tiny_ro):
+        from repro.montecarlo import DEFAULT_CHUNK_SIZE
+
+        auto = simulate_dataset(
+            tiny_ro, Stage.POST_LAYOUT, 300,
+            np.random.default_rng(3), ["frequency"], workers=2,
+        )
+        explicit = simulate_dataset(
+            tiny_ro, Stage.POST_LAYOUT, 300,
+            np.random.default_rng(3), ["frequency"],
+            workers=1, chunk_size=DEFAULT_CHUNK_SIZE,
+        )
+        assert np.array_equal(auto.x, explicit.x)
+
+    def test_non_divisible_count(self, tiny_ro, rng):
+        data = simulate_dataset(
+            tiny_ro, Stage.SCHEMATIC, 37, rng, ["power"], workers=3, chunk_size=8
+        )
+        assert data.size == 37
+        direct = tiny_ro.simulate(Stage.SCHEMATIC, data.x, "power")
+        assert np.allclose(data.metric("power"), direct)
+
+    def test_zero_count(self, tiny_ro, rng):
+        data = simulate_dataset(
+            tiny_ro, Stage.SCHEMATIC, 0, rng, ["power"], workers=2, chunk_size=8
+        )
+        assert data.size == 0
+
+    def test_unchunked_path_unchanged(self, tiny_ro):
+        """No workers/chunk_size keeps the original single-draw stream."""
+        data = simulate_dataset(
+            tiny_ro, Stage.SCHEMATIC, 20, np.random.default_rng(5), ["power"]
+        )
+        expected = tiny_ro.sample(Stage.SCHEMATIC, 20, np.random.default_rng(5))
+        assert np.array_equal(data.x, expected)
+
+    def test_invalid_workers_rejected(self, tiny_ro, rng):
+        with pytest.raises(ValueError, match="workers"):
+            simulate_dataset(tiny_ro, Stage.SCHEMATIC, 5, rng, workers=0)
+
+    def test_invalid_chunk_size_rejected(self, tiny_ro, rng):
+        with pytest.raises(ValueError, match="chunk_size"):
+            simulate_dataset(tiny_ro, Stage.SCHEMATIC, 5, rng, chunk_size=0)
 
 
 class TestTrainTestSplit:

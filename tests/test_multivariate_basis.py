@@ -96,6 +96,96 @@ class TestDesignMatrix:
         generic = mixed.design_matrix(x)
         assert np.allclose(generic[:, : linear.size], fast)
 
+    def test_generator_columns_materialized_once(self, rng):
+        """A generator argument must not be exhausted before assembly."""
+        basis = OrthonormalBasis.total_degree(3, 2)
+        x = rng.standard_normal((12, 3))
+        full = basis.design_matrix(x)
+        subset = basis.design_matrix(x, columns=(c for c in [1, 4, 7]))
+        assert subset.shape == (12, 3)
+        assert np.allclose(subset, full[:, [1, 4, 7]])
+
+    def test_negative_columns_normalized(self, rng):
+        basis = OrthonormalBasis.total_degree(2, 2)
+        x = rng.standard_normal((9, 2))
+        full = basis.design_matrix(x)
+        assert np.allclose(
+            basis.design_matrix(x, columns=[-1, 0]),
+            full[:, [basis.size - 1, 0]],
+        )
+
+    def test_out_of_range_column_rejected(self, rng):
+        basis = OrthonormalBasis.total_degree(2, 2)
+        x = rng.standard_normal((4, 2))
+        with pytest.raises(IndexError, match="out of range"):
+            basis.design_matrix(x, columns=[basis.size])
+        with pytest.raises(IndexError, match="out of range"):
+            basis.design_matrix(x, columns=[-basis.size - 1])
+
+    def test_hermite_tables_sized_to_selected_columns(self, rng, monkeypatch):
+        """Requesting only low-degree columns must not build full tables."""
+        import repro.basis.multivariate as multivariate
+
+        seen = []
+        original = multivariate.hermite_orthonormal_all
+
+        def recording(max_degree, x):
+            seen.append(max_degree)
+            return original(max_degree, x)
+
+        monkeypatch.setattr(multivariate, "hermite_orthonormal_all", recording)
+        basis = OrthonormalBasis.total_degree(3, 5)
+        x = rng.standard_normal((10, 3))
+        linear_columns = [
+            m for m, idx in enumerate(basis.indices)
+            if sum(d for _, d in idx) <= 1
+        ]
+        basis.design_matrix(x, columns=linear_columns)
+        assert seen == [1]
+
+    def test_vectorized_matches_loop_reference(self, rng):
+        """The grouped assembly must agree with the per-column reference."""
+        for num_vars, degree in [(4, 3), (2, 5), (5, 1), (3, 2)]:
+            basis = OrthonormalBasis.total_degree(num_vars, degree)
+            x = rng.standard_normal((17, num_vars))
+            assert np.allclose(
+                basis.design_matrix(x), basis._design_matrix_loop(x)
+            ), (num_vars, degree)
+
+    def test_vectorized_matches_loop_on_subsets(self, rng):
+        basis = OrthonormalBasis.total_degree(4, 3)
+        columns = list(rng.choice(basis.size, size=11, replace=False))
+        x = rng.standard_normal((13, 4))
+        assert np.allclose(
+            basis.design_matrix(x, columns=columns),
+            basis._design_matrix_loop(x, columns=columns),
+        )
+
+    def test_vectorized_matches_loop_on_sparse_basis(self, rng):
+        """Irregular custom index sets exercise the gather fallback."""
+        basis = OrthonormalBasis(
+            5,
+            [
+                (),
+                ((0, 2),),
+                ((1, 1), (3, 2)),
+                ((0, 1), (2, 1), (4, 1)),
+                ((4, 3),),
+            ],
+        )
+        x = rng.standard_normal((21, 5))
+        assert np.allclose(basis.design_matrix(x), basis._design_matrix_loop(x))
+
+    def test_single_row_samples(self, rng):
+        basis = OrthonormalBasis.total_degree(3, 3)
+        x = rng.standard_normal((1, 3))
+        assert np.allclose(basis.design_matrix(x), basis._design_matrix_loop(x))
+
+    def test_empty_column_selection(self, rng):
+        basis = OrthonormalBasis.total_degree(2, 2)
+        design = basis.design_matrix(rng.standard_normal((6, 2)), columns=[])
+        assert design.shape == (6, 0)
+
     def test_gram_is_identity_under_gaussian(self, rng):
         """Monte Carlo orthonormality: G^T G / K -> I (eq. 3)."""
         basis = OrthonormalBasis.total_degree(3, 2)

@@ -120,3 +120,26 @@ class TestEffectiveScale:
     def test_all_missing_defaults_to_1e3(self):
         prior = uninformative_prior(2)
         assert np.allclose(prior.effective_scale(), 1e3)
+
+
+class TestResolveMissingScale:
+    def test_none_when_no_missing_entries(self):
+        prior = zero_mean_prior(np.array([1.0, 2.0]))
+        assert prior.resolve_missing_scale() is None
+        assert prior.resolve_missing_scale(42.0) is None
+
+    def test_default_tracks_largest_finite_scale(self):
+        prior = zero_mean_prior(np.array([1.0, 5.0])).with_missing([0])
+        assert prior.resolve_missing_scale() == pytest.approx(5e3)
+
+    def test_explicit_value_passed_through(self):
+        prior = uninformative_prior(3)
+        assert prior.resolve_missing_scale(42.0) == 42.0
+
+    def test_all_missing_defaults_to_1e3(self):
+        assert uninformative_prior(2).resolve_missing_scale() == pytest.approx(1e3)
+
+    def test_effective_scale_consistent_with_resolution(self):
+        prior = zero_mean_prior(np.array([0.5, 3.0, 1.0])).with_missing([1])
+        resolved = prior.resolve_missing_scale()
+        assert prior.effective_scale()[1] == pytest.approx(resolved)
