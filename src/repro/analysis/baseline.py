@@ -1,0 +1,61 @@
+"""Baseline files: accept existing debt, fail CI only on *new* violations.
+
+A baseline is a JSON map from violation fingerprints to occurrence counts.
+Fingerprints hash the offending line's *text* (not its number), so a
+baseline survives unrelated edits that shift lines; adding a second
+occurrence of a baselined pattern still fails, because counts are compared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Counter as CounterType
+from typing import Dict, List, Sequence
+from collections import Counter
+
+from .violations import Violation
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "filter_baselined"]
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of a finding: path, rule, and offending-line digest."""
+    digest = hashlib.sha1(violation.line_text.encode("utf-8")).hexdigest()[:12]
+    path = Path(violation.path).as_posix()
+    return f"{path}::{violation.rule_id}::{digest}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file; raises ValueError on malformed content."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = raw.get("violations") if isinstance(raw, dict) else None
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) for k, v in entries.items()
+    ):
+        raise ValueError(f"malformed baseline file: {path}")
+    return dict(entries)
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> Dict[str, int]:
+    """Write the given findings as the new accepted baseline."""
+    counts: CounterType[str] = Counter(fingerprint(v) for v in violations)
+    payload = {"version": 1, "violations": dict(sorted(counts.items()))}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return dict(counts)
+
+
+def filter_baselined(
+    violations: Sequence[Violation], baseline: Dict[str, int]
+) -> List[Violation]:
+    """Findings not covered by the baseline (per-fingerprint counted)."""
+    remaining = dict(baseline)
+    out: List[Violation] = []
+    for violation in violations:
+        key = fingerprint(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            continue
+        out.append(violation)
+    return out

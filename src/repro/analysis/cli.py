@@ -1,0 +1,124 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 = clean (or only baselined findings), 1 = new violations,
+2 = usage error (argparse) or unreadable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import rules as _rules  # noqa: F401 -- import registers the rule set
+from .baseline import filter_baselined, load_baseline, write_baseline
+from .engine import LintEngine, registered_rules
+from .reporters import format_json, format_text, summarize
+from .violations import Severity
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based correctness linter for the repro codebase: "
+            "deterministic-RNG, float-equality, and shared-state rules "
+            "(REP001-REP007)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of accepted findings; only new ones fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _split(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(registered_rules().items()):
+            print(f"{rule_id}  [{cls.severity}]  {cls.description}")
+            print(f"        {cls.rationale}")
+        return 0
+
+    try:
+        engine = LintEngine(select=_split(args.select), ignore=_split(args.ignore))
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    violations = engine.lint_paths(args.paths)
+
+    if args.write_baseline:
+        if args.baseline is None:
+            parser.error("--write-baseline requires --baseline FILE")
+        write_baseline(args.baseline, violations)
+        print(f"baseline written to {args.baseline}: {summarize(violations)}")
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        violations = filter_baselined(violations, baseline)
+
+    if args.format == "json":
+        print(format_json(violations))
+    else:
+        print(format_text(violations))
+
+    has_errors = any(v.severity >= Severity.ERROR for v in violations)
+    return 1 if has_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

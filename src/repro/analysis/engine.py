@@ -1,0 +1,232 @@
+"""Reusable AST lint engine: rule registry, dispatch, and suppressions.
+
+The engine parses each file once, walks the tree once, and dispatches every
+node to the rules that registered interest in its type — so adding rules
+does not add walks.  Findings on a line carrying a matching
+``# repro: noqa[RULE]`` comment (or a bare ``# repro: noqa``) are
+suppressed at collection time.
+
+Rules are small classes registered with :func:`register_rule`; each
+declares the node types it wants, a stable ``rule_id``, a default
+:class:`~repro.analysis.violations.Severity`, and whether it applies to
+test files (exact-value assertions and ad-hoc RNGs are legitimate in
+tests, so several rules opt out there).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from .violations import Severity, Violation
+
+__all__ = [
+    "LintContext",
+    "LintEngine",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "iter_python_files",
+]
+
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Directory names never descended into when expanding lint targets.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+class LintContext:
+    """Per-file state handed to every rule invocation."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, is_test: bool):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.is_test = is_test
+        self._lines = source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """Stripped source text of a 1-based line ('' when out of range)."""
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1].strip()
+        return ""
+
+    def suppressed_rules(self, lineno: int) -> Optional[frozenset]:
+        """Rules suppressed on a line: a set of ids, or None for 'all'.
+
+        Returns an empty frozenset when the line carries no noqa comment.
+        """
+        match = _NOQA_PATTERN.search(self.line_text(lineno))
+        if match is None:
+            return frozenset()
+        rules = match.group("rules")
+        if rules is None:
+            return None  # bare noqa: everything suppressed
+        return frozenset(part.strip().upper() for part in rules.split(",") if part.strip())
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Violation` instances for each offending node.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    rationale: str = ""
+    severity: Severity = Severity.ERROR
+    #: AST node classes this rule wants to see.
+    node_types: Tuple[type, ...] = ()
+    #: Whether the rule also runs on test files (tests/, test_*.py, conftest).
+    applies_to_tests: bool = True
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, node: ast.AST, ctx: LintContext, message: Optional[str] = None
+    ) -> Violation:
+        """Build a violation anchored at ``node`` with this rule's identity."""
+        line = getattr(node, "lineno", 1)
+        return Violation(
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message if message is not None else self.description,
+            severity=self.severity,
+            line_text=ctx.line_text(line),
+        )
+
+
+_registry_lock = threading.Lock()
+_registry: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry (id-unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    with _registry_lock:
+        existing = _registry.get(cls.rule_id)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+        _registry[cls.rule_id] = cls
+    return cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """Snapshot of the registry, keyed by rule id."""
+    with _registry_lock:
+        return dict(_registry)
+
+
+def _looks_like_test(path: Path) -> bool:
+    name = path.name
+    if name.startswith("test_") or name == "conftest.py":
+        return True
+    return any(part in ("tests", "testing") for part in path.parts)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files beneath them."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not any(part in _SKIPPED_DIRS for part in child.parts):
+                    yield child
+        elif path.suffix == ".py":
+            yield path
+
+
+class LintEngine:
+    """Runs a set of rules over sources, files, or directory trees."""
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[Rule]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ):
+        if rules is None:
+            rules = [cls() for _, cls in sorted(registered_rules().items())]
+        rules = list(rules)
+        if select is not None:
+            wanted = {r.upper() for r in select}
+            unknown = wanted - {r.rule_id for r in rules}
+            if unknown:
+                raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+            rules = [r for r in rules if r.rule_id in wanted]
+        if ignore is not None:
+            dropped = {r.upper() for r in ignore}
+            rules = [r for r in rules if r.rule_id not in dropped]
+        self.rules: List[Rule] = rules
+        # Node-type -> interested rules, built once per engine.
+        self._dispatch: Dict[type, List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    # ------------------------------------------------------------------
+    def lint_source(
+        self, source: str, path: str = "<string>", is_test: bool = False
+    ) -> List[Violation]:
+        """Lint one source string; returns sorted, suppression-filtered findings."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id="PARSE",
+                    message=f"could not parse file: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        ctx = LintContext(path, source, tree, is_test)
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            for rule in self._dispatch.get(type(node), ()):
+                if ctx.is_test and not rule.applies_to_tests:
+                    continue
+                for violation in rule.check(node, ctx):
+                    suppressed = ctx.suppressed_rules(violation.line)
+                    if suppressed is None or violation.rule_id in suppressed:
+                        continue
+                    out.append(violation)
+        out.sort(key=Violation.sort_key)
+        return out
+
+    def lint_file(self, path: Path) -> List[Violation]:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [
+                Violation(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    rule_id="PARSE",
+                    message=f"could not read file: {exc}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        return self.lint_source(source, path=str(path), is_test=_looks_like_test(path))
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Violation]:
+        """Lint every python file under the given files/directories."""
+        out: List[Violation] = []
+        for path in iter_python_files(paths):
+            out.extend(self.lint_file(path))
+        out.sort(key=Violation.sort_key)
+        return out

@@ -1,0 +1,56 @@
+"""Render lint findings as text (for terminals/CI) or JSON (for tooling)."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .violations import Severity, Violation
+
+__all__ = ["format_text", "format_json", "summarize"]
+
+
+def summarize(violations: Sequence[Violation]) -> str:
+    """One-line tally, e.g. ``3 violations (2 errors, 1 warning)``."""
+    errors = sum(1 for v in violations if v.severity >= Severity.ERROR)
+    warnings = len(violations) - errors
+    if not violations:
+        return "no violations"
+    noun = "violation" if len(violations) == 1 else "violations"
+    return (
+        f"{len(violations)} {noun} "
+        f"({errors} error{'s' if errors != 1 else ''}, "
+        f"{warnings} warning{'s' if warnings != 1 else ''})"
+    )
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """GCC-style ``path:line:col: RULE [severity] message`` lines + summary."""
+    lines: List[str] = [
+        f"{v.location()}: {v.rule_id} [{v.severity}] {v.message}" for v in violations
+    ]
+    lines.append(summarize(violations))
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    """JSON document: ``{"violations": [...], "counts": {...}}``."""
+    payload = {
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "severity": str(v.severity),
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "counts": {
+            "total": len(violations),
+            "errors": sum(1 for v in violations if v.severity >= Severity.ERROR),
+            "warnings": sum(1 for v in violations if v.severity < Severity.ERROR),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,331 @@
+"""Domain-specific correctness rules (REP001-REP007) for this codebase.
+
+Each rule guards an invariant the runtime layer depends on: deterministic
+seeded RNG flow, no silent float-equality traps, no shared mutable state
+without a lock, no validation that disappears under ``python -O``.  See
+``docs/analysis.md`` for the rationale and suppression workflow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .engine import LintContext, Rule, register_rule
+from .violations import Severity, Violation
+
+__all__ = [
+    "GlobalStateRngRule",
+    "UnseededDefaultRngRule",
+    "FloatEqualityRule",
+    "MutableDefaultArgRule",
+    "UnlockedModuleStateRule",
+    "SwallowedExceptionRule",
+    "AssertForValidationRule",
+]
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a Name/Attribute chain as a dotted string (None if not one)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    """A float constant, including a negated one like ``-0.5``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+#: Constructors whose results are mutable containers.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+
+def _is_mutable_expr(node: ast.AST) -> bool:
+    """Literal/constructor expressions that produce a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+@register_rule
+class GlobalStateRngRule(Rule):
+    """REP001: use of numpy's legacy global-state RNG."""
+
+    rule_id = "REP001"
+    description = "legacy global-state numpy RNG"
+    rationale = (
+        "np.random.seed()/np.random.rand*() mutate hidden process-global "
+        "state, so results depend on import order and thread interleaving; "
+        "every sampling path must take an explicit np.random.Generator."
+    )
+    node_types = (ast.Attribute,)
+
+    _LEGACY = frozenset(
+        {
+            "seed",
+            "get_state",
+            "set_state",
+            "rand",
+            "randn",
+            "randint",
+            "random",
+            "random_sample",
+            "random_integers",
+            "ranf",
+            "sample",
+            "choice",
+            "shuffle",
+            "permutation",
+            "normal",
+            "standard_normal",
+            "uniform",
+            "binomial",
+            "poisson",
+            "exponential",
+            "beta",
+            "gamma",
+            "lognormal",
+            "multivariate_normal",
+        }
+    )
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in self._LEGACY
+        ):
+            yield self.violation(
+                node,
+                ctx,
+                f"`{dotted}` uses the hidden global RNG; pass a seeded "
+                "np.random.Generator instead",
+            )
+
+
+@register_rule
+class UnseededDefaultRngRule(Rule):
+    """REP002: ``default_rng()`` with no seed outside tests."""
+
+    rule_id = "REP002"
+    description = "unseeded default_rng() in library code"
+    rationale = (
+        "An unseeded Generator draws OS entropy, making runs "
+        "unreproducible; library code must accept or derive a seed."
+    )
+    node_types = (ast.Call,)
+    applies_to_tests = False
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        dotted = _dotted_name(node.func)
+        if dotted is None or dotted.rsplit(".", 1)[-1] != "default_rng":
+            return
+        seed_args = [a for a in node.args if not isinstance(a, ast.Starred)]
+        seed_kwargs = [k for k in node.keywords if k.arg == "seed"]
+        unseeded = not node.args and not seed_kwargs
+        if seed_args and isinstance(seed_args[0], ast.Constant) and seed_args[0].value is None:
+            unseeded = True
+        if seed_kwargs and (
+            isinstance(seed_kwargs[0].value, ast.Constant)
+            and seed_kwargs[0].value.value is None
+        ):
+            unseeded = True
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            unseeded = False  # cannot tell statically; give the benefit of the doubt
+        if unseeded:
+            yield self.violation(
+                node,
+                ctx,
+                "default_rng() without a seed is unreproducible; thread an "
+                "explicit seed or Generator through instead",
+            )
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """REP003: ``==``/``!=`` against a float literal."""
+
+    rule_id = "REP003"
+    description = "exact equality against a float literal"
+    rationale = (
+        "Computed floats differ from literals by round-off; compare with "
+        "a tolerance (repro.linalg.is_effectively_zero) unless the value "
+        "is an exact sentinel, which must be marked with a noqa comment."
+    )
+    node_types = (ast.Compare,)
+    applies_to_tests = False
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        elements = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(elements[i]) or _is_float_literal(elements[i + 1]):
+                yield self.violation(
+                    node,
+                    ctx,
+                    "exact ==/!= against a float literal; use a tolerance "
+                    "check (e.g. repro.linalg.is_effectively_zero) or mark "
+                    "the sentinel with `# repro: noqa[REP003]`",
+                )
+                return
+
+
+@register_rule
+class MutableDefaultArgRule(Rule):
+    """REP004: mutable default argument."""
+
+    rule_id = "REP004"
+    description = "mutable default argument"
+    rationale = (
+        "Default values are evaluated once at definition time, so a "
+        "mutable default is shared across every call."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            if _is_mutable_expr(default):
+                name = getattr(node, "name", "<lambda>")
+                yield self.violation(
+                    default,
+                    ctx,
+                    f"mutable default argument in `{name}`; use None and "
+                    "construct inside the body",
+                )
+
+
+@register_rule
+class UnlockedModuleStateRule(Rule):
+    """REP005: module-level mutable container without a module-level lock."""
+
+    rule_id = "REP005"
+    description = "module-level mutable state without a lock"
+    rationale = (
+        "Process-global containers are shared across threads (metrics "
+        "registry, design cache); every module holding one must also hold "
+        "a threading.Lock guarding its mutation paths."
+    )
+    node_types = (ast.Module,)
+
+    _LOCK_NAMES = frozenset({"Lock", "RLock"})
+
+    def _has_module_lock(self, module: ast.Module) -> bool:
+        for stmt in module.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if isinstance(value, ast.Call):
+                name = _dotted_name(value.func)
+                if name is not None and name.rsplit(".", 1)[-1] in self._LOCK_NAMES:
+                    return True
+        return False
+
+    @staticmethod
+    def _is_constant_name(name: str) -> bool:
+        stripped = name.lstrip("_")
+        return name.startswith("__") or (stripped.isupper() and bool(stripped))
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        has_lock = self._has_module_lock(node)
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if value is None or not _is_mutable_expr(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if self._is_constant_name(target.id):
+                    continue  # UPPER_CASE / dunder: read-only by convention
+                if has_lock:
+                    continue
+                yield self.violation(
+                    stmt,
+                    ctx,
+                    f"module-level mutable `{target.id}` has no accompanying "
+                    "threading.Lock in this module",
+                )
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """REP006: bare except or handler that silently swallows."""
+
+    rule_id = "REP006"
+    description = "bare except / silently swallowed exception"
+    rationale = (
+        "Bare excepts catch KeyboardInterrupt/SystemExit, and pass-only "
+        "handlers hide real failures; catch narrowly and at least log."
+    )
+    node_types = (ast.ExceptHandler,)
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        if node.type is None:
+            yield self.violation(
+                node, ctx, "bare `except:` catches SystemExit/KeyboardInterrupt; name the exception"
+            )
+        elif self._swallows(node):
+            yield self.violation(
+                node, ctx, "exception handler silently swallows; handle, log, or re-raise"
+            )
+
+
+@register_rule
+class AssertForValidationRule(Rule):
+    """REP007: ``assert`` used for runtime validation in library code."""
+
+    rule_id = "REP007"
+    description = "assert used for runtime validation in src/"
+    rationale = (
+        "Assertions are stripped under `python -O`, so library invariants "
+        "guarded by assert vanish in optimized deployments; raise "
+        "ValueError/TypeError instead."
+    )
+    node_types = (ast.Assert,)
+    applies_to_tests = False
+    severity = Severity.ERROR
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        yield self.violation(
+            node,
+            ctx,
+            "assert is stripped under -O; raise an explicit exception for "
+            "runtime validation",
+        )

@@ -1,0 +1,54 @@
+"""Data model for lint findings: severity levels and the Violation record."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (ERROR > WARNING)."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding at a specific source location.
+
+    Attributes
+    ----------
+    path:
+        Repository-relative (or as-given) path of the offending file.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        Identifier of the rule that fired (``"REP003"``), or ``"PARSE"``
+        for files the engine could not parse.
+    message:
+        Human-readable description of the problem.
+    severity:
+        :class:`Severity` of the finding.
+    line_text:
+        The stripped source line, used for baseline fingerprinting so
+        entries survive unrelated line-number drift.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+    line_text: str = field(default="", compare=False)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"

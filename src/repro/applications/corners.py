@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..linalg.numerics import is_effectively_zero
 from ..regression.base import FittedModel
 
 __all__ = ["Corner", "worst_case_corner"]
@@ -71,7 +72,11 @@ def worst_case_corner(
     if basis.is_linear():
         gradient = _linear_gradient(model)
         norm = np.linalg.norm(gradient)
-        if norm == 0.0:
+        # A gradient at round-off level relative to the model's coefficient
+        # scale is a flat model; normalizing it would amplify noise to the
+        # full sigma-ball radius.
+        coeff_scale = float(np.max(np.abs(model.coefficients), initial=0.0))
+        if is_effectively_zero(norm, scale=coeff_scale) or not norm:
             x = np.zeros(basis.num_vars)
         else:
             x = sign * sigma * gradient / norm

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.contracts import returns_array
 from ..runtime.cache import design_cache, fingerprint_array
 from ..runtime.metrics import metrics
 from .hermite import hermite_orthonormal_all
@@ -126,6 +127,7 @@ class OrthonormalBasis:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    @returns_array(dtype=np.float64, ndim=2, c_contiguous=True, name="design matrix G")
     def design_matrix(self, x: np.ndarray, columns: Optional[Sequence[int]] = None) -> np.ndarray:
         """Assemble the design matrix **G** of eq. (9).
 
@@ -193,23 +195,29 @@ class OrthonormalBasis:
                 return self._linear_design_matrix(x, wanted)
             return self._design_matrix_vectorized(x, wanted)
 
-    # Runs shorter than this are cheaper through the batched gather path
-    # than through an extra slice operation.
-    _MIN_RUN = 4
+    # Sample rows are processed in blocks of this size so the per-block
+    # gather buffers (2 x block x M doubles) stay inside the L2 cache;
+    # larger blocks push the gather traffic out to L3/DRAM and measurably
+    # slow the assembly down on memory-bandwidth-bound hosts.
+    _ROW_BLOCK = 8
 
     def _design_matrix_vectorized(self, x: np.ndarray, wanted: List[int]) -> np.ndarray:
-        """General-path assembly as grouped products of Hermite tables.
+        """General-path assembly as blocked gather-products of Hermite tables.
 
         The univariate orthonormal Hermite tables are evaluated in one
         batched recurrence over every active variable, only up to the
         highest degree the *selected* columns actually use, and stacked
-        over a shared ones row with a ``(degree, variable)``-major layout.
-        Each output column is a product of rows of that table; columns
-        whose table rows form consecutive runs with a shared second factor
-        (the entire basis in its natural graded order does) are emitted as
-        contiguous slice products, and irregular leftovers fall back to a
-        batched gather-product.  Either way the former per-column Python
-        loop becomes O(active vars + runs) NumPy calls.
+        next to a shared ones column with a ``(degree, variable)``-major
+        column layout, samples along the leading axis.  Each output column
+        is a product of ``depth`` columns of that table (padded with the
+        ones column for lower-order terms); the product is formed for all
+        columns at once, one small block of sample rows at a time, by
+        gathering the factor columns into reused scratch buffers and
+        multiplying straight into the matching rows of the C-contiguous
+        result.  The former per-column Python loop becomes
+        O(depth * K / block) NumPy calls, every write lands contiguously,
+        and no final transpose copy is needed to satisfy the C-contiguity
+        contract.
         """
         num_samples = x.shape[0]
         num_cols = len(wanted)
@@ -230,14 +238,15 @@ class OrthonormalBasis:
         if table_degree == 0:
             return np.ones((num_samples, num_cols), dtype=float)
         # Batched recurrence over all active variables at once:
-        # (table_degree + 1, K, V) -> rows laid out (degree, variable)-major.
+        # (table_degree + 1, K, V) -> columns laid out (degree, variable)-
+        # major with samples as the leading axis.
         batch = hermite_orthonormal_all(table_degree, x[:, active])
         num_active = len(active)
         stacked = np.empty(
-            (1 + table_degree * num_active, num_samples), dtype=float
+            (num_samples, 1 + table_degree * num_active), dtype=float
         )
-        stacked[0] = 1.0
-        stacked[1:] = batch[1:].transpose(0, 2, 1).reshape(-1, num_samples)
+        stacked[:, 0] = 1.0
+        stacked[:, 1:] = batch[1:].transpose(1, 0, 2).reshape(num_samples, -1)
         position = {var: p for p, var in enumerate(active)}
 
         gather = np.zeros((num_cols, depth), dtype=np.intp)
@@ -245,70 +254,27 @@ class OrthonormalBasis:
             for level, (var, deg) in enumerate(self.indices[m]):
                 gather[j, level] = 1 + (deg - 1) * num_active + position[var]
 
-        out = np.empty((num_cols, num_samples), dtype=float)
-        leftover = self._emit_slice_runs(stacked, gather, out)
-        if leftover:
-            rows = np.asarray(leftover, dtype=np.intp)
-            product = stacked[gather[rows, 0]]
-            for level in range(1, depth):
-                product *= stacked[gather[rows, level]]
-            out[rows] = product
-        return out.T
-
-    def _emit_slice_runs(
-        self, stacked: np.ndarray, gather: np.ndarray, out: np.ndarray
-    ) -> List[int]:
-        """Write slice-decomposable column runs into ``out``.
-
-        A run is a block of consecutive output columns that are each the
-        product of exactly one stepping table row (consecutive rows of
-        ``stacked``) and one shared fixed row, with any remaining factor
-        levels padded by the ones row.  Returns the column positions that
-        did not fit a run (to be handled by the gather fallback).
-        """
-        num_cols, depth = gather.shape
-        g0 = gather[:, 0]
-        g1 = gather[:, 1] if depth > 1 else np.zeros(num_cols, dtype=np.intp)
-        if depth > 2:
-            shallow = (gather[:, 2:] == 0).all(axis=1)
-        else:
-            shallow = np.ones(num_cols, dtype=bool)
-        if num_cols > 1:
-            pair_ok = shallow[1:] & shallow[:-1]
-            step_a = (np.diff(g0) == 1) & (g1[1:] == g1[:-1]) & pair_ok
-            step_b = (g0[1:] == g0[:-1]) & (np.diff(g1) == 1) & pair_ok
-        else:
-            step_a = step_b = np.zeros(0, dtype=bool)
-
-        leftover: List[int] = []
-        j = 0
-        while j < num_cols:
-            if not shallow[j]:
-                leftover.append(j)
-                j += 1
+        out = np.empty((num_samples, num_cols), dtype=float)
+        block = self._ROW_BLOCK
+        product = np.empty((block, num_cols), dtype=float)
+        factor = np.empty((block, num_cols), dtype=float)
+        first = gather[:, 0]
+        middle = [gather[:, level] for level in range(1, depth - 1)]
+        last = gather[:, depth - 1] if depth > 1 else None
+        for k0 in range(0, num_samples, block):
+            k1 = min(k0 + block, num_samples)
+            rows = k1 - k0
+            sub = stacked[k0:k1]
+            if last is None:
+                np.take(sub, first, axis=1, out=out[k0:k1])
                 continue
-            length_a = 1
-            while j + length_a < num_cols and step_a[j + length_a - 1]:
-                length_a += 1
-            length_b = 1
-            while j + length_b < num_cols and step_b[j + length_b - 1]:
-                length_b += 1
-            length = max(length_a, length_b)
-            if length < self._MIN_RUN:
-                leftover.append(j)
-                j += 1
-                continue
-            if length_a >= length_b:
-                start, fixed = g0[j], g1[j]
-            else:
-                start, fixed = g1[j], g0[j]
-            stepping = stacked[start : start + length]
-            if fixed == 0:
-                out[j : j + length] = stepping
-            else:
-                np.multiply(stepping, stacked[fixed], out=out[j : j + length])
-            j += length
-        return leftover
+            np.take(sub, first, axis=1, out=product[:rows])
+            for level_cols in middle:
+                np.take(sub, level_cols, axis=1, out=factor[:rows])
+                product[:rows] *= factor[:rows]
+            np.take(sub, last, axis=1, out=factor[:rows])
+            np.multiply(product[:rows], factor[:rows], out=out[k0:k1])
+        return out
 
     def _design_matrix_loop(
         self, x: np.ndarray, columns: Optional[Sequence[int]] = None

@@ -94,7 +94,7 @@ def map_estimate(
     # would substitute a different value than the fast path uses.
     missing_scale = prior.resolve_missing_scale(missing_scale)
     scale = prior.effective_scale(missing_scale)
-    pinned = scale == 0.0
+    pinned = scale == 0.0  # repro: noqa[REP003] -- exact pinned-prior sentinel
     if np.all(pinned):
         return prior.mean.copy()
 

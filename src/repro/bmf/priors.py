@@ -78,7 +78,9 @@ class GaussianCoefficientPrior:
 
     def pinned_mask(self) -> np.ndarray:
         """Boolean mask of coefficients pinned exactly to their prior mean."""
-        return self.scale == 0.0
+        # Exact zero is the pinned-coefficient sentinel, never a computed
+        # quantity, so literal equality is the correct test here.
+        return self.scale == 0.0  # repro: noqa[REP003]
 
     def with_missing(self, indices: Iterable[int]) -> "GaussianCoefficientPrior":
         """Return a copy with the given coefficients marked prior-free.

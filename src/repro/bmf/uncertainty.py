@@ -70,7 +70,7 @@ def coefficient_posterior_variance(
     if noise_variance is None:
         noise_variance = eta
     scale = prior.effective_scale(missing_scale)
-    pinned = scale == 0.0
+    pinned = scale == 0.0  # repro: noqa[REP003] -- exact pinned-prior sentinel
     out = np.zeros(prior.size)
     if np.all(pinned):
         return out

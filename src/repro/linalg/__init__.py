@@ -1,5 +1,6 @@
 """Linear-algebra kernels: SPD solves and Woodbury low-rank updates."""
 
+from .numerics import EPS, is_effectively_zero
 from .solvers import SolverError, solve_least_squares, solve_spd
 from .woodbury import (
     posterior_variance_diagonal,
@@ -8,7 +9,9 @@ from .woodbury import (
 )
 
 __all__ = [
+    "EPS",
     "SolverError",
+    "is_effectively_zero",
     "posterior_variance_diagonal",
     "solve_diag_plus_gram",
     "solve_diag_plus_gram_direct",

@@ -1,0 +1,46 @@
+"""Floating-point predicates shared across the numeric stack.
+
+Exact equality against float literals is almost always a latent bug in
+numerical code: quantities that are analytically zero (a residual norm, the
+energy of a degenerate design-matrix column, the gradient of a flat model)
+come back from floating-point arithmetic as values on the order of
+``eps * scale`` rather than exactly ``0.0``.  The REP003 lint rule
+(:mod:`repro.analysis`) bans literal float equality in ``src/``; code that
+needs degenerate-scale detection uses :func:`is_effectively_zero` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EPS", "is_effectively_zero"]
+
+#: Machine epsilon of IEEE-754 double precision (~2.22e-16).
+EPS = float(np.finfo(np.float64).eps)
+
+#: Default relative tolerance: a generous multiple of machine epsilon, wide
+#: enough to absorb accumulated round-off from norm/reduction computations
+#: but far below any physically meaningful quantity in the pipeline.
+DEFAULT_RTOL = 64.0 * EPS
+
+
+def is_effectively_zero(value: float, scale: float = 1.0, rtol: float = DEFAULT_RTOL) -> bool:
+    """True when ``value`` is indistinguishable from zero at ``scale``.
+
+    Parameters
+    ----------
+    value:
+        The quantity to test (a norm, a column energy, ...).
+    scale:
+        The natural magnitude of the computation that produced ``value``.
+        A ``value`` below ``rtol * |scale|`` is treated as round-off noise.
+        With ``scale=0`` the test degenerates to exact-zero comparison.
+    rtol:
+        Relative tolerance; defaults to ``64 * eps``.
+
+    Notes
+    -----
+    ``nan`` inputs return ``False`` (a NaN is not "zero"; callers that can
+    see NaNs should validate separately).
+    """
+    return abs(float(value)) <= rtol * abs(float(scale))

@@ -39,13 +39,12 @@ def solve_spd(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         chol = scipy.linalg.cho_factor(matrix, lower=True, check_finite=False)
         return scipy.linalg.cho_solve(chol, rhs, check_finite=False)
     except scipy.linalg.LinAlgError:
-        pass
-    # Regularized fallback: clip tiny/negative eigenvalues.
-    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
-    floor = max(eigenvalues.max(), 1.0) * 1e-12
-    clipped = np.maximum(eigenvalues, floor)
-    projected = eigenvectors.T @ rhs
-    return eigenvectors @ (projected / clipped)
+        # Regularized fallback: clip tiny/negative eigenvalues.
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        floor = max(eigenvalues.max(), 1.0) * 1e-12
+        clipped = np.maximum(eigenvalues, floor)
+        projected = eigenvectors.T @ rhs
+        return eigenvectors @ (projected / clipped)
 
 
 def solve_least_squares(design: np.ndarray, target: np.ndarray) -> np.ndarray:

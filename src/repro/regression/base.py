@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..basis import OrthonormalBasis
+from ..linalg.numerics import is_effectively_zero
 
 __all__ = ["BasisRegressor", "FittedModel", "relative_error", "rms_error"]
 
@@ -29,7 +30,10 @@ def relative_error(predicted: np.ndarray, actual: np.ndarray) -> float:
             f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
         )
     denominator = np.linalg.norm(actual)
-    if denominator == 0.0:
+    # Degenerate-scale guard relative to the data's own magnitude: an exactly
+    # zero vector (and nothing else) has norm below round-off at its peak.
+    peak = float(np.max(np.abs(actual), initial=0.0))
+    if is_effectively_zero(denominator, scale=peak) or not denominator:
         raise ValueError("actual values have zero norm; relative error undefined")
     return float(np.linalg.norm(predicted - actual) / denominator)
 

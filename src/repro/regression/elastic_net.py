@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..linalg.numerics import is_effectively_zero
 from .base import BasisRegressor
 
 __all__ = ["ElasticNetRegressor", "coordinate_descent"]
@@ -59,6 +60,10 @@ def coordinate_descent(
     num_samples, num_terms = design.shape
 
     col_scale = np.einsum("km,km->m", design, design) / num_samples
+    # A column whose energy is round-off-level relative to the strongest
+    # column is degenerate (constant-zero up to noise) and must be skipped,
+    # not divided by.
+    scale_floor = float(np.max(col_scale, initial=0.0))
     l1_term = penalty * l1_ratio
     l2_term = penalty * (1.0 - l1_ratio)
 
@@ -71,7 +76,7 @@ def coordinate_descent(
         max_update = 0.0
         max_coeff = max(float(np.max(np.abs(coeffs))), 1e-12)
         for j in range(num_terms):
-            if col_scale[j] == 0.0:
+            if is_effectively_zero(col_scale[j], scale=scale_floor):
                 continue
             old = coeffs[j]
             raw = (design[:, j] @ residual) / num_samples + col_scale[j] * old

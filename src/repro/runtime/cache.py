@@ -28,6 +28,7 @@ from typing import Callable, Hashable, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import check_array
 from .metrics import metrics
 
 __all__ = [
@@ -100,6 +101,22 @@ class DesignMatrixCache:
             self._entries.clear()
             self._bytes = 0
 
+    def stats(self) -> dict:
+        """Consistent snapshot of counters and occupancy, read under the lock.
+
+        Prefer this over reading ``hits``/``misses``/``evictions`` directly
+        from another thread: the attributes are mutated under the lock, so
+        only a locked read sees a mutually consistent set.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+            }
+
     # ------------------------------------------------------------------
     def get_or_compute(
         self, key: CacheKey, compute: Callable[[], np.ndarray]
@@ -116,7 +133,9 @@ class DesignMatrixCache:
                 self.hits += 1
         if cached is not None:
             metrics.increment("design_cache.hits")
-            return cached
+            return check_array(
+                cached, name="cached design matrix", writeable=False, c_contiguous=True
+            )
 
         result = compute()
         with self._lock:

@@ -1,0 +1,364 @@
+"""Tests for the AST lint engine, rules REP001-REP007, noqa, and baseline."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintEngine,
+    Severity,
+    filter_baselined,
+    load_baseline,
+    registered_rules,
+    write_baseline,
+)
+from repro.analysis.baseline import fingerprint
+from repro.analysis.cli import main
+from repro.analysis.engine import iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint(source, is_test=False, **engine_kwargs):
+    engine = LintEngine(**engine_kwargs)
+    return engine.lint_source(source, path="snippet.py", is_test=is_test)
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]
+
+
+class TestRep001GlobalStateRng:
+    def test_seed_flagged(self):
+        out = lint("import numpy as np\nnp.random.seed(0)\n")
+        assert rule_ids(out) == ["REP001"]
+        assert out[0].line == 2
+
+    def test_sampling_functions_flagged(self):
+        for call in ("np.random.rand(3)", "np.random.randn(2)", "numpy.random.normal()"):
+            out = lint(f"import numpy as np\nimport numpy\nx = {call}\n")
+            assert rule_ids(out) == ["REP001"], call
+
+    def test_generator_api_not_flagged(self):
+        clean = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.normal(size=3)\n"
+            "def f(g: np.random.Generator): ...\n"
+        )
+        assert lint(clean) == []
+
+    def test_applies_in_tests_too(self):
+        out = lint("import numpy as np\nnp.random.seed(1)\n", is_test=True)
+        assert rule_ids(out) == ["REP001"]
+
+
+class TestRep002UnseededDefaultRng:
+    def test_unseeded_flagged(self):
+        out = lint("import numpy as np\nrng = np.random.default_rng()\n")
+        assert rule_ids(out) == ["REP002"]
+
+    def test_none_seed_flagged(self):
+        out = lint("import numpy as np\nrng = np.random.default_rng(None)\n")
+        assert rule_ids(out) == ["REP002"]
+        out = lint("import numpy as np\nrng = np.random.default_rng(seed=None)\n")
+        assert rule_ids(out) == ["REP002"]
+
+    def test_seeded_ok(self):
+        assert lint("import numpy as np\nrng = np.random.default_rng(42)\n") == []
+        assert lint("import numpy as np\nrng = np.random.default_rng(seed=3)\n") == []
+        assert lint("from numpy.random import default_rng\nr = default_rng(9)\n") == []
+
+    def test_variable_seed_ok(self):
+        assert lint("import numpy as np\ndef f(s):\n    return np.random.default_rng(s)\n") == []
+
+    def test_skipped_in_tests(self):
+        assert lint("import numpy as np\nrng = np.random.default_rng()\n", is_test=True) == []
+
+
+class TestRep003FloatEquality:
+    def test_eq_and_ne_flagged(self):
+        assert rule_ids(lint("x = 1\ny = x == 0.0\n")) == ["REP003"]
+        assert rule_ids(lint("x = 1\ny = x != 1.5\n")) == ["REP003"]
+
+    def test_literal_on_left_and_negative(self):
+        assert rule_ids(lint("x = 1\ny = 0.5 == x\n")) == ["REP003"]
+        assert rule_ids(lint("x = 1\ny = x == -0.5\n")) == ["REP003"]
+
+    def test_int_literal_and_ordering_ok(self):
+        assert lint("x = 1\ny = x == 0\n") == []
+        assert lint("x = 1.0\ny = x <= 0.5\n") == []
+
+    def test_variable_comparison_ok(self):
+        assert lint("a = 1.0\nb = 2.0\nc = a == b\n") == []
+
+    def test_skipped_in_tests(self):
+        assert lint("x = 1\ny = x == 0.0\n", is_test=True) == []
+
+
+class TestRep004MutableDefault:
+    def test_list_dict_set_defaults_flagged(self):
+        for default in ("[]", "{}", "set()", "dict()", "list()"):
+            out = lint(f"def f(a, b={default}):\n    return b\n")
+            assert rule_ids(out) == ["REP004"], default
+
+    def test_keyword_only_default_flagged(self):
+        out = lint("def f(*, b=[]):\n    return b\n")
+        assert rule_ids(out) == ["REP004"]
+
+    def test_immutable_defaults_ok(self):
+        assert lint("def f(a=(), b=None, c=1, d='x', e=frozenset()):\n    return a\n") == []
+
+    def test_applies_in_tests(self):
+        assert rule_ids(lint("def f(a=[]):\n    return a\n", is_test=True)) == ["REP004"]
+
+
+class TestRep005UnlockedModuleState:
+    def test_module_dict_without_lock_flagged(self):
+        out = lint("registry = {}\n")
+        assert rule_ids(out) == ["REP005"]
+
+    def test_module_dict_with_lock_ok(self):
+        src = "import threading\n_lock = threading.Lock()\nregistry = {}\n"
+        assert lint(src) == []
+
+    def test_upper_case_constant_ok(self):
+        assert lint("TABLE = {'a': 1}\n_PRIVATE_TABLE = {'b': 2}\n") == []
+
+    def test_dunder_ok(self):
+        assert lint("__all__ = ['x']\n") == []
+
+    def test_function_local_ok(self):
+        assert lint("def f():\n    local = {}\n    return local\n") == []
+
+    def test_annotated_assignment_flagged(self):
+        out = lint("cache: dict = {}\n")
+        assert rule_ids(out) == ["REP005"]
+
+
+class TestRep006SwallowedException:
+    def test_bare_except_flagged(self):
+        out = lint("try:\n    x = 1\nexcept:\n    x = 2\n")
+        assert rule_ids(out) == ["REP006"]
+
+    def test_pass_only_handler_flagged(self):
+        out = lint("try:\n    x = 1\nexcept ValueError:\n    pass\n")
+        assert rule_ids(out) == ["REP006"]
+
+    def test_handled_exception_ok(self):
+        src = "try:\n    x = 1\nexcept ValueError:\n    x = 2\n"
+        assert lint(src) == []
+
+    def test_reraise_ok(self):
+        src = "try:\n    x = 1\nexcept ValueError:\n    raise\n"
+        assert lint(src) == []
+
+
+class TestRep007AssertValidation:
+    def test_assert_in_src_flagged(self):
+        out = lint("def f(x):\n    assert x > 0\n    return x\n")
+        assert rule_ids(out) == ["REP007"]
+
+    def test_assert_in_tests_ok(self):
+        assert lint("def test_f():\n    assert 1 > 0\n", is_test=True) == []
+
+
+class TestSuppressions:
+    def test_targeted_noqa_suppresses(self):
+        out = lint("x = 1\ny = x == 0.0  # repro: noqa[REP003]\n")
+        assert out == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        out = lint("x = 1\ny = x == 0.0  # repro: noqa\n")
+        assert out == []
+
+    def test_wrong_rule_noqa_keeps_violation(self):
+        out = lint("x = 1\ny = x == 0.0  # repro: noqa[REP001]\n")
+        assert rule_ids(out) == ["REP003"]
+
+    def test_multiple_rules_in_one_comment(self):
+        src = "import numpy as np\nz = np.random.rand(2) == 0.0  # repro: noqa[REP001, REP003]\n"
+        assert lint(src) == []
+
+    def test_flake8_style_noqa_is_ignored(self):
+        # Plain `# noqa` (without the repro: prefix) must NOT suppress.
+        out = lint("x = 1\ny = x == 0.0  # noqa\n")
+        assert rule_ids(out) == ["REP003"]
+
+
+class TestEngine:
+    def test_syntax_error_reported_as_parse(self):
+        out = lint("def broken(:\n")
+        assert rule_ids(out) == ["PARSE"]
+        assert out[0].severity == Severity.ERROR
+
+    def test_select_and_ignore(self):
+        src = "x = 1\ny = x == 0.0\nz = np.random.seed\nimport numpy as np\n"
+        assert rule_ids(lint(src, select=["REP003"])) == ["REP003"]
+        assert "REP003" not in rule_ids(lint(src, ignore=["REP003"]))
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(ValueError):
+            LintEngine(select=["REP999"])
+
+    def test_registry_has_all_seven_rules(self):
+        ids = set(registered_rules())
+        assert {f"REP00{i}" for i in range(1, 8)} <= ids
+
+    def test_violations_sorted_by_location(self):
+        src = "import numpy as np\nb = np.random.rand(1)\na = 1 == 0.5\n"
+        out = lint(src)
+        assert [v.line for v in out] == sorted(v.line for v in out)
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "bad.py").write_text("x = 1\n")
+        found = [p.name for p in iter_python_files([str(tmp_path)])]
+        assert found == ["ok.py"]
+
+    def test_test_file_detection_by_path(self, tmp_path):
+        test_dir = tmp_path / "tests"
+        test_dir.mkdir()
+        f = test_dir / "anything.py"
+        f.write_text("x = 1\ny = x == 0.0\n")
+        engine = LintEngine()
+        assert engine.lint_file(f) == []  # REP003 skipped under tests/
+
+
+class TestBaseline:
+    def _violations(self, source):
+        return LintEngine().lint_source(source, path="mod.py")
+
+    def test_roundtrip_suppresses_existing(self, tmp_path):
+        violations = self._violations("x = 1\ny = x == 0.0\n")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, violations)
+        baseline = load_baseline(baseline_file)
+        assert filter_baselined(violations, baseline) == []
+
+    def test_new_violation_not_covered(self, tmp_path):
+        old = self._violations("x = 1\ny = x == 0.0\n")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, old)
+        new = self._violations("x = 1\ny = x == 0.0\nz = x != 2.5\n")
+        remaining = filter_baselined(new, load_baseline(baseline_file))
+        assert len(remaining) == 1
+        assert remaining[0].line == 3
+
+    def test_count_semantics_second_occurrence_fails(self, tmp_path):
+        old = self._violations("y = 1 == 0.5\n")
+        baseline_file = tmp_path / "b.json"
+        write_baseline(baseline_file, old)
+        # The same offending line duplicated: one is baselined, one is new.
+        new = self._violations("y = 1 == 0.5\ny = 1 == 0.5\n")
+        assert len(filter_baselined(new, load_baseline(baseline_file))) == 1
+
+    def test_line_drift_does_not_invalidate(self, tmp_path):
+        old = self._violations("y = 1 == 0.5\n")
+        baseline_file = tmp_path / "b.json"
+        write_baseline(baseline_file, old)
+        # Same offending text, shifted two lines down.
+        drifted = self._violations("a = 1\nb = 2\ny = 1 == 0.5\n")
+        assert filter_baselined(drifted, load_baseline(baseline_file)) == []
+
+    def test_fingerprint_distinguishes_rule(self):
+        [v] = self._violations("y = 1 == 0.5\n")
+        assert "REP003" in fingerprint(v)
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"violations": [1, 2]}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        assert main([str(f)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_location(self, tmp_path, capsys):
+        f = tmp_path / "dirty.py"
+        f.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main([str(f)]) == 1
+        out = capsys.readouterr().out
+        assert f"{f}:2:" in out and "REP001" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        f = tmp_path / "dirty.py"
+        f.write_text("y = 1 == 0.5\n")
+        assert main([str(f), "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["errors"] == 1
+        assert payload["violations"][0]["rule"] == "REP003"
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        f = tmp_path / "dirty.py"
+        f.write_text("y = 1 == 0.5\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([str(f), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert main([str(f), "--baseline", str(baseline)]) == 0
+        f.write_text("y = 1 == 0.5\nz = 2 == 0.25\n")
+        assert main([str(f), "--baseline", str(baseline)]) == 1
+
+    def test_missing_baseline_is_error(self, tmp_path, capsys):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        assert main([str(f), "--baseline", str(tmp_path / "nope.json")]) == 2
+
+    def test_select_filters(self, tmp_path, capsys):
+        f = tmp_path / "dirty.py"
+        f.write_text("y = 1 == 0.5\n")
+        assert main([str(f), "--select", "REP001"]) == 0
+        assert main([str(f), "--select", "REP003"]) == 1
+
+    def test_unknown_rule_usage_error(self, tmp_path):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(f), "--select", "REP999"])
+        assert excinfo.value.code == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 8):
+            assert f"REP00{i}" in out
+
+
+class TestShippedTreeIsClean:
+    def test_src_reports_zero_violations(self):
+        engine = LintEngine()
+        violations = engine.lint_paths([str(REPO_ROOT / "src")])
+        assert violations == [], "\n".join(
+            f"{v.location()}: {v.rule_id} {v.message}" for v in violations
+        )
+
+    def test_tests_report_zero_violations(self):
+        engine = LintEngine()
+        violations = engine.lint_paths([str(REPO_ROOT / "tests")])
+        assert violations == [], "\n".join(
+            f"{v.location()}: {v.rule_id} {v.message}" for v in violations
+        )
+
+    def test_module_entry_point_runs(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(REPO_ROOT / "src")],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no violations" in proc.stdout
