@@ -13,11 +13,11 @@ from typing import List, Optional
 
 from . import rules as _rules  # noqa: F401 -- import registers the rule set
 from .baseline import filter_baselined, load_baseline, write_baseline
-from .engine import LintEngine, registered_rules
+from .engine import _NOQA_PATTERN, LintEngine, iter_python_files, registered_rules
 from .reporters import format_json, format_text, summarize
 from .violations import Severity
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "audit_suppressions"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,7 +70,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--audit-suppressions",
+        action="store_true",
+        help=(
+            "list every '# repro: noqa[...]' suppression in the given paths "
+            "with a per-rule tally, then exit 0 (an audit, not a gate)"
+        ),
+    )
     return parser
+
+
+def audit_suppressions(paths: List[str]) -> int:
+    """Print every lint-suppression comment under ``paths``; returns 0.
+
+    Each occurrence is listed as ``path:line: [RULES] source-text`` so a
+    reviewer can audit what the codebase has opted out of; a per-rule tally
+    follows.  Suppressions are legitimate (each carries a justification
+    inline), so this is informational and never fails the build.
+    """
+    occurrences = []  # (path, lineno, rules-label, stripped line)
+    tally: dict = {}
+    for path in sorted(set(iter_python_files(paths))):
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _NOQA_PATTERN.search(line)
+            if match is None:
+                continue
+            raw_rules = match.group("rules")
+            if raw_rules is None:
+                rules = ("ALL",)
+            else:
+                rules = tuple(
+                    part.strip().upper()
+                    for part in raw_rules.split(",")
+                    if part.strip()
+                )
+            for rule in rules:
+                tally[rule] = tally.get(rule, 0) + 1
+            occurrences.append((path, lineno, ",".join(rules), line.strip()))
+    for path, lineno, label, text in occurrences:
+        print(f"{path}:{lineno}: [{label}] {text}")
+    if occurrences:
+        summary = ", ".join(f"{rule}={tally[rule]}" for rule in sorted(tally))
+        print(f"{len(occurrences)} suppression(s): {summary}")
+    else:
+        print("0 suppressions")
+    return 0
 
 
 def _split(raw: Optional[str]) -> Optional[List[str]]:
@@ -82,6 +132,9 @@ def _split(raw: Optional[str]) -> Optional[List[str]]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.audit_suppressions:
+        return audit_suppressions(args.paths)
 
     if args.list_rules:
         for rule_id, cls in sorted(registered_rules().items()):

@@ -5,6 +5,7 @@ from .cross_validation import (
     cross_validate_eta,
     default_eta_grid,
     select_prior_and_eta,
+    select_prior_and_eta_from_solvers,
 )
 from .evidence import (
     EvidenceReport,
@@ -14,7 +15,7 @@ from .evidence import (
 from .map_estimation import KernelMapSolver, map_estimate
 from .model import BmfRegressor, fuse
 from .prior_mapping import FingerMap, PriorMapping, map_prior_coefficients
-from .sequential import SequentialBmf
+from .sequential import SequentialBmf, SequentialBmfConfig
 from .uncertainty import coefficient_posterior_variance, predictive_variance
 from .priors import (
     GaussianCoefficientPrior,
@@ -26,6 +27,7 @@ from .priors import (
 __all__ = [
     "BmfRegressor",
     "SequentialBmf",
+    "SequentialBmfConfig",
     "coefficient_posterior_variance",
     "predictive_variance",
     "CrossValidationReport",
@@ -43,6 +45,7 @@ __all__ = [
     "map_prior_coefficients",
     "nonzero_mean_prior",
     "select_prior_and_eta",
+    "select_prior_and_eta_from_solvers",
     "uninformative_prior",
     "zero_mean_prior",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "default_eta_grid",
     "cross_validate_eta",
     "select_prior_and_eta",
+    "select_prior_and_eta_from_solvers",
 ]
 
 
@@ -148,15 +149,37 @@ def select_prior_and_eta(
         raise ValueError("at least one candidate prior is required")
     design = np.asarray(design, dtype=float)
     target = np.asarray(target, dtype=float)
-    num_samples = design.shape[0]
+    solvers = [
+        KernelMapSolver(design, target, prior, missing_scale) for prior in priors
+    ]
+    return select_prior_and_eta_from_solvers(solvers, eta_grids, n_folds)
 
-    report = CrossValidationReport(prior=priors[0], eta=np.nan, error=np.inf)
-    for prior in priors:
+
+def select_prior_and_eta_from_solvers(
+    solvers: Sequence[KernelMapSolver],
+    eta_grids: Optional[Dict[str, Sequence[float]]] = None,
+    n_folds: int = 5,
+) -> CrossValidationReport:
+    """Prior/eta selection over *prebuilt* kernel solvers.
+
+    Identical selection semantics to :func:`select_prior_and_eta` (same
+    candidate order, same default grids, same fold layout), but the caller
+    supplies the :class:`~repro.bmf.map_estimation.KernelMapSolver` per
+    candidate prior.  This is the streaming entry point: a sequential fit
+    keeps one solver per candidate and *extends* it with each new batch of
+    samples (``O(K * Delta-K * M)``), so re-running the full selection does
+    not pay the ``O(K^2 M)`` kernel rebuild.
+    """
+    if not solvers:
+        raise ValueError("at least one solver is required")
+    num_samples = solvers[0].target.shape[0]
+    report = CrossValidationReport(prior=solvers[0].prior, eta=np.nan, error=np.inf)
+    for solver in solvers:
+        prior = solver.prior
         if eta_grids is not None and prior.name in eta_grids:
             grid = np.asarray(list(eta_grids[prior.name]), dtype=float)
         else:
             grid = default_eta_grid(prior, num_samples)
-        solver = KernelMapSolver(design, target, prior, missing_scale)
         errors = cross_validate_eta(solver, grid, n_folds)
         report.per_prior_errors[prior.name] = errors
         report.per_prior_grids[prior.name] = grid

@@ -30,7 +30,12 @@ from typing import Optional
 
 import numpy as np
 
-from ..linalg import solve_diag_plus_gram_direct, solve_spd
+from ..linalg import (
+    extend_gram_kernel,
+    gram_kernel,
+    solve_diag_plus_gram_direct,
+    solve_spd,
+)
 from .priors import GaussianCoefficientPrior
 
 __all__ = ["map_estimate", "KernelMapSolver"]
@@ -144,6 +149,7 @@ class KernelMapSolver:
         target: np.ndarray,
         prior: GaussianCoefficientPrior,
         missing_scale: Optional[float] = None,
+        deterministic: bool = False,
     ):
         design = np.asarray(design, dtype=float)
         target = np.asarray(target, dtype=float)
@@ -152,11 +158,99 @@ class KernelMapSolver:
         self.design = design
         self.target = target
         self.prior = prior
+        self.deterministic = bool(deterministic)
         self._scale_sq = scale**2
-        scaled = design * self._scale_sq  # G diag(s^2), shape (K, M)
-        self.kernel = scaled @ design.T  # B, shape (K, K)
-        self.prior_prediction = design @ prior.mean  # G mu, shape (K,)
+        # B = G diag(s^2) G^T, shape (K, K).  In deterministic mode the
+        # contraction is blocking-independent, so a solver grown through
+        # :meth:`extended` is bitwise identical to one built from scratch
+        # on the stacked design (see repro.linalg.gram_kernel).
+        self.kernel = gram_kernel(design, self._scale_sq, self.deterministic)
+        self.prior_prediction = self._prior_prediction(design)  # G mu
         self.centered_target = target - self.prior_prediction
+
+    def _prior_prediction(self, design: np.ndarray) -> np.ndarray:
+        if self.deterministic:
+            return np.einsum("km,m->k", design, self.prior.mean, optimize=False)
+        return design @ self.prior.mean
+
+    def extended(
+        self,
+        new_design: np.ndarray,
+        new_target: np.ndarray,
+        full_design: Optional[np.ndarray] = None,
+        full_target: Optional[np.ndarray] = None,
+    ) -> "KernelMapSolver":
+        """New solver with ``Delta-K`` appended rows, reusing the cached kernel.
+
+        This is the streaming-refit entry point (Section IV-C used
+        incrementally): only the new kernel border is computed, costing
+        ``O(K * Delta-K * M)`` instead of the ``O(K^2 M)`` from-scratch
+        rebuild.  The returned solver is exact -- and, when the solver was
+        built with ``deterministic=True``, bitwise identical to a fresh
+        :class:`KernelMapSolver` on the stacked data.
+
+        Parameters
+        ----------
+        new_design, new_target:
+            The appended design rows ``(Delta-K, M)`` and targets.
+        full_design, full_target:
+            Optional pre-stacked arrays equal to ``[old; new]``.  Callers
+            that already maintain an accumulation buffer (e.g.
+            :class:`repro.bmf.SequentialBmf`) pass views here so the grown
+            solver shares their storage instead of re-concatenating.
+        """
+        new_design = np.asarray(new_design, dtype=float)
+        new_target = np.asarray(new_target, dtype=float)
+        if new_design.ndim != 2 or new_design.shape[1] != self.design.shape[1]:
+            raise ValueError(
+                f"new_design must have shape (dK, {self.design.shape[1]}), "
+                f"got {new_design.shape}"
+            )
+        if new_target.shape != (new_design.shape[0],):
+            raise ValueError(
+                f"new_target must have shape ({new_design.shape[0]},), "
+                f"got {new_target.shape}"
+            )
+        total = self.design.shape[0] + new_design.shape[0]
+        grown = object.__new__(KernelMapSolver)
+        grown.prior = self.prior
+        grown.deterministic = self.deterministic
+        grown._scale_sq = self._scale_sq
+        grown.kernel = extend_gram_kernel(
+            self.kernel,
+            self.design,
+            new_design,
+            self._scale_sq,
+            self.deterministic,
+        )
+        if full_design is None:
+            grown.design = np.concatenate([self.design, new_design], axis=0)
+        else:
+            full_design = np.asarray(full_design, dtype=float)
+            if full_design.shape != (total, self.design.shape[1]):
+                raise ValueError(
+                    f"full_design must have shape "
+                    f"({total}, {self.design.shape[1]}), got {full_design.shape}"
+                )
+            grown.design = full_design
+        if full_target is None:
+            grown.target = np.concatenate([self.target, new_target])
+        else:
+            full_target = np.asarray(full_target, dtype=float)
+            if full_target.shape != (total,):
+                raise ValueError(
+                    f"full_target must have shape ({total},), "
+                    f"got {full_target.shape}"
+                )
+            grown.target = full_target
+        new_prior_prediction = grown._prior_prediction(new_design)
+        grown.prior_prediction = np.concatenate(
+            [self.prior_prediction, new_prior_prediction]
+        )
+        grown.centered_target = np.concatenate(
+            [self.centered_target, new_target - new_prior_prediction]
+        )
+        return grown
 
     def dual_weights(self, eta: float, rows: Optional[np.ndarray] = None) -> np.ndarray:
         """Solve ``(eta I + B[rows, rows]) c = (f - G mu)[rows]``."""

@@ -1,39 +1,137 @@
-"""Sequential BMF: decide *how many* late-stage samples are enough.
+"""Sequential BMF: streaming late-stage samples with incremental refits.
 
 The paper fixes the late-stage sample budget up front (Tables I-VI sweep
 it); in practice a designer collects expensive post-layout simulations one
 batch at a time and wants to stop as soon as the fused model is good
 enough.  :class:`SequentialBmf` supports that workflow:
 
-* feed samples incrementally with :meth:`add_samples` (each batch refits --
-  the fast kernel solver keeps this cheap, ``O(K^2 M)`` per refit at the
-  current ``K``);
+* feed samples incrementally with :meth:`add_samples`; every batch re-solves
+  the MAP system on the data collected so far;
+* the Section IV-C fast solver is used *incrementally*: the dual kernel
+  ``B = G diag(s^2) G^T`` is grown by a rank-k border update per batch
+  (``O(K * Delta-K * M)`` via :func:`repro.linalg.extend_gram_kernel`)
+  instead of being rebuilt from scratch (``O(K^2 M)``), and for a fixed
+  hyper-parameter the Cholesky factor of ``eta I + B`` is border-updated
+  too (:class:`repro.linalg.CholeskyFactor`);
+* when conditioning degrades (degenerate kernel/Schur pivots, detected by
+  :func:`repro.linalg.is_effectively_zero`-style scale checks) the refit
+  falls back to a full rebuild -- counted in ``woodbury.fallbacks``;
 * the cross-validation error of every refit is recorded, giving a
-  monitorable convergence curve;
-* :meth:`has_converged` implements a plateau test on that curve, so the
-  simulation loop can stop when more data has stopped helping.
+  monitorable convergence curve, and :meth:`has_converged` implements a
+  plateau test on that curve.
 
-This is the "adaptive sampling" extension the BMF line of work develops in
-follow-up papers, built from the same primitives.
+Construction parameters are captured in an immutable
+:class:`SequentialBmfConfig` snapshot, so refits can never observe caller
+mutation of arrays or lists passed to the constructor.
+
+With ``deterministic=True`` every kernel entry is computed with a
+blocking-independent reduction, making the fitted state *bitwise* identical
+no matter how the same samples are batched (one at a time, in chunks, or
+all at once) -- the property the differential test suite pins down.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..linalg import CholeskyFactor, SolverError, is_effectively_zero
+from ..runtime.metrics import metrics as runtime_metrics
+from .cross_validation import select_prior_and_eta_from_solvers
+from .map_estimation import KernelMapSolver
 from .model import BmfRegressor
 
-__all__ = ["SequentialBmf"]
+__all__ = ["SequentialBmf", "SequentialBmfConfig"]
+
+
+def _readonly(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    if array is None:
+        return None
+    out = np.array(array, dtype=float, copy=True)
+    out.flags.writeable = False
+    return out
+
+
+def _freeze_kwarg(name: str, value: Any) -> Any:
+    """Snapshot a constructor kwarg so later caller mutation is invisible."""
+    if name == "eta_grid" and value is not None:
+        return tuple(float(v) for v in value)
+    if name == "priors" and value is not None:
+        return tuple(value)  # GaussianCoefficientPrior is a frozen dataclass
+    return value
+
+
+@dataclass(frozen=True)
+class SequentialBmfConfig:
+    """Immutable snapshot of everything a sequential refit needs.
+
+    :class:`SequentialBmf` used to capture its constructor arguments in a
+    lambda closure; mutating the original ``alpha_early`` array or
+    ``missing_indices`` list *after* construction silently changed every
+    later refit.  This config copies (and freezes) all mutable inputs once,
+    at construction, and is the only state refits read.
+    """
+
+    basis: Any
+    alpha_early: Optional[np.ndarray] = None
+    prior_kind: str = "select"
+    missing_indices: Optional[Tuple[int, ...]] = None
+    n_folds: int = 5
+    regressor_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "alpha_early", _readonly(self.alpha_early))
+        if self.missing_indices is not None:
+            object.__setattr__(
+                self,
+                "missing_indices",
+                tuple(int(i) for i in self.missing_indices),
+            )
+        frozen = {
+            name: _freeze_kwarg(name, value)
+            for name, value in dict(self.regressor_kwargs).items()
+        }
+        object.__setattr__(self, "regressor_kwargs", MappingProxyType(frozen))
+
+    def make_regressor(self) -> BmfRegressor:
+        """A fresh :class:`BmfRegressor` configured from the snapshot."""
+        kwargs = dict(self.regressor_kwargs)
+        if "eta_grid" in kwargs and kwargs["eta_grid"] is not None:
+            kwargs["eta_grid"] = list(kwargs["eta_grid"])
+        return BmfRegressor(
+            self.basis,
+            self.alpha_early,
+            prior_kind=self.prior_kind,
+            missing_indices=self.missing_indices,
+            n_folds=self.n_folds,
+            **kwargs,
+        )
 
 
 class SequentialBmf:
     """Incrementally fused late-stage model with a convergence monitor.
 
-    Parameters are forwarded to :class:`~repro.bmf.BmfRegressor`; every
-    refit runs the full prior/hyper-parameter selection on the data
-    collected so far.
+    Parameters are forwarded to :class:`~repro.bmf.BmfRegressor` (snapshotted
+    in an immutable :class:`SequentialBmfConfig` first); every refit runs the
+    full prior/hyper-parameter selection on the data collected so far.
+
+    Parameters
+    ----------
+    incremental:
+        Reuse the cached dual kernel across batches (rank-k border updates,
+        Section IV-C applied in streaming form).  Falls back to a full
+        rebuild when conditioning degrades.  Only the default ``"fast"``
+        solver with ``"cv"`` selection (or a fixed ``eta``) runs
+        incrementally; other configurations silently use from-scratch
+        refits, exactly as before.
+    deterministic:
+        Compute kernel entries with a blocking-independent reduction so the
+        fitted state is bitwise reproducible regardless of how samples are
+        batched.  Slower (no BLAS in the kernel build); intended for
+        reproducibility-critical flows and the differential test suite.
 
     Attributes
     ----------
@@ -41,6 +139,9 @@ class SequentialBmf:
         Cross-validation error after each :meth:`add_samples` call.
     sample_count_history:
         Total sample count after each call.
+    last_refit_mode:
+        ``"incremental"``, ``"full"``, or ``"fallback"`` -- how the most
+        recent :meth:`add_samples` call refitted.
     """
 
     def __init__(
@@ -50,22 +151,38 @@ class SequentialBmf:
         prior_kind: str = "select",
         missing_indices: Optional[Iterable[int]] = None,
         n_folds: int = 5,
+        incremental: bool = True,
+        deterministic: bool = False,
         **regressor_kwargs,
     ):
-        self._basis = basis
-        self._factory = lambda: BmfRegressor(
-            basis,
-            alpha_early,
+        self.config = SequentialBmfConfig(
+            basis=basis,
+            alpha_early=alpha_early,
             prior_kind=prior_kind,
-            missing_indices=missing_indices,
+            missing_indices=(
+                None if missing_indices is None else tuple(missing_indices)
+            ),
             n_folds=n_folds,
-            **regressor_kwargs,
+            regressor_kwargs=regressor_kwargs,
         )
+        # Validate the configuration eagerly (bad prior shapes, conflicting
+        # eta/prior_kind, ...) instead of on the first add_samples call, and
+        # keep the validated candidate priors for the incremental path.
+        template = self.config.make_regressor()
+        self._candidate_priors = list(template._candidate_priors)
+        self.incremental = bool(incremental)
+        self.deterministic = bool(deterministic)
+
         self._x: Optional[np.ndarray] = None
         self._f: Optional[np.ndarray] = None
+        self._design: Optional[np.ndarray] = None
+        self._solvers: Optional[List[KernelMapSolver]] = None
+        self._chol: Optional[CholeskyFactor] = None
+        self._chol_prior_index: Optional[int] = None
         self._model: Optional[BmfRegressor] = None
         self.cv_error_history: List[float] = []
         self.sample_count_history: List[int] = []
+        self.last_refit_mode: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -79,6 +196,14 @@ class SequentialBmf:
         if self._model is None:
             raise RuntimeError("no samples added yet; call add_samples() first")
         return self._model
+
+    def _incremental_capable(self) -> bool:
+        kwargs = self.config.regressor_kwargs
+        if kwargs.get("selection", "cv") != "cv":
+            return False
+        if kwargs.get("solver", "fast") != "fast":
+            return False
+        return self.incremental
 
     # ------------------------------------------------------------------
     def add_samples(self, x: np.ndarray, f: np.ndarray) -> "SequentialBmf":
@@ -110,17 +235,189 @@ class SequentialBmf:
             self._x = np.vstack([self._x, x])
             self._f = np.concatenate([self._f, f])
 
-        self._model = self._factory()
-        self._model.fit(self._x, self._f)
-        if self._model.cv_report_ is not None:
-            self.cv_error_history.append(float(self._model.cv_report_.error))
-        else:  # fixed-eta fits have no CV error; track training error
-            residual = self._f - self._model.predict(self._x)
-            norm = max(float(np.linalg.norm(self._f)), 1e-300)
-            self.cv_error_history.append(float(np.linalg.norm(residual)) / norm)
+        with runtime_metrics.timer("sequential.refit"):
+            if self._incremental_capable():
+                cv_error = self._refit_incremental(x, f)
+            else:
+                cv_error = self._refit_full()
+        self.cv_error_history.append(cv_error)
         self.sample_count_history.append(self.num_samples)
         return self
 
+    # ------------------------------------------------------------------
+    # From-scratch refit (non-incremental configurations)
+    # ------------------------------------------------------------------
+    def _refit_full(self) -> float:
+        self._model = self.config.make_regressor()
+        self._model.fit(self._x, self._f)
+        self.last_refit_mode = "full"
+        if self._model.cv_report_ is not None:
+            return float(self._model.cv_report_.error)
+        # Fixed-eta / evidence fits have no CV error; track training error.
+        residual = self._f - self._model.predict(self._x)
+        norm = max(float(np.linalg.norm(self._f)), 1e-300)
+        return float(np.linalg.norm(residual)) / norm
+
+    # ------------------------------------------------------------------
+    # Incremental refit (streaming Woodbury path)
+    # ------------------------------------------------------------------
+    def _refit_incremental(self, x_new: np.ndarray, f_new: np.ndarray) -> float:
+        design_new = self.config.basis.design_matrix(x_new)
+        mode = "incremental"
+        if self._design is None:
+            self._design = np.array(design_new, copy=True)
+            self._build_solvers()
+            mode = "full"
+        else:
+            full_design = np.concatenate([self._design, design_new], axis=0)
+            try:
+                grown = [
+                    solver.extended(
+                        design_new,
+                        f_new,
+                        full_design=full_design,
+                        full_target=self._f,
+                    )
+                    for solver in self._solvers
+                ]
+                self._check_extension_conditioning(grown)
+            except SolverError:
+                runtime_metrics.increment("woodbury.fallbacks")
+                self._design = full_design
+                self._build_solvers()
+                mode = "fallback"
+            else:
+                self._design = full_design
+                self._solvers = grown
+                runtime_metrics.increment("woodbury.incremental_refits")
+        self.last_refit_mode = mode
+        return self._solve_from_solvers()
+
+    def _build_solvers(self) -> None:
+        """(Re)build one kernel solver per candidate prior from scratch."""
+        missing_scale = self.config.regressor_kwargs.get("missing_scale")
+        self._solvers = [
+            KernelMapSolver(
+                self._design,
+                self._f,
+                prior,
+                missing_scale,
+                deterministic=self.deterministic,
+            )
+            for prior in self._candidate_priors
+        ]
+        self._chol = None
+        self._chol_prior_index = None
+
+    def _check_extension_conditioning(
+        self, grown: List[KernelMapSolver]
+    ) -> None:
+        """Scale-relative sanity check on the freshly appended kernel border.
+
+        A new kernel diagonal entry that is round-off-level relative to the
+        kernel's own scale means the new row carries no energy under the
+        prior -- border updates on top of it would amplify noise, so signal
+        the caller to rebuild from scratch instead.
+        """
+        num_new = grown[0].kernel.shape[0] - self._solvers[0].kernel.shape[0]
+        for solver in grown:
+            diag = np.diagonal(solver.kernel)
+            scale = float(np.max(diag, initial=0.0))
+            for entry in diag[-num_new:]:
+                if entry < 0 or is_effectively_zero(entry, scale=scale):
+                    raise SolverError(
+                        "degenerate kernel diagonal in incremental extension"
+                    )
+
+    def _solve_from_solvers(self) -> float:
+        """Hyper-parameter selection + MAP solve on the cached solvers."""
+        kwargs = self.config.regressor_kwargs
+        eta = kwargs.get("eta")
+        cv_report = None
+        if eta is not None:
+            prior_index = 0
+            chosen_eta = float(eta)
+        else:
+            eta_grid = kwargs.get("eta_grid")
+            grids = None
+            if eta_grid is not None:
+                grids = {p.name: list(eta_grid) for p in self._candidate_priors}
+            n_folds = min(
+                self.config.n_folds, max(2, self._design.shape[0] // 2)
+            )
+            cv_report = select_prior_and_eta_from_solvers(
+                self._solvers, grids, n_folds
+            )
+            prior_index = next(
+                i
+                for i, s in enumerate(self._solvers)
+                if s.prior is cv_report.prior
+            )
+            chosen_eta = float(cv_report.eta)
+
+        solver = self._solvers[prior_index]
+        coefficients = self._map_solve(solver, prior_index, chosen_eta)
+
+        model = self.config.make_regressor()
+        model.chosen_prior_ = solver.prior
+        model.chosen_eta_ = chosen_eta
+        model.cv_report_ = cv_report
+        model.evidence_report_ = None
+        model.coefficients_ = coefficients
+        model._train_design = self._design
+        self._model = model
+
+        if cv_report is not None:
+            return float(cv_report.error)
+        predictions = self._design @ coefficients
+        residual = self._f - predictions
+        norm = max(float(np.linalg.norm(self._f)), 1e-300)
+        return float(np.linalg.norm(residual)) / norm
+
+    def _map_solve(
+        self, solver: KernelMapSolver, prior_index: int, eta: float
+    ) -> np.ndarray:
+        """MAP coefficients, border-updating the dual Cholesky when possible.
+
+        The cached factor of ``eta I + B`` stays valid across batches only
+        for a fixed eta and a stable chosen prior; cross-validated refits
+        (eta changes per batch) and deterministic mode (border updates are
+        not blocking-independent) always re-factor.
+        """
+        fixed_eta = self.config.regressor_kwargs.get("eta") is not None
+        if not fixed_eta or self.deterministic:
+            return solver.solve(eta)
+
+        kernel = solver.kernel
+        size = kernel.shape[0]
+        factor = self._chol
+        reusable = (
+            factor is not None
+            and self._chol_prior_index == prior_index
+            and factor.size < size
+        )
+        try:
+            if reusable:
+                old = factor.size
+                cross = kernel[:old, old:]
+                corner = kernel[old:, old:].copy()
+                corner[np.diag_indices_from(corner)] += eta
+                factor.append(cross, corner)
+            else:
+                system = kernel.copy()
+                system[np.diag_indices_from(system)] += eta
+                factor = CholeskyFactor(system)
+        except SolverError:
+            runtime_metrics.increment("woodbury.fallbacks")
+            self._chol = None
+            self._chol_prior_index = None
+            return solver.solve(eta)  # robust solve_spd path
+        self._chol = factor
+        self._chol_prior_index = prior_index
+        weights = factor.solve(solver.centered_target)
+        return solver.prior.mean + solver._scale_sq * (solver.design.T @ weights)
+
+    # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Predict with the latest fused model."""
         return self.model.predict(x)

@@ -16,7 +16,12 @@ from .figures import (
     run_fitting_cost,
     solver_speedup,
 )
-from .runners import CostComparison, run_cost_comparison
+from .runners import (
+    CostComparison,
+    ServingStreamReport,
+    run_cost_comparison,
+    run_serving_stream,
+)
 from .tables import METHODS, ErrorTable, run_error_table
 
 __all__ = [
@@ -27,6 +32,7 @@ __all__ = [
     "CostReport",
     "ErrorTable",
     "FittingCostCurve",
+    "ServingStreamReport",
     "Histogram",
     "SimulationCostModel",
     "early_samples",
@@ -37,6 +43,7 @@ __all__ = [
     "run_cost_comparison",
     "run_error_table",
     "run_fitting_cost",
+    "run_serving_stream",
     "scale",
     "solver_speedup",
     "table_sample_counts",

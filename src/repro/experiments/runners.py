@@ -22,7 +22,12 @@ from ..regression import OrthogonalMatchingPursuit, relative_error
 from ..runtime.metrics import format_snapshot, metrics as runtime_metrics, snapshot_delta
 from .cost import CostReport, SimulationCostModel
 
-__all__ = ["CostComparison", "run_cost_comparison"]
+__all__ = [
+    "CostComparison",
+    "ServingStreamReport",
+    "run_cost_comparison",
+    "run_serving_stream",
+]
 
 
 @dataclass
@@ -173,5 +178,130 @@ def run_cost_comparison(
     return CostComparison(
         baseline,
         fused,
+        runtime_metrics=snapshot_delta(metrics_before, runtime_metrics.snapshot()),
+    )
+
+
+@dataclass
+class ServingStreamReport:
+    """Outcome of one streaming fit-publish-serve run (docs/serving.md)."""
+
+    metric: str
+    batch_sizes: Sequence[int]
+    #: CV/apparent modeling error after each arriving batch.
+    cv_error_history: Sequence[float]
+    #: ``"incremental"`` / ``"full"`` / ``"fallback"`` per refit.
+    refit_modes: Sequence[str]
+    #: Relative error of the finally served model on held-out samples.
+    test_error: float
+    #: Number of versions published to the registry.
+    versions_published: int
+    #: :meth:`repro.serving.PredictionEngine.stats` snapshot.
+    engine_stats: Dict[str, float] = field(default_factory=dict)
+    #: Runtime counter/timer deltas accumulated during the stream
+    #: (``serving.requests``, ``woodbury.incremental_refits``, ...).
+    runtime_metrics: Dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [
+            f"Streaming BMF serving run for metric {self.metric!r}",
+            f"  batches              : {list(self.batch_sizes)}",
+            f"  refit modes          : {list(self.refit_modes)}",
+            f"  final CV error       : {self.cv_error_history[-1] * 100:.4f}%",
+            f"  held-out rel. error  : {self.test_error * 100:.4f}%",
+            f"  versions published   : {self.versions_published}",
+            f"  requests served      : {self.engine_stats.get('requests', 0):.0f}",
+            f"  mean batch requests  : "
+            f"{self.engine_stats.get('mean_batch_requests', 0.0):.2f}",
+            f"  mean latency (ms)    : "
+            f"{self.engine_stats.get('mean_latency_seconds', 0.0) * 1e3:.3f}",
+        ]
+        text = "\n".join(lines)
+        if self.runtime_metrics:
+            text += "\n\n" + format_snapshot(self.runtime_metrics)
+        return text
+
+
+def run_serving_stream(
+    testbench: Testbench,
+    metric: str,
+    batch_sizes: Sequence[int] = (30, 10, 10, 10),
+    requests_per_batch: int = 16,
+    rng: Optional[np.random.Generator] = None,
+    test_size: int = 200,
+    early_samples: int = 3000,
+    model_name: Optional[str] = None,
+) -> ServingStreamReport:
+    """Drive the full streaming loop: fit -> publish -> serve -> repeat.
+
+    Late-stage samples arrive in ``batch_sizes`` waves.  Each wave is folded
+    into a :class:`repro.bmf.SequentialBmf` (incremental Woodbury refit), the
+    refreshed model is atomically published to a
+    :class:`repro.serving.ModelRegistry`, and ``requests_per_batch``
+    prediction requests are answered by a
+    :class:`repro.serving.PredictionEngine` against the just-published
+    version.  The report carries the error trajectory, the refit modes
+    actually taken, engine throughput/latency, and the runtime-metrics delta.
+    """
+    # Imported here (not at module top) to keep the serving layer an
+    # optional consumer of the experiments package rather than a hard
+    # import cycle: repro.serving never imports repro.experiments.
+    from ..bmf import SequentialBmf
+    from ..serving import ModelRegistry, PredictionEngine
+
+    if rng is None:
+        rng = np.random.default_rng(7)
+    batch_sizes = tuple(int(b) for b in batch_sizes)
+    if not batch_sizes or any(b <= 0 for b in batch_sizes):
+        raise ValueError(f"batch_sizes must be positive, got {batch_sizes}")
+    if requests_per_batch < 1:
+        raise ValueError(
+            f"requests_per_batch must be >= 1, got {requests_per_batch}"
+        )
+    name = metric if model_name is None else model_name
+
+    problem = FusionProblem(testbench, metric)
+    alpha_early = problem.fit_early_model(early_samples, rng)
+    aligned = problem.align_early_coefficients(alpha_early)
+    missing = problem.missing_indices()
+    basis = problem.late_basis
+
+    pool = simulate_dataset(
+        testbench, Stage.POST_LAYOUT, sum(batch_sizes), rng, (metric,)
+    )
+    test = simulate_dataset(testbench, Stage.POST_LAYOUT, test_size, rng, (metric,))
+    target = pool.metric(metric)
+
+    metrics_before = runtime_metrics.snapshot()
+    sequential = SequentialBmf(
+        basis, aligned, prior_kind="select", missing_indices=missing
+    )
+    registry = ModelRegistry()
+    refit_modes = []
+    with PredictionEngine(registry) as engine:
+        offset = 0
+        for batch in batch_sizes:
+            sequential.add_samples(
+                pool.x[offset : offset + batch], target[offset : offset + batch]
+            )
+            offset += batch
+            refit_modes.append(sequential.last_refit_mode)
+            registry.publish(name, sequential)
+            rows = rng.integers(0, test.x.shape[0], size=requests_per_batch)
+            futures = [engine.submit(name, test.x[row]) for row in rows]
+            for future in futures:
+                future.result(timeout=30.0)
+        predicted = engine.predict(name, test.x)
+        engine_stats = engine.stats()
+    test_error = relative_error(predicted, test.metric(metric))
+
+    return ServingStreamReport(
+        metric=metric,
+        batch_sizes=batch_sizes,
+        cv_error_history=list(sequential.cv_error_history),
+        refit_modes=refit_modes,
+        test_error=test_error,
+        versions_published=len(registry.versions(name)),
+        engine_stats=engine_stats,
         runtime_metrics=snapshot_delta(metrics_before, runtime_metrics.snapshot()),
     )

@@ -1,0 +1,15 @@
+"""Streaming model-serving layer: versioned registry + micro-batching engine.
+
+See ``docs/serving.md`` for the architecture and metrics reference.
+"""
+
+from .engine import EngineStoppedError, PredictionEngine
+from .registry import ModelRegistry, ModelVersion, model_key
+
+__all__ = [
+    "EngineStoppedError",
+    "ModelRegistry",
+    "ModelVersion",
+    "PredictionEngine",
+    "model_key",
+]

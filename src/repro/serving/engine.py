@@ -1,0 +1,271 @@
+"""Micro-batching prediction engine over a model registry.
+
+Callers submit prediction requests (a model name plus sample rows); a
+dispatcher thread coalesces concurrent requests into micro-batches, stacks
+their samples, and evaluates each batch with a **single**
+``design_matrix`` call -- so the per-call assembly cost (and the
+:class:`repro.runtime.DesignMatrixCache` entry, for repeated batches) is
+shared across requests.  Evaluation fans out across a worker pool, one
+task per (model, micro-batch) group.
+
+Consistency guarantee: the current model version is resolved **once per
+micro-batch group**, so every row of a response is computed from exactly
+one published :class:`~repro.serving.registry.ModelVersion` -- a publish
+or rollback racing with predictions can only land between batches, never
+inside one.
+
+Throughput and latency are reported through :mod:`repro.runtime.metrics`:
+``serving.requests`` / ``serving.batches`` counters, the accumulated
+``serving.batch_size`` (mean batch size = ``batch_size / batches``), and
+the ``serving.evaluate`` timer; per-request wall-clock lives in
+:meth:`PredictionEngine.stats`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..runtime.metrics import metrics
+from .registry import ModelRegistry, ModelVersion
+
+__all__ = ["PredictionEngine", "EngineStoppedError"]
+
+
+class EngineStoppedError(RuntimeError):
+    """Raised when submitting to an engine that is not running."""
+
+
+@dataclass
+class _Request:
+    name: str
+    x: np.ndarray  # (B, R) float64
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+
+
+_STOP = object()
+
+
+class PredictionEngine:
+    """Micro-batching, multi-worker prediction front end.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serving.registry.ModelRegistry` to resolve model
+        names against (resolution happens per micro-batch, at evaluation
+        time).
+    max_batch_size:
+        Maximum number of requests coalesced into one evaluation.
+    max_delay_seconds:
+        How long the dispatcher lingers for additional requests after the
+        first one of a batch arrives.  Zero disables lingering (each
+        request still batches with whatever is already queued).
+    workers:
+        Worker threads evaluating micro-batches.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch_size: int = 64,
+        max_delay_seconds: float = 0.001,
+        workers: int = 2,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_delay_seconds < 0:
+            raise ValueError(
+                f"max_delay_seconds must be >= 0, got {max_delay_seconds}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.registry = registry
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_seconds = float(max_delay_seconds)
+        self.workers = int(workers)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._running = False
+        self._state_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._rows = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionEngine":
+        """Start the dispatcher and worker pool (idempotent)."""
+        with self._state_lock:
+            if self._running:
+                return self
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve"
+            )
+            self._running = True
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+            )
+            self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain in-flight work and stop the engine (idempotent)."""
+        with self._state_lock:
+            if not self._running:
+                return
+            self._running = False
+            dispatcher = self._dispatcher
+            pool = self._pool
+            self._dispatcher = None
+            self._pool = None
+        self._queue.put(_STOP)
+        if dispatcher is not None:
+            dispatcher.join()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PredictionEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        with self._state_lock:
+            return self._running
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, name: str, x: np.ndarray) -> Future:
+        """Enqueue a prediction request; returns a ``Future`` of the result.
+
+        ``x`` is a single sample ``(R,)`` or a block ``(B, R)``; the future
+        resolves to the prediction vector of shape ``(B,)`` (a single
+        sample yields shape ``(1,)``).  Raises
+        :class:`EngineStoppedError` if the engine is not running.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[np.newaxis, :]
+        if x.ndim != 2:
+            raise ValueError(f"x must be 1-D or 2-D, got shape {x.shape}")
+        if not self.running:
+            raise EngineStoppedError("PredictionEngine is not running")
+        request = _Request(name=name, x=x, enqueued_at=time.perf_counter())
+        metrics.increment("serving.requests")
+        with self._stats_lock:
+            self._requests += 1
+            self._rows += x.shape[0]
+        self._queue.put(request)
+        return request.future
+
+    def predict(
+        self, name: str, x: np.ndarray, timeout: Optional[float] = 30.0
+    ) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(name, x).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is _STOP:
+                return
+            batch = [head]
+            deadline = time.perf_counter() + self.max_delay_seconds
+            stopped = False
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                try:
+                    if remaining > 0:
+                        item = self._queue.get(timeout=remaining)
+                    else:
+                        item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stopped = True
+                    break
+                batch.append(item)
+            self._flush(batch)
+            if stopped:
+                return
+
+    def _flush(self, batch: List[_Request]) -> None:
+        groups: Dict[str, List[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.name, []).append(request)
+        pool = self._pool
+        for name, requests in groups.items():
+            try:
+                version = self.registry.current(name)
+            except KeyError as exc:
+                for request in requests:
+                    request.future.set_exception(exc)
+                continue
+            metrics.increment("serving.batches")
+            metrics.increment("serving.batch_size", len(requests))
+            if pool is None:  # stop() raced the flush; evaluate inline
+                self._evaluate(version, requests)
+            else:
+                pool.submit(self._evaluate, version, requests)
+
+    def _evaluate(self, version: ModelVersion, requests: List[_Request]) -> None:
+        try:
+            with metrics.timer("serving.evaluate"):
+                stacked = np.concatenate([r.x for r in requests], axis=0)
+                design = version.model.basis.design_matrix(stacked)
+                values = design @ version.model.coefficients
+            offset = 0
+            done = time.perf_counter()
+            for request in requests:
+                rows = request.x.shape[0]
+                request.future.set_result(values[offset : offset + rows])
+                offset += rows
+                latency = done - request.enqueued_at
+                with self._stats_lock:
+                    self._latency_total += latency
+                    if latency > self._latency_max:
+                        self._latency_max = latency
+            with self._stats_lock:
+                self._batches += 1
+        except Exception as exc:  # surface failures to every waiting caller
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Locked snapshot of engine-local throughput/latency counters."""
+        with self._stats_lock:
+            requests = self._requests
+            batches = self._batches
+            return {
+                "requests": requests,
+                "rows": self._rows,
+                "batches": batches,
+                "mean_batch_requests": requests / batches if batches else 0.0,
+                "mean_latency_seconds": (
+                    self._latency_total / requests if requests else 0.0
+                ),
+                "max_latency_seconds": self._latency_max,
+            }

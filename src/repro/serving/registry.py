@@ -1,0 +1,227 @@
+"""Thread-safe, versioned registry of fitted performance models.
+
+A production modeling service fits models out-of-band (the streaming
+:class:`repro.bmf.SequentialBmf` loop) and serves predictions to many
+concurrent callers.  The registry is the hand-off point: writers *publish*
+immutable model snapshots under a name, readers resolve the *current*
+version with one lock acquisition, and a bad deploy is undone with an
+atomic *rollback*.
+
+Versions are keyed on the model's identity -- the basis digest
+(:meth:`repro.basis.OrthonormalBasis.cache_token`) plus the prior
+configuration and hyper-parameter that produced the coefficients -- so two
+services can tell at a glance whether they are serving the same model
+family, and the :class:`~repro.serving.engine.PredictionEngine` can group
+requests that share a design matrix.
+
+Every published snapshot is deep-frozen (coefficients copied and marked
+read-only), so a reader can never observe a torn or later-mutated state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bmf.priors import GaussianCoefficientPrior
+from ..regression.base import BasisRegressor, FittedModel
+from ..runtime.cache import fingerprint_array
+from ..runtime.metrics import metrics
+
+__all__ = ["ModelRegistry", "ModelVersion", "model_key"]
+
+
+def model_key(
+    basis,
+    prior: Optional[GaussianCoefficientPrior] = None,
+    eta: Optional[float] = None,
+) -> str:
+    """Digest identifying a model family: basis + prior config + eta.
+
+    Two models share a key exactly when they were produced from an equal
+    basis (value identity, per the basis cache token) with the same prior
+    name/mean/scale and hyper-parameter -- the ISSUE's "basis digest +
+    prior config" versioning key.
+    """
+    parts: List[object] = [basis.cache_token()]
+    if prior is not None:
+        parts.append(prior.name)
+        parts.append(fingerprint_array(prior.mean))
+        # Missing-prior entries are inf; fingerprinting raw bytes handles
+        # inf/0 sentinels exactly.
+        parts.append(fingerprint_array(prior.scale))
+    if eta is not None:
+        parts.append(float(eta))
+    payload = repr(parts).encode()
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable published snapshot of a model.
+
+    Attributes
+    ----------
+    name:
+        Registry name the snapshot was published under.
+    version:
+        Monotonically increasing per-name version number (1-based).
+    key:
+        Model-family digest (see :func:`model_key`).
+    model:
+        Frozen :class:`~repro.regression.base.FittedModel` snapshot; its
+        coefficient array is read-only.
+    published_at:
+        ``time.time()`` timestamp of the publish.
+    """
+
+    name: str
+    version: int
+    key: str
+    model: FittedModel
+    published_at: float
+
+
+def _freeze_model(model) -> Tuple[FittedModel, str]:
+    """Snapshot any fitted-model-like object into (frozen model, key)."""
+    prior = None
+    eta = None
+    if isinstance(model, FittedModel):
+        fitted = model
+    elif isinstance(model, BasisRegressor):
+        prior = getattr(model, "chosen_prior_", None)
+        eta = getattr(model, "chosen_eta_", None)
+        fitted = model.fitted_model()
+    elif hasattr(model, "model"):  # SequentialBmf duck type
+        inner = model.model
+        prior = getattr(inner, "chosen_prior_", None)
+        eta = getattr(inner, "chosen_eta_", None)
+        fitted = inner.fitted_model()
+    else:
+        raise TypeError(
+            "expected a FittedModel, a fitted BasisRegressor, or a "
+            f"SequentialBmf, got {type(model).__name__}"
+        )
+    coefficients = np.array(fitted.coefficients, dtype=float, copy=True)
+    coefficients.flags.writeable = False
+    frozen = FittedModel(fitted.basis, coefficients)
+    # FittedModel.__init__ re-wraps via np.asarray (no copy for float64),
+    # so the read-only flag survives; re-assert to be safe.
+    frozen.coefficients.flags.writeable = False
+    return frozen, model_key(fitted.basis, prior, eta)
+
+
+class ModelRegistry:
+    """Versioned model store with atomic publish / current / rollback.
+
+    All state transitions happen under one lock and readers only ever
+    receive immutable :class:`ModelVersion` records, so there are no torn
+    reads: a concurrent reader sees either the pre-publish or post-publish
+    state in full, never a mixture.
+
+    Parameters
+    ----------
+    max_versions:
+        History bound per name; the oldest *inactive* versions beyond this
+        count are pruned on publish (the active version is never pruned).
+    """
+
+    def __init__(self, max_versions: int = 8):
+        if max_versions < 2:
+            raise ValueError(
+                f"max_versions must be >= 2 to allow rollback, got {max_versions}"
+            )
+        self.max_versions = int(max_versions)
+        self._lock = threading.Lock()
+        self._history: Dict[str, List[ModelVersion]] = {}
+        self._active: Dict[str, int] = {}  # index into the history list
+        self._next_version: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def publish(self, name: str, model, key: Optional[str] = None) -> ModelVersion:
+        """Atomically make ``model`` the current version under ``name``.
+
+        ``model`` may be a :class:`~repro.regression.base.FittedModel`, a
+        fitted :class:`~repro.bmf.BmfRegressor` (any
+        :class:`~repro.regression.base.BasisRegressor`), or a
+        :class:`~repro.bmf.SequentialBmf`; it is snapshotted (coefficients
+        copied, read-only) before the registry pointer moves.  Versions
+        published after a rollback do not resurrect the rolled-back entry:
+        history stays append-only and the new version simply becomes
+        current.
+        """
+        frozen, derived_key = _freeze_model(model)
+        record_key = derived_key if key is None else str(key)
+        with self._lock:
+            history = self._history.setdefault(name, [])
+            version = self._next_version.get(name, 0) + 1
+            self._next_version[name] = version
+            record = ModelVersion(
+                name=name,
+                version=version,
+                key=record_key,
+                model=frozen,
+                published_at=time.time(),
+            )
+            history.append(record)
+            self._active[name] = len(history) - 1
+            # Prune the oldest entries, keeping the active one reachable.
+            while len(history) > self.max_versions and self._active[name] > 0:
+                history.pop(0)
+                self._active[name] -= 1
+        metrics.increment("serving.publishes")
+        return record
+
+    def current(self, name: str) -> ModelVersion:
+        """The active version under ``name`` (raises ``KeyError`` if none)."""
+        with self._lock:
+            if name not in self._active:
+                raise KeyError(f"no model published under {name!r}")
+            return self._history[name][self._active[name]]
+
+    def model(self, name: str) -> FittedModel:
+        """Shorthand for ``current(name).model``."""
+        return self.current(name).model
+
+    def rollback(self, name: str) -> ModelVersion:
+        """Atomically re-activate the version preceding the current one.
+
+        Repeated rollbacks keep stepping back through retained history;
+        raises :class:`RuntimeError` when no earlier version is retained.
+        """
+        with self._lock:
+            if name not in self._active:
+                raise KeyError(f"no model published under {name!r}")
+            index = self._active[name]
+            if index == 0:
+                raise RuntimeError(
+                    f"no earlier version of {name!r} retained to roll back to"
+                )
+            self._active[name] = index - 1
+            record = self._history[name][index - 1]
+        metrics.increment("serving.rollbacks")
+        return record
+
+    # ------------------------------------------------------------------
+    def versions(self, name: str) -> Tuple[ModelVersion, ...]:
+        """Retained history for ``name``, oldest first."""
+        with self._lock:
+            return tuple(self._history.get(name, ()))
+
+    def names(self) -> Tuple[str, ...]:
+        """Names with at least one published version."""
+        with self._lock:
+            return tuple(sorted(self._history))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._active
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._active)

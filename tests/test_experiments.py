@@ -224,3 +224,39 @@ class TestFigures:
         assert result["max_relative_difference"] < 1e-8
         assert result["fast_seconds"] > 0
         assert result["direct_seconds"] > 0
+
+
+class TestServingStream:
+    def test_stream_runner_end_to_end(self, tiny_ro, rng):
+        from repro.experiments import run_serving_stream
+
+        report = run_serving_stream(
+            tiny_ro,
+            "power",
+            batch_sizes=(20, 8, 8),
+            requests_per_batch=4,
+            rng=rng,
+            test_size=40,
+            early_samples=300,
+        )
+        assert len(report.cv_error_history) == 3
+        assert report.versions_published == 3
+        assert report.refit_modes[0] == "full"
+        assert all(m in ("incremental", "fallback") for m in report.refit_modes[1:])
+        assert 0 <= report.test_error < 1.0
+        assert report.engine_stats["requests"] == 3 * 4 + 1  # bursts + final sweep
+        assert report.runtime_metrics.get("serving.publishes") == 3
+        assert report.runtime_metrics.get("woodbury.incremental_refits", 0) >= 1
+        text = report.format()
+        assert "refit modes" in text
+        assert "versions published   : 3" in text
+
+    def test_stream_runner_validates_inputs(self, tiny_ro, rng):
+        from repro.experiments import run_serving_stream
+
+        with pytest.raises(ValueError, match="batch_sizes"):
+            run_serving_stream(tiny_ro, "power", batch_sizes=(), rng=rng)
+        with pytest.raises(ValueError, match="requests_per_batch"):
+            run_serving_stream(
+                tiny_ro, "power", batch_sizes=(10,), requests_per_batch=0, rng=rng
+            )

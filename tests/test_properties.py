@@ -145,7 +145,10 @@ class TestMetricProperties:
     )
     @settings(max_examples=50, deadline=None)
     def test_relative_error_scale_invariant(self, actual, factor):
-        if np.linalg.norm(actual) == 0:
+        # Below ~1e-150 the squared elements inside the norm fall into the
+        # subnormal range, where sqrt carries only a handful of significant
+        # bits and exact scale invariance genuinely breaks down.
+        if np.linalg.norm(actual) < 1e-100:
             return
         predicted = actual * 1.1 + 0.5
         original = relative_error(predicted, actual)
