@@ -1,0 +1,57 @@
+"""Repo-root pytest plugin: a hang guard for every test directory.
+
+When the ``pytest-timeout`` plugin is installed it enforces the
+``timeout`` ini setting from ``pyproject.toml``; when it is not (this
+repo cannot assume it), the SIGALRM-based fallback below reads the same
+setting so a deadlocked test still fails instead of wedging the whole
+run.  Living at the repo root, the shim covers ``tests/`` and
+``benchmarks/`` alike.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        # pytest-timeout normally registers this ini key; declare it here so
+        # pyproject's `timeout = 120` is not an unknown-option warning.
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (SIGALRM fallback shim)",
+            default="0",
+        )
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = float(item.config.getini("timeout") or 0)
+        marker = item.get_closest_marker("timeout")
+        if marker and marker.args:
+            seconds = float(marker.args[0])
+        if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {seconds:.0f}s fallback timeout"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -1,4 +1,4 @@
-"""Domain-specific correctness rules (REP001-REP007) for this codebase.
+"""Domain-specific correctness rules (REP001-REP008) for this codebase.
 
 Each rule guards an invariant the runtime layer depends on: deterministic
 seeded RNG flow, no silent float-equality traps, no shared mutable state
@@ -22,6 +22,7 @@ __all__ = [
     "UnlockedModuleStateRule",
     "SwallowedExceptionRule",
     "AssertForValidationRule",
+    "SleepInLibraryRule",
 ]
 
 
@@ -328,4 +329,40 @@ class AssertForValidationRule(Rule):
             ctx,
             "assert is stripped under -O; raise an explicit exception for "
             "runtime validation",
+        )
+
+
+@register_rule
+class SleepInLibraryRule(Rule):
+    """REP008: ``time.sleep`` in library code outside sanctioned modules."""
+
+    rule_id = "REP008"
+    description = "time.sleep in library code outside repro.faults"
+    rationale = (
+        "Ad-hoc sleeps in library code hide races, stall the serving path, "
+        "and make latency untestable; blocking delays belong to the "
+        "sanctioned backoff/latency-injection modules in repro/faults/, "
+        "where they are policy-driven and fault-plan controlled."
+    )
+    node_types = (ast.Call,)
+    applies_to_tests = False
+
+    #: Path fragments whose modules may legitimately sleep: the retry
+    #: backoff and the latency-injection dispatch.
+    _SANCTIONED = ("repro/faults/",)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        dotted = _dotted_name(node.func)
+        if dotted is None or dotted not in ("time.sleep", "sleep"):
+            return
+        if dotted == "sleep" and not isinstance(node.func, ast.Name):
+            return
+        normalized = ctx.path.replace("\\", "/")
+        if any(fragment in normalized for fragment in self._SANCTIONED):
+            return
+        yield self.violation(
+            node,
+            ctx,
+            "time.sleep outside repro/faults/; inject latency via a "
+            "FaultPlan or back off via RetryPolicy instead",
         )

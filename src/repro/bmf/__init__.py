@@ -15,7 +15,7 @@ from .evidence import (
 from .map_estimation import KernelMapSolver, map_estimate
 from .model import BmfRegressor, fuse
 from .prior_mapping import FingerMap, PriorMapping, map_prior_coefficients
-from .sequential import SequentialBmf, SequentialBmfConfig
+from .sequential import RefitOutcome, SequentialBmf, SequentialBmfConfig
 from .uncertainty import coefficient_posterior_variance, predictive_variance
 from .priors import (
     GaussianCoefficientPrior,
@@ -26,6 +26,7 @@ from .priors import (
 
 __all__ = [
     "BmfRegressor",
+    "RefitOutcome",
     "SequentialBmf",
     "SequentialBmfConfig",
     "coefficient_posterior_variance",

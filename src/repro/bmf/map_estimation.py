@@ -30,6 +30,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..faults import failpoint
 from ..linalg import (
     extend_gram_kernel,
     gram_kernel,
@@ -39,6 +40,11 @@ from ..linalg import (
 from .priors import GaussianCoefficientPrior
 
 __all__ = ["map_estimate", "KernelMapSolver"]
+
+#: Fires before each dual-system solve (the K x K kernel solve at the
+#: heart of every MAP fit and cross-validation fold); armed plans here
+#: model a solver failure mid-refit.
+_FP_MAP_SOLVE = failpoint("solver.map")
 
 
 def map_estimate(
@@ -256,6 +262,7 @@ class KernelMapSolver:
         """Solve ``(eta I + B[rows, rows]) c = (f - G mu)[rows]``."""
         if eta <= 0:
             raise ValueError(f"eta must be positive, got {eta}")
+        _FP_MAP_SOLVE.hit()
         if rows is None:
             kernel = self.kernel
             residual = self.centered_target

@@ -38,13 +38,42 @@ from typing import Any, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..faults import InjectedFault, failpoint
 from ..linalg import CholeskyFactor, SolverError, is_effectively_zero
 from ..runtime.metrics import metrics as runtime_metrics
 from .cross_validation import select_prior_and_eta_from_solvers
 from .map_estimation import KernelMapSolver
 from .model import BmfRegressor
 
-__all__ = ["SequentialBmf", "SequentialBmfConfig"]
+__all__ = ["RefitOutcome", "SequentialBmf", "SequentialBmfConfig"]
+
+#: Fires at the top of every refit (before any solver work); armed plans
+#: here model a whole-refit failure, exercised via :meth:`try_add_samples`.
+_FP_REFIT = failpoint("sequential.refit")
+
+
+@dataclass(frozen=True)
+class RefitOutcome:
+    """Structured result of one :meth:`SequentialBmf.try_add_samples` call.
+
+    Instead of raising a :class:`~repro.linalg.SolverError` (or an injected
+    fault) through a serving loop, the sequential fitter reports what
+    happened so the caller can decide to retry, skip the batch, or keep
+    serving the last good model.  ``ok=False`` guarantees the fitter state
+    (accumulated samples, cached solvers, histories, and the published
+    model) is exactly what it was before the call.
+    """
+
+    ok: bool
+    mode: Optional[str] = None
+    cv_error: Optional[float] = None
+    num_samples: int = 0
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
 
 
 def _readonly(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
@@ -235,6 +264,7 @@ class SequentialBmf:
             self._x = np.vstack([self._x, x])
             self._f = np.concatenate([self._f, f])
 
+        _FP_REFIT.hit()
         with runtime_metrics.timer("sequential.refit"):
             if self._incremental_capable():
                 cv_error = self._refit_incremental(x, f)
@@ -243,6 +273,58 @@ class SequentialBmf:
         self.cv_error_history.append(cv_error)
         self.sample_count_history.append(self.num_samples)
         return self
+
+    def try_add_samples(self, x: np.ndarray, f: np.ndarray) -> RefitOutcome:
+        """Append a batch and refit, reporting failure instead of raising.
+
+        The serving-loop counterpart of :meth:`add_samples`: solver-level
+        failures (:class:`~repro.linalg.SolverError`,
+        ``numpy.linalg.LinAlgError``, injected faults) are caught, the
+        fitter is rolled back to its pre-call state, and a structured
+        :class:`RefitOutcome` with ``ok=False`` is returned so the caller
+        keeps serving the last good model.  Caller errors (bad shapes /
+        dtypes) still raise -- they indicate a bug at the call site, not a
+        transient numerical failure.
+        """
+        snapshot = (
+            self._x,
+            self._f,
+            self._design,
+            self._solvers,
+            self._model,
+            self.last_refit_mode,
+        )
+        history_len = len(self.cv_error_history)
+        try:
+            self.add_samples(x, f)
+        except (SolverError, np.linalg.LinAlgError, InjectedFault) as exc:
+            (
+                self._x,
+                self._f,
+                self._design,
+                self._solvers,
+                self._model,
+                self.last_refit_mode,
+            ) = snapshot
+            # The cached dual Cholesky may have been border-updated in place
+            # before the failure; drop it so the next refit re-factors.
+            self._chol = None
+            self._chol_prior_index = None
+            del self.cv_error_history[history_len:]
+            del self.sample_count_history[history_len:]
+            runtime_metrics.increment("sequential.failed_refits")
+            return RefitOutcome(
+                ok=False,
+                num_samples=self.num_samples,
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+        return RefitOutcome(
+            ok=True,
+            mode=self.last_refit_mode,
+            cv_error=self.cv_error_history[-1],
+            num_samples=self.num_samples,
+        )
 
     # ------------------------------------------------------------------
     # From-scratch refit (non-incremental configurations)

@@ -17,8 +17,10 @@ from .figures import (
     solver_speedup,
 )
 from .runners import (
+    ChaosStreamReport,
     CostComparison,
     ServingStreamReport,
+    run_chaos_stream,
     run_cost_comparison,
     run_serving_stream,
 )
@@ -28,6 +30,7 @@ __all__ = [
     "METHODS",
     "RO_COST_MODEL",
     "SRAM_COST_MODEL",
+    "ChaosStreamReport",
     "CostComparison",
     "CostReport",
     "ErrorTable",
@@ -40,6 +43,7 @@ __all__ = [
     "make_sram",
     "metric_histogram",
     "repeats",
+    "run_chaos_stream",
     "run_cost_comparison",
     "run_error_table",
     "run_fitting_cost",

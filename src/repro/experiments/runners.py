@@ -8,6 +8,7 @@ speedup -- the paper's headline 9x (RO) and 4x (SRAM) numbers.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
@@ -23,8 +24,10 @@ from ..runtime.metrics import format_snapshot, metrics as runtime_metrics, snaps
 from .cost import CostReport, SimulationCostModel
 
 __all__ = [
+    "ChaosStreamReport",
     "CostComparison",
     "ServingStreamReport",
+    "run_chaos_stream",
     "run_cost_comparison",
     "run_serving_stream",
 ]
@@ -304,4 +307,223 @@ def run_serving_stream(
         versions_published=len(registry.versions(name)),
         engine_stats=engine_stats,
         runtime_metrics=snapshot_delta(metrics_before, runtime_metrics.snapshot()),
+    )
+
+
+@dataclass
+class ChaosStreamReport:
+    """Outcome of one fault-injected streaming run (docs/faults.md).
+
+    The counter dicts hold only integer event counts (no wall-clock), so
+    two runs with the same seed and fault plans produce *identical*
+    reports -- the property the chaos suite asserts bitwise.
+    """
+
+    metric: str
+    seed: int
+    batch_sizes: Sequence[int]
+    #: ``(ok, mode)`` per arriving batch; a failed refit leaves the fitter
+    #: rolled back and simply skips that batch's publish.
+    refit_outcomes: Sequence[object]
+    #: Requests whose future resolved with a prediction.
+    answered_requests: int
+    #: Requests whose future resolved with an exception.
+    failed_requests: int
+    #: Requests never submitted because no version was published yet.
+    skipped_requests: int
+    #: Publishes attempted / rejected (``PublishRejectedError``).
+    publish_attempts: int
+    publish_rejections: int
+    #: Versions retained by the registry at the end of the run.
+    versions_published: int
+    #: Largest (current - served) version gap any answered request saw.
+    max_version_lag: int
+    #: ``faults.*`` counter deltas (injection bookkeeping).
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    #: ``serving.*`` counter deltas (engine + registry resilience events).
+    serving_counters: Dict[str, int] = field(default_factory=dict)
+    #: Final :meth:`repro.serving.PredictionEngine.stats` snapshot.
+    engine_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_requests(self) -> int:
+        return self.answered_requests + self.failed_requests
+
+    @property
+    def answered_fraction(self) -> float:
+        """Fraction of submitted requests that got a prediction."""
+        total = self.total_requests
+        return self.answered_requests / total if total else 0.0
+
+    def deterministic_signature(self) -> Dict[str, object]:
+        """Everything that must be bitwise identical across same-seed runs.
+
+        Timers and latency statistics are deliberately excluded; what
+        remains is pure event counting driven by the seeded fault plans.
+        """
+        return {
+            "refit_outcomes": tuple(
+                (outcome.ok, outcome.mode, outcome.num_samples)
+                for outcome in self.refit_outcomes
+            ),
+            "answered_requests": self.answered_requests,
+            "failed_requests": self.failed_requests,
+            "skipped_requests": self.skipped_requests,
+            "publish_attempts": self.publish_attempts,
+            "publish_rejections": self.publish_rejections,
+            "versions_published": self.versions_published,
+            "max_version_lag": self.max_version_lag,
+            "fault_counters": dict(self.fault_counters),
+            "serving_counters": dict(self.serving_counters),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"Chaos stream run for metric {self.metric!r} (seed {self.seed})",
+            f"  batches              : {list(self.batch_sizes)}",
+            f"  refits ok/failed     : "
+            f"{sum(1 for o in self.refit_outcomes if o.ok)}"
+            f"/{sum(1 for o in self.refit_outcomes if not o.ok)}",
+            f"  requests answered    : {self.answered_requests}"
+            f"/{self.total_requests}"
+            f" ({self.answered_fraction * 100:.1f}%)",
+            f"  requests skipped     : {self.skipped_requests}",
+            f"  publishes (rejected) : {self.publish_attempts}"
+            f" ({self.publish_rejections})",
+            f"  versions retained    : {self.versions_published}",
+            f"  max version lag      : {self.max_version_lag}",
+        ]
+        text = "\n".join(lines)
+        merged = {**self.fault_counters, **self.serving_counters}
+        if merged:
+            text += "\n\n" + format_snapshot(merged, title="Chaos counters")
+        return text
+
+
+def run_chaos_stream(
+    testbench: Testbench,
+    metric: str,
+    batch_sizes: Sequence[int] = (30, 10, 10, 10),
+    requests_per_batch: int = 16,
+    fault_plans: Sequence[object] = (),
+    seed: int = 0,
+    test_size: int = 100,
+    early_samples: int = 3000,
+    model_name: Optional[str] = None,
+    request_timeout_seconds: float = 30.0,
+    sequential_kwargs: Optional[Dict[str, object]] = None,
+    engine_kwargs: Optional[Dict[str, object]] = None,
+) -> ChaosStreamReport:
+    """:func:`run_serving_stream` under armed fault plans, deterministically.
+
+    The fit -> publish -> serve loop runs with ``fault_plans`` armed for its
+    whole duration: refits go through
+    :meth:`repro.bmf.SequentialBmf.try_add_samples` (a failed refit rolls
+    back and skips that publish), publishes absorb
+    :class:`~repro.serving.PublishRejectedError`, and every prediction
+    request is awaited **sequentially** so the order of failpoint hits --
+    and therefore every ``faults.*`` / ``serving.*`` counter -- is a pure
+    function of ``seed`` and the plans.  Two calls with equal arguments
+    yield equal :meth:`ChaosStreamReport.deterministic_signature` s.
+    """
+    from ..bmf import SequentialBmf
+    from ..faults import inject
+    from ..serving import ModelRegistry, PredictionEngine, PublishRejectedError
+
+    rng = np.random.default_rng(seed)
+    batch_sizes = tuple(int(b) for b in batch_sizes)
+    if not batch_sizes or any(b <= 0 for b in batch_sizes):
+        raise ValueError(f"batch_sizes must be positive, got {batch_sizes}")
+    if requests_per_batch < 1:
+        raise ValueError(
+            f"requests_per_batch must be >= 1, got {requests_per_batch}"
+        )
+    name = metric if model_name is None else model_name
+
+    problem = FusionProblem(testbench, metric)
+    alpha_early = problem.fit_early_model(early_samples, rng)
+    aligned = problem.align_early_coefficients(alpha_early)
+    missing = problem.missing_indices()
+    basis = problem.late_basis
+
+    pool = simulate_dataset(
+        testbench, Stage.POST_LAYOUT, sum(batch_sizes), rng, (metric,)
+    )
+    test = simulate_dataset(testbench, Stage.POST_LAYOUT, test_size, rng, (metric,))
+    target = pool.metric(metric)
+
+    counters_before = runtime_metrics.counters()
+    # sequential_kwargs overrides the defaults wholesale (e.g. a fixed-eta
+    # configuration exercises the border-updated Cholesky path, where
+    # injected solver faults are absorbed by the woodbury.fallbacks escape
+    # hatch instead of failing the refit).
+    seq_kwargs: Dict[str, object] = {"prior_kind": "select"}
+    seq_kwargs.update(sequential_kwargs or {})
+    sequential = SequentialBmf(
+        basis, aligned, missing_indices=missing, **seq_kwargs
+    )
+    registry = ModelRegistry()
+    refit_outcomes = []
+    answered = failed = skipped = 0
+    publish_attempts = publish_rejections = 0
+    armed = inject(*fault_plans) if fault_plans else contextlib.nullcontext()
+    with PredictionEngine(registry, **(engine_kwargs or {})) as engine:
+        with armed:
+            offset = 0
+            for batch in batch_sizes:
+                outcome = sequential.try_add_samples(
+                    pool.x[offset : offset + batch],
+                    target[offset : offset + batch],
+                )
+                offset += batch
+                refit_outcomes.append(outcome)
+                if outcome.ok:
+                    publish_attempts += 1
+                    try:
+                        registry.publish(name, sequential)
+                    except PublishRejectedError:
+                        publish_rejections += 1
+                rows = rng.integers(0, test.x.shape[0], size=requests_per_batch)
+                if name not in registry:
+                    # Nothing servable yet (every publish so far failed);
+                    # the registry would raise KeyError per request.
+                    skipped += len(rows)
+                    continue
+                for row in rows:
+                    # One request at a time: concurrent submission would
+                    # make batch composition (and hence counter values)
+                    # timing-dependent.
+                    future = engine.submit(name, test.x[row])
+                    try:
+                        future.result(timeout=request_timeout_seconds)
+                    except Exception:
+                        failed += 1
+                    else:
+                        answered += 1
+        engine_stats = engine.stats()
+    counter_delta = {
+        key: value - counters_before.get(key, 0)
+        for key, value in runtime_metrics.counters().items()
+        if value - counters_before.get(key, 0)
+    }
+
+    return ChaosStreamReport(
+        metric=metric,
+        seed=int(seed),
+        batch_sizes=batch_sizes,
+        refit_outcomes=refit_outcomes,
+        answered_requests=answered,
+        failed_requests=failed,
+        skipped_requests=skipped,
+        publish_attempts=publish_attempts,
+        publish_rejections=publish_rejections,
+        versions_published=len(registry.versions(name)),
+        max_version_lag=int(engine_stats["max_version_lag"]),
+        fault_counters={
+            k: v for k, v in counter_delta.items() if k.startswith("faults.")
+        },
+        serving_counters={
+            k: v for k, v in counter_delta.items() if k.startswith("serving.")
+        },
+        engine_stats=engine_stats,
     )

@@ -1,0 +1,44 @@
+"""Deterministic fault injection and self-healing primitives.
+
+Three pieces (see ``docs/faults.md``):
+
+* :mod:`~repro.faults.failpoints` -- named failpoints compiled into
+  production code, armed with seeded :class:`FaultPlan` s inside an
+  :func:`inject` scope; zero overhead when disarmed.
+* :mod:`~repro.faults.retry` -- bounded :class:`RetryPolicy` with
+  decorrelated-jitter backoff and :class:`Deadline` propagation.
+* :mod:`~repro.faults.breaker` -- per-key :class:`CircuitBreaker`
+  (closed -> open -> half-open) with an injectable clock.
+
+The serving stack (:mod:`repro.serving`) composes all three; the chaos
+suite (``tests/test_faults_chaos.py``) drives them end to end.
+"""
+
+from .breaker import CircuitBreaker, CircuitOpenError
+from .failpoints import (
+    Failpoint,
+    FailpointRegistry,
+    FaultPlan,
+    FaultSession,
+    InjectedFault,
+    failpoint,
+    inject,
+    known_failpoints,
+)
+from .retry import Deadline, DeadlineExpiredError, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExpiredError",
+    "Failpoint",
+    "FailpointRegistry",
+    "FaultPlan",
+    "FaultSession",
+    "InjectedFault",
+    "RetryPolicy",
+    "failpoint",
+    "inject",
+    "known_failpoints",
+]

@@ -1,0 +1,167 @@
+"""Bounded retry with decorrelated-jitter backoff, and deadline propagation.
+
+This module is one of the two sanctioned homes of ``time.sleep`` in the
+library (the other is the latency-injection path of
+:mod:`repro.faults.failpoints`); the REP008 lint rule flags sleeps
+anywhere else under ``src/``.
+
+The backoff schedule is *decorrelated jitter* (the AWS architecture-blog
+variant): each delay is drawn uniformly from ``[base, 3 * previous]`` and
+clamped to ``[base, cap]``.  Jitter spreads synchronized retry storms
+apart; drawing from a caller-seeded :class:`numpy.random.Generator` keeps
+the schedule bitwise reproducible, which the property suite pins down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+import numpy as np
+
+__all__ = ["Deadline", "DeadlineExpiredError", "RetryPolicy"]
+
+
+class DeadlineExpiredError(TimeoutError):
+    """A request's deadline passed before it could be (fully) served."""
+
+
+class Deadline:
+    """A point in time requests carry with them through the stack.
+
+    Built from a relative timeout once, at the edge (request submission),
+    then *propagated* -- dispatcher, retry loop, and workers all compare
+    against the same absolute instant instead of restarting their own
+    timers, so queue time counts against the budget.
+    """
+
+    __slots__ = ("at", "_clock")
+
+    def __init__(self, at: float, clock: Callable[[], float] = time.monotonic):
+        self.at = float(at)
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Deadline ``seconds`` from now (negative clamps to 'already past')."""
+        return cls(clock() + float(seconds), clock)
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.at
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.at - self._clock())
+
+    def __repr__(self) -> str:
+        return f"Deadline(at={self.at:.6f}, remaining={self.remaining():.6f})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with decorrelated-jitter exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (1 = no retries).
+    base_seconds / cap_seconds:
+        Backoff delay bounds; every delay lies in ``[base, cap]``.
+    seed:
+        Seed of the jitter RNG created by :meth:`make_rng`.  Policies are
+        frozen/stateless; callers own the Generator so concurrent retry
+        loops can coordinate (or isolate) draws explicitly.
+    non_retryable:
+        Exception types that fail immediately -- caller bugs (bad shapes,
+        unknown names) never deserve a retry.
+    """
+
+    max_attempts: int = 3
+    base_seconds: float = 0.005
+    cap_seconds: float = 0.25
+    seed: int = 0
+    non_retryable: Tuple[Type[BaseException], ...] = field(
+        default=(TypeError, ValueError, KeyError)
+    )
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_seconds <= 0:
+            raise ValueError(f"base_seconds must be > 0, got {self.base_seconds}")
+        if self.cap_seconds < self.base_seconds:
+            raise ValueError(
+                f"cap_seconds ({self.cap_seconds}) must be >= base_seconds "
+                f"({self.base_seconds})"
+            )
+
+    def make_rng(self) -> np.random.Generator:
+        """A fresh jitter Generator seeded from the policy."""
+        return np.random.default_rng(self.seed)
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether a failed attempt with this error should be retried."""
+        return not isinstance(error, self.non_retryable)
+
+    def delays(
+        self,
+        rng: np.random.Generator,
+        lock: Optional[threading.Lock] = None,
+    ) -> Iterator[float]:
+        """The (up to ``max_attempts - 1``) backoff delays of one retry run.
+
+        Decorrelated jitter: ``delay_i = min(cap, U[base, 3 * delay_{i-1}])``
+        with ``delay_0 = base``.  Delays are drawn lazily -- a run that
+        succeeds on attempt ``k`` consumes exactly ``k - 1`` draws, keeping
+        seeded fault schedules aligned with observed failures.  Pass
+        ``lock`` when the Generator is shared across threads.
+        """
+        previous = self.base_seconds
+        for _ in range(self.max_attempts - 1):
+            if lock is not None:
+                with lock:
+                    drawn = float(rng.uniform(self.base_seconds, 3.0 * previous))
+            else:
+                drawn = float(rng.uniform(self.base_seconds, 3.0 * previous))
+            previous = min(self.cap_seconds, drawn)
+            yield previous
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        rng: Optional[np.random.Generator] = None,
+        rng_lock: Optional[threading.Lock] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        deadline: Optional[Deadline] = None,
+        on_retry: Optional[Callable[[BaseException, float], None]] = None,
+    ) -> object:
+        """Run ``fn`` under this policy; return its value or raise the last error.
+
+        Stops early -- raising the last error -- when the error is
+        non-retryable or when backing off would overrun ``deadline``.
+        ``on_retry(error, delay)`` is invoked before each backoff sleep
+        (metrics hooks).  Pass ``rng_lock`` when ``rng`` is shared across
+        threads (e.g. one engine-wide jitter Generator).
+        """
+        if rng is None:
+            rng = self.make_rng()
+        backoffs = self.delays(rng, rng_lock)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except BaseException as error:  # classified below, then re-raised
+                if attempt >= self.max_attempts or not self.is_retryable(error):
+                    raise
+                delay = next(backoffs)
+                if deadline is not None and deadline.remaining() < delay:
+                    raise
+                if on_retry is not None:
+                    on_retry(error, delay)
+                sleep(delay)

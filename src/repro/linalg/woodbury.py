@@ -24,8 +24,13 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.linalg
 
+from ..faults import failpoint
 from .numerics import is_effectively_zero
 from .solvers import SolverError, solve_spd
+
+#: Fires before each Cholesky factorization / border update; armed plans
+#: here model the conditioning failures the streaming refit must survive.
+_FP_CHOLESKY = failpoint("solver.cholesky")
 
 __all__ = [
     "solve_diag_plus_gram",
@@ -303,6 +308,7 @@ class CholeskyFactor:
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
         try:
+            _FP_CHOLESKY.hit()
             self._lower = np.linalg.cholesky(matrix)
         except np.linalg.LinAlgError as exc:
             raise SolverError(f"matrix is not positive definite: {exc}") from exc
@@ -353,6 +359,7 @@ class CholeskyFactor:
             raise ValueError(
                 f"corner must be square of size {num_new}, got {corner.shape}"
             )
+        _FP_CHOLESKY.hit()
         # W = L^{-1} cross, then Schur complement S = corner - W^T W.
         wide = scipy.linalg.solve_triangular(
             self._lower, cross, lower=True, check_finite=False

@@ -28,8 +28,14 @@ from typing import Callable, Hashable, Optional, Tuple
 
 import numpy as np
 
-from ..analysis.contracts import check_array
+from ..analysis.contracts import ContractViolationError, check_array
+from ..faults import InjectedFault, failpoint
 from .metrics import metrics
+
+#: Fires on every cache hit, before the entry is re-validated; an armed
+#: error plan here models a poisoned cache entry (the cache self-heals by
+#: evicting and recomputing -- see get_or_compute).
+_FP_CACHE_LOOKUP = failpoint("cache.lookup")
 
 __all__ = [
     "DesignMatrixCache",
@@ -125,6 +131,12 @@ class DesignMatrixCache:
 
         The stored (and returned) array is marked read-only; callers that
         need to mutate must copy.
+
+        A hit entry that fails re-validation (its read-only contract was
+        broken, or the ``cache.lookup`` failpoint injects a corruption
+        fault) is *self-healing*: the poisoned entry is evicted, counted
+        as ``design_cache.corrupt_evictions``, and the matrix is
+        recomputed instead of the corruption propagating to the caller.
         """
         with self._lock:
             cached = self._entries.get(key)
@@ -133,9 +145,21 @@ class DesignMatrixCache:
                 self.hits += 1
         if cached is not None:
             metrics.increment("design_cache.hits")
-            return check_array(
-                cached, name="cached design matrix", writeable=False, c_contiguous=True
-            )
+            try:
+                _FP_CACHE_LOOKUP.hit()
+                return check_array(
+                    cached,
+                    name="cached design matrix",
+                    writeable=False,
+                    c_contiguous=True,
+                )
+            except (ContractViolationError, InjectedFault):
+                metrics.increment("design_cache.corrupt_evictions")
+                with self._lock:
+                    entry = self._entries.pop(key, None)
+                    if entry is not None:
+                        self._bytes -= entry.nbytes
+                        self.evictions += 1
 
         result = compute()
         with self._lock:

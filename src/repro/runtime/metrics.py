@@ -89,6 +89,21 @@ class MetricsRegistry:
                 out[f"{name}.seconds"] = stat.seconds
             return out
 
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Counters only (no timers), optionally filtered by name prefix.
+
+        Counters are integer event counts, so two runs doing the same work
+        produce *identical* dicts -- this is the view the chaos suite
+        compares bitwise across seeds, where timer wall-clock would differ
+        every run.
+        """
+        with self._lock:
+            return {
+                name: value
+                for name, value in sorted(self._counters.items())
+                if name.startswith(prefix)
+            }
+
     def reset(self) -> None:
         """Drop every counter and timer."""
         with self._lock:

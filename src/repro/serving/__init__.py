@@ -3,13 +3,15 @@
 See ``docs/serving.md`` for the architecture and metrics reference.
 """
 
-from .engine import EngineStoppedError, PredictionEngine
-from .registry import ModelRegistry, ModelVersion, model_key
+from .engine import EngineStoppedError, ModelEvaluationError, PredictionEngine
+from .registry import ModelRegistry, ModelVersion, PublishRejectedError, model_key
 
 __all__ = [
     "EngineStoppedError",
+    "ModelEvaluationError",
     "ModelRegistry",
     "ModelVersion",
     "PredictionEngine",
+    "PublishRejectedError",
     "model_key",
 ]

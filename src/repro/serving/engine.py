@@ -14,10 +14,24 @@ one published :class:`~repro.serving.registry.ModelVersion` -- a publish
 or rollback racing with predictions can only land between batches, never
 inside one.
 
+Self-healing (``docs/faults.md``): requests carry
+:class:`~repro.faults.Deadline` s that the dispatcher and workers honor
+(expired requests are dropped *before* any design-matrix work and counted
+as ``serving.expired``); evaluation failures are retried under a
+decorrelated-jitter :class:`~repro.faults.RetryPolicy`; a per-model-key
+:class:`~repro.faults.CircuitBreaker` stops hammering a version that
+keeps failing; and when the current version cannot be served, the engine
+degrades to the registry's newest good earlier version (at most one
+version stale, counted as ``serving.degraded``) instead of failing the
+request.  A version whose circuit opens is quarantined via
+:meth:`~repro.serving.registry.ModelRegistry.mark_bad`.
+
 Throughput and latency are reported through :mod:`repro.runtime.metrics`:
 ``serving.requests`` / ``serving.batches`` counters, the accumulated
-``serving.batch_size`` (mean batch size = ``batch_size / batches``), and
-the ``serving.evaluate`` timer; per-request wall-clock lives in
+``serving.batch_size`` (mean batch size = ``batch_size / batches``), the
+``serving.evaluate`` timer, plus the resilience counters
+(``serving.expired`` / ``retries`` / ``degraded`` / ``failed`` and the
+``serving.breaker.*`` transitions); per-request wall-clock lives in
 :meth:`PredictionEngine.stats`.
 """
 
@@ -32,14 +46,38 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..faults import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExpiredError,
+    RetryPolicy,
+    failpoint,
+)
 from ..runtime.metrics import metrics
 from .registry import ModelRegistry, ModelVersion
 
-__all__ = ["PredictionEngine", "EngineStoppedError"]
+__all__ = [
+    "EngineStoppedError",
+    "ModelEvaluationError",
+    "PredictionEngine",
+]
+
+#: Fires once per evaluation *attempt* (before the design-matrix call);
+#: latency plans here model a slow worker, error plans a flaky evaluator.
+_FP_EVALUATE = failpoint("engine.evaluate")
 
 
 class EngineStoppedError(RuntimeError):
     """Raised when submitting to an engine that is not running."""
+
+
+class ModelEvaluationError(RuntimeError):
+    """A model version produced unusable (non-finite) predictions.
+
+    Deterministic per version, so never retried -- it trips the circuit
+    breaker and triggers degradation to the last good version instead.
+    """
 
 
 @dataclass
@@ -48,9 +86,14 @@ class _Request:
     x: np.ndarray  # (B, R) float64
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
+    deadline: Optional[Deadline] = None
 
 
 _STOP = object()
+
+#: Sentinel meaning "construct a fresh default CircuitBreaker per engine"
+#: (a shared default instance would couple unrelated engines' states).
+_DEFAULT_BREAKER = object()
 
 
 class PredictionEngine:
@@ -70,6 +113,18 @@ class PredictionEngine:
         request still batches with whatever is already queued).
     workers:
         Worker threads evaluating micro-batches.
+    retry_policy:
+        Bounded retry with decorrelated-jitter backoff applied to each
+        evaluation; defaults to 3 attempts with caller errors and
+        :class:`ModelEvaluationError` classified non-retryable.
+    breaker:
+        Per-model-key circuit breaker; pass ``None`` to disable.
+    serve_last_good:
+        Degrade to the registry's newest good earlier version when the
+        current one cannot be evaluated (instead of failing requests).
+    default_timeout_seconds:
+        Deadline attached to requests submitted without one (``None`` =
+        no implicit deadline).
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -80,6 +135,10 @@ class PredictionEngine:
         max_batch_size: int = 64,
         max_delay_seconds: float = 0.001,
         workers: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = _DEFAULT_BREAKER,  # type: ignore[assignment]
+        serve_last_good: bool = True,
+        default_timeout_seconds: Optional[float] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -89,10 +148,27 @@ class PredictionEngine:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if default_timeout_seconds is not None and default_timeout_seconds <= 0:
+            raise ValueError(
+                "default_timeout_seconds must be > 0 or None, got "
+                f"{default_timeout_seconds}"
+            )
         self.registry = registry
         self.max_batch_size = int(max_batch_size)
         self.max_delay_seconds = float(max_delay_seconds)
         self.workers = int(workers)
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                non_retryable=(TypeError, ValueError, KeyError, ModelEvaluationError)
+            )
+        self.retry_policy = retry_policy
+        if breaker is _DEFAULT_BREAKER:
+            breaker = CircuitBreaker()
+        self.breaker = breaker
+        self.serve_last_good = bool(serve_last_good)
+        self.default_timeout_seconds = default_timeout_seconds
+        self._retry_rng = retry_policy.make_rng()
+        self._retry_rng_lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue()
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -104,6 +180,11 @@ class PredictionEngine:
         self._rows = 0
         self._latency_total = 0.0
         self._latency_max = 0.0
+        self._expired = 0
+        self._retries = 0
+        self._degraded = 0
+        self._failed = 0
+        self._max_version_lag = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -124,7 +205,14 @@ class PredictionEngine:
         return self
 
     def stop(self) -> None:
-        """Drain in-flight work and stop the engine (idempotent)."""
+        """Drain in-flight work and stop the engine (idempotent).
+
+        Requests already picked up by the dispatcher are flushed and
+        evaluated; requests still queued behind the stop sentinel (or that
+        raced in during shutdown) are failed fast with
+        :class:`EngineStoppedError` -- no future is ever left unresolved
+        and no dispatcher thread is orphaned.
+        """
         with self._state_lock:
             if not self._running:
                 return
@@ -136,8 +224,29 @@ class PredictionEngine:
         self._queue.put(_STOP)
         if dispatcher is not None:
             dispatcher.join()
+        self._drain_queue_failing_fast()
         if pool is not None:
             pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Alias for :meth:`stop` (drain then shut down; idempotent)."""
+        self.stop()
+
+    def _drain_queue_failing_fast(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            if not item.future.done():
+                metrics.increment("serving.shutdown_drops")
+                item.future.set_exception(
+                    EngineStoppedError(
+                        "engine stopped before the request was evaluated"
+                    )
+                )
 
     def __enter__(self) -> "PredictionEngine":
         return self.start()
@@ -153,12 +262,22 @@ class PredictionEngine:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, name: str, x: np.ndarray) -> Future:
+    def submit(
+        self,
+        name: str,
+        x: np.ndarray,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Future:
         """Enqueue a prediction request; returns a ``Future`` of the result.
 
         ``x`` is a single sample ``(R,)`` or a block ``(B, R)``; the future
         resolves to the prediction vector of shape ``(B,)`` (a single
-        sample yields shape ``(1,)``).  Raises
+        sample yields shape ``(1,)``).  ``timeout`` (seconds from now) or
+        an explicit ``deadline`` attaches an expiry the dispatcher and
+        workers enforce -- an expired request is dropped *before* any
+        evaluation work and its future fails with
+        :class:`~repro.faults.DeadlineExpiredError`.  Raises
         :class:`EngineStoppedError` if the engine is not running.
         """
         x = np.asarray(x, dtype=float)
@@ -166,9 +285,21 @@ class PredictionEngine:
             x = x[np.newaxis, :]
         if x.ndim != 2:
             raise ValueError(f"x must be 1-D or 2-D, got shape {x.shape}")
+        if timeout is not None and deadline is not None:
+            raise ValueError("pass timeout or deadline, not both")
+        if deadline is None:
+            if timeout is not None:
+                deadline = Deadline.after(timeout)
+            elif self.default_timeout_seconds is not None:
+                deadline = Deadline.after(self.default_timeout_seconds)
         if not self.running:
             raise EngineStoppedError("PredictionEngine is not running")
-        request = _Request(name=name, x=x, enqueued_at=time.perf_counter())
+        request = _Request(
+            name=name,
+            x=x,
+            enqueued_at=time.perf_counter(),
+            deadline=deadline,
+        )
         metrics.increment("serving.requests")
         with self._stats_lock:
             self._requests += 1
@@ -179,8 +310,13 @@ class PredictionEngine:
     def predict(
         self, name: str, x: np.ndarray, timeout: Optional[float] = 30.0
     ) -> np.ndarray:
-        """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(name, x).result(timeout=timeout)
+        """Blocking convenience wrapper around :meth:`submit`.
+
+        The timeout is propagated as the request's deadline, so a caller
+        that gives up never leaves a ghost request behind to be evaluated:
+        the dispatcher drops it as expired.
+        """
+        return self.submit(name, x, timeout=timeout).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # Dispatcher
@@ -210,9 +346,26 @@ class PredictionEngine:
             if stopped:
                 return
 
+    def _expire(self, request: _Request) -> None:
+        metrics.increment("serving.expired")
+        with self._stats_lock:
+            self._expired += 1
+        if not request.future.done():
+            request.future.set_exception(
+                DeadlineExpiredError(
+                    f"request for {request.name!r} expired before evaluation"
+                )
+            )
+
     def _flush(self, batch: List[_Request]) -> None:
         groups: Dict[str, List[_Request]] = {}
         for request in batch:
+            # Deadline check at the dispatcher: expired requests (e.g. a
+            # caller-side predict() timeout that already gave up) must not
+            # cost a design_matrix call.
+            if request.deadline is not None and request.deadline.expired:
+                self._expire(request)
+                continue
             groups.setdefault(request.name, []).append(request)
         pool = self._pool
         for name, requests in groups.items():
@@ -229,37 +382,149 @@ class PredictionEngine:
             else:
                 pool.submit(self._evaluate, version, requests)
 
-    def _evaluate(self, version: ModelVersion, requests: List[_Request]) -> None:
-        try:
-            with metrics.timer("serving.evaluate"):
-                stacked = np.concatenate([r.x for r in requests], axis=0)
-                design = version.model.basis.design_matrix(stacked)
+    # ------------------------------------------------------------------
+    # Evaluation (worker side)
+    # ------------------------------------------------------------------
+    def _attempt(self, version: ModelVersion, stacked: np.ndarray) -> np.ndarray:
+        _FP_EVALUATE.hit()
+        with metrics.timer("serving.evaluate"):
+            design = version.model.basis.design_matrix(stacked)
+            # Overflow is converted to an explicit error below, not a warning.
+            with np.errstate(over="ignore", invalid="ignore"):
                 values = design @ version.model.coefficients
-            offset = 0
-            done = time.perf_counter()
-            for request in requests:
-                rows = request.x.shape[0]
-                request.future.set_result(values[offset : offset + rows])
-                offset += rows
-                latency = done - request.enqueued_at
-                with self._stats_lock:
-                    self._latency_total += latency
-                    if latency > self._latency_max:
-                        self._latency_max = latency
+        if not np.all(np.isfinite(values)):
+            raise ModelEvaluationError(
+                f"model {version.name!r} v{version.version} produced "
+                "non-finite predictions"
+            )
+        return values
+
+    def _evaluate_with_retry(
+        self,
+        version: ModelVersion,
+        stacked: np.ndarray,
+        deadline: Optional[Deadline],
+    ) -> np.ndarray:
+        def on_retry(error: BaseException, delay: float) -> None:
+            metrics.increment("serving.retries")
             with self._stats_lock:
-                self._batches += 1
-        except Exception as exc:  # surface failures to every waiting caller
-            for request in requests:
+                self._retries += 1
+
+        return self.retry_policy.call(
+            lambda: self._attempt(version, stacked),
+            rng=self._retry_rng,
+            rng_lock=self._retry_rng_lock,
+            deadline=deadline,
+            on_retry=on_retry,
+        )
+
+    def _evaluate(self, version: ModelVersion, requests: List[_Request]) -> None:
+        live: List[_Request] = []
+        for request in requests:
+            # Re-check at the worker: the group may have aged in the pool.
+            if request.deadline is not None and request.deadline.expired:
+                self._expire(request)
+            else:
+                live.append(request)
+        if not live:
+            return
+        name = live[0].name
+        deadlines = [r.deadline for r in live if r.deadline is not None]
+        group_deadline = min(deadlines, key=lambda d: d.at) if deadlines else None
+        stacked = np.concatenate([r.x for r in live], axis=0)
+
+        served = version
+        values: Optional[np.ndarray] = None
+        error: Optional[BaseException] = None
+        caller_error = False
+        breaker = self.breaker
+        if breaker is None or breaker.allow(version.key):
+            try:
+                values = self._evaluate_with_retry(version, stacked, group_deadline)
+            except Exception as exc:
+                error = exc
+                # Bad requests (wrong shape, unknown column) say nothing
+                # about the model's health: they must neither trip the
+                # breaker nor trigger degradation.
+                caller_error = isinstance(exc, (TypeError, ValueError, KeyError))
+                if breaker is not None and not caller_error:
+                    breaker.record_failure(version.key)
+                    if (
+                        self.serve_last_good
+                        and breaker.state(version.key) == "open"
+                    ):
+                        # Quarantine the version so the registry degrades
+                        # future resolution to last-good directly.
+                        self.registry.mark_bad(name, version.version)
+            else:
+                if breaker is not None:
+                    breaker.record_success(version.key)
+        else:
+            error = CircuitOpenError(
+                f"circuit open for model {name!r} v{version.version}"
+            )
+
+        if values is None and self.serve_last_good and not caller_error:
+            fallback = self.registry.previous_good(
+                name, before_version=version.version
+            )
+            if fallback is not None:
+                try:
+                    values = self._evaluate_with_retry(
+                        fallback, stacked, group_deadline
+                    )
+                except Exception:
+                    if breaker is not None:
+                        breaker.record_failure(fallback.key)
+                else:
+                    if breaker is not None:
+                        breaker.record_success(fallback.key)
+                    served = fallback
+                    lag = version.version - fallback.version
+                    metrics.increment("serving.degraded")
+                    with self._stats_lock:
+                        self._degraded += 1
+                        if lag > self._max_version_lag:
+                            self._max_version_lag = lag
+
+        if values is None:
+            if error is None:
+                error = ModelEvaluationError(
+                    f"no servable version of model {name!r}"
+                )
+            metrics.increment("serving.failed", len(live))
+            with self._stats_lock:
+                self._failed += len(live)
+            for request in live:
                 if not request.future.done():
-                    request.future.set_exception(exc)
+                    request.future.set_exception(error)
+            return
+
+        offset = 0
+        done = time.perf_counter()
+        for request in live:
+            rows = request.x.shape[0]
+            request.future.set_result(values[offset : offset + rows])
+            offset += rows
+            latency = done - request.enqueued_at
+            with self._stats_lock:
+                self._latency_total += latency
+                if latency > self._latency_max:
+                    self._latency_max = latency
+        with self._stats_lock:
+            self._batches += 1
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, float]:
-        """Locked snapshot of engine-local throughput/latency counters."""
+    def stats(self) -> Dict[str, object]:
+        """Locked snapshot of engine-local throughput/resilience counters.
+
+        Numeric keys plus ``"breaker"``, a nested per-model-key state map
+        (empty when the breaker is disabled).
+        """
         with self._stats_lock:
             requests = self._requests
             batches = self._batches
-            return {
+            out: Dict[str, object] = {
                 "requests": requests,
                 "rows": self._rows,
                 "batches": batches,
@@ -268,4 +533,11 @@ class PredictionEngine:
                     self._latency_total / requests if requests else 0.0
                 ),
                 "max_latency_seconds": self._latency_max,
+                "expired": self._expired,
+                "retries": self._retries,
+                "degraded": self._degraded,
+                "failed": self._failed,
+                "max_version_lag": self._max_version_lag,
             }
+        out["breaker"] = self.breaker.snapshot() if self.breaker else {}
+        return out

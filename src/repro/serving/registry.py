@@ -16,6 +16,15 @@ requests that share a design matrix.
 
 Every published snapshot is deep-frozen (coefficients copied and marked
 read-only), so a reader can never observe a torn or later-mutated state.
+
+Self-healing (``docs/faults.md``): a publish is *validated* before the
+active pointer moves -- a poisoned snapshot (non-finite coefficients) or
+an injected ``registry.publish`` fault raises
+:class:`PublishRejectedError` and the currently served version stays
+exactly where it was.  Versions that misbehave *after* publish (the
+engine's circuit breaker opening on them) are quarantined with
+:meth:`ModelRegistry.mark_bad`, which in ``serve_last_good`` mode also
+steps the active pointer back to the newest good version.
 """
 
 from __future__ import annotations
@@ -24,16 +33,30 @@ import hashlib
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..bmf.priors import GaussianCoefficientPrior
+from ..faults import failpoint
 from ..regression.base import BasisRegressor, FittedModel
 from ..runtime.cache import fingerprint_array
 from ..runtime.metrics import metrics
 
-__all__ = ["ModelRegistry", "ModelVersion", "model_key"]
+__all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "PublishRejectedError",
+    "model_key",
+]
+
+#: Fires just before a publish commits; an armed fault here simulates a
+#: failed deploy (rejected, counted, active version untouched).
+_FP_PUBLISH = failpoint("registry.publish")
+
+
+class PublishRejectedError(RuntimeError):
+    """A publish was rejected before the active version moved."""
 
 
 def model_key(
@@ -129,18 +152,33 @@ class ModelRegistry:
     max_versions:
         History bound per name; the oldest *inactive* versions beyond this
         count are pruned on publish (the active version is never pruned).
+    validate:
+        Reject publishes whose snapshot has non-finite coefficients
+        (:class:`PublishRejectedError`) instead of silently serving NaNs.
+    serve_last_good:
+        When :meth:`mark_bad` quarantines the *active* version, step the
+        active pointer back to the newest good retained version so readers
+        degrade to last-good instead of a known-bad model.
     """
 
-    def __init__(self, max_versions: int = 8):
+    def __init__(
+        self,
+        max_versions: int = 8,
+        validate: bool = True,
+        serve_last_good: bool = True,
+    ):
         if max_versions < 2:
             raise ValueError(
                 f"max_versions must be >= 2 to allow rollback, got {max_versions}"
             )
         self.max_versions = int(max_versions)
+        self.validate = bool(validate)
+        self.serve_last_good = bool(serve_last_good)
         self._lock = threading.Lock()
         self._history: Dict[str, List[ModelVersion]] = {}
         self._active: Dict[str, int] = {}  # index into the history list
         self._next_version: Dict[str, int] = {}
+        self._bad: Dict[str, Set[int]] = {}  # quarantined version numbers
 
     # ------------------------------------------------------------------
     def publish(self, name: str, model, key: Optional[str] = None) -> ModelVersion:
@@ -154,9 +192,26 @@ class ModelRegistry:
         published after a rollback do not resurrect the rolled-back entry:
         history stays append-only and the new version simply becomes
         current.
+
+        Raises :class:`PublishRejectedError` -- with the active version
+        untouched -- when the snapshot fails validation or the
+        ``registry.publish`` failpoint injects a fault.
         """
         frozen, derived_key = _freeze_model(model)
         record_key = derived_key if key is None else str(key)
+        try:
+            _FP_PUBLISH.hit()
+        except Exception as exc:
+            metrics.increment("serving.rejected_publishes")
+            raise PublishRejectedError(
+                f"publish of {name!r} failed before commit: {exc}"
+            ) from exc
+        if self.validate and not np.all(np.isfinite(frozen.coefficients)):
+            metrics.increment("serving.rejected_publishes")
+            raise PublishRejectedError(
+                f"publish of {name!r} rejected: snapshot has non-finite "
+                "coefficients"
+            )
         with self._lock:
             history = self._history.setdefault(name, [])
             version = self._next_version.get(name, 0) + 1
@@ -172,8 +227,9 @@ class ModelRegistry:
             self._active[name] = len(history) - 1
             # Prune the oldest entries, keeping the active one reachable.
             while len(history) > self.max_versions and self._active[name] > 0:
-                history.pop(0)
+                dropped = history.pop(0)
                 self._active[name] -= 1
+                self._bad.get(name, set()).discard(dropped.version)
         metrics.increment("serving.publishes")
         return record
 
@@ -206,6 +262,79 @@ class ModelRegistry:
             record = self._history[name][index - 1]
         metrics.increment("serving.rollbacks")
         return record
+
+    # ------------------------------------------------------------------
+    # Degradation to last-good (docs/faults.md)
+    # ------------------------------------------------------------------
+    def mark_bad(self, name: str, version: int) -> Optional[ModelVersion]:
+        """Quarantine a published version that misbehaves at serve time.
+
+        In ``serve_last_good`` mode, quarantining the *active* version also
+        steps the active pointer back to the newest good retained version
+        (counted as ``serving.degraded_rollbacks``); with no good version
+        retained the pointer stays put -- a possibly-bad model beats no
+        model.  Returns the version now active, or ``None`` for an unknown
+        name.  Idempotent per (name, version).
+        """
+        with self._lock:
+            history = self._history.get(name)
+            if not history:
+                return None
+            bad = self._bad.setdefault(name, set())
+            newly_marked = version not in bad
+            bad.add(int(version))
+            stepped_back = False
+            active_index = self._active[name]
+            if self.serve_last_good and history[active_index].version in bad:
+                for index in range(active_index - 1, -1, -1):
+                    if history[index].version not in bad:
+                        self._active[name] = index
+                        stepped_back = True
+                        break
+            record = self._history[name][self._active[name]]
+        if newly_marked:
+            metrics.increment("serving.marked_bad")
+        if stepped_back:
+            metrics.increment("serving.degraded_rollbacks")
+        return record
+
+    def is_bad(self, name: str, version: int) -> bool:
+        """Whether (name, version) has been quarantined."""
+        with self._lock:
+            return version in self._bad.get(name, set())
+
+    def previous_good(
+        self, name: str, before_version: Optional[int] = None
+    ) -> Optional[ModelVersion]:
+        """Newest retained good version strictly older than ``before_version``.
+
+        ``before_version=None`` means "older than the active version".
+        Returns ``None`` when nothing qualifies -- including for unknown
+        names, so engine fallback paths need no separate existence check.
+        """
+        with self._lock:
+            history = self._history.get(name)
+            if not history:
+                return None
+            if before_version is None:
+                before_version = history[self._active[name]].version
+            bad = self._bad.get(name, ())
+            for record in reversed(history):
+                if record.version < before_version and record.version not in bad:
+                    return record
+        return None
+
+    def last_good(self, name: str) -> Optional[ModelVersion]:
+        """Newest retained version not quarantined (may be the active one)."""
+        with self._lock:
+            history = self._history.get(name)
+            if not history:
+                return None
+            bad = self._bad.get(name, ())
+            for record in reversed(history):
+                if record.version not in bad:
+                    return record
+        return None
 
     # ------------------------------------------------------------------
     def versions(self, name: str) -> Tuple[ModelVersion, ...]:

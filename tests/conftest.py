@@ -1,4 +1,9 @@
-"""Shared fixtures: seeded RNGs and laptop-sized testbench instances."""
+"""Shared fixtures: seeded RNGs and laptop-sized testbench instances.
+
+The per-test hang guard (pytest-timeout, with a SIGALRM fallback when
+the plugin is absent) lives in the repo-root ``conftest.py`` so it also
+covers ``benchmarks/``.
+"""
 
 from __future__ import annotations
 

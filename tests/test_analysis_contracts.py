@@ -170,13 +170,23 @@ class TestCacheReadOnlyContract:
         finally:
             set_design_cache(previous)
 
-    def test_corrupted_entry_detected_on_hit(self, contracts_on):
-        """If an entry is ever force-mutated back to writeable, serving fails."""
+    def test_corrupted_entry_evicted_and_recomputed_on_hit(self, contracts_on):
+        """If an entry is ever force-mutated back to writeable, the cache
+        self-heals: the poisoned entry is evicted (counted in
+        ``design_cache.corrupt_evictions``) and a fresh result is served."""
+        from repro.runtime.metrics import metrics
+
         cache = DesignMatrixCache(min_result_cells=1)
         stored = cache.get_or_compute(("k",), lambda: np.ones((8, 8)))
         stored.flags.writeable = True  # simulate a misbehaving caller
-        with pytest.raises(ContractViolationError, match="read-only"):
-            cache.get_or_compute(("k",), lambda: np.ones((8, 8)))
+        stored[0, 0] = 99.0  # poison the shared entry
+        before = metrics.counters().get("design_cache.corrupt_evictions", 0)
+        healed = cache.get_or_compute(("k",), lambda: np.ones((8, 8)))
+        after = metrics.counters().get("design_cache.corrupt_evictions", 0)
+        assert after - before == 1
+        assert np.array_equal(healed, np.ones((8, 8)))  # poison never served
+        assert healed.flags.writeable is False
+        assert cache.evictions >= 1
 
     def test_stats_snapshot_is_consistent(self):
         cache = DesignMatrixCache(min_result_cells=1)

@@ -1,4 +1,4 @@
-"""Tests for the AST lint engine, rules REP001-REP007, noqa, and baseline."""
+"""Tests for the AST lint engine, rules REP001-REP008, noqa, and baseline."""
 
 import json
 import os
@@ -165,6 +165,40 @@ class TestRep007AssertValidation:
 
     def test_assert_in_tests_ok(self):
         assert lint("def test_f():\n    assert 1 > 0\n", is_test=True) == []
+
+
+class TestRep008SleepInLibrary:
+    @staticmethod
+    def _lint_at(source, path, is_test=False):
+        return LintEngine().lint_source(source, path=path, is_test=is_test)
+
+    def test_time_sleep_flagged(self):
+        out = lint("import time\ntime.sleep(0.1)\n")
+        assert "REP008" in rule_ids(out)
+
+    def test_bare_sleep_name_flagged(self):
+        out = lint("from time import sleep\nsleep(1)\n")
+        assert "REP008" in rule_ids(out)
+
+    def test_unrelated_sleep_method_ok(self):
+        assert "REP008" not in rule_ids(lint("driver.sleep(1)\n"))
+
+    def test_sanctioned_faults_module_exempt(self):
+        out = self._lint_at(
+            "import time\ntime.sleep(0.1)\n", "src/repro/faults/retry.py"
+        )
+        assert "REP008" not in rule_ids(out)
+
+    def test_backslash_paths_normalized(self):
+        out = self._lint_at(
+            "import time\ntime.sleep(0.1)\n", "src\\repro\\faults\\failpoints.py"
+        )
+        assert "REP008" not in rule_ids(out)
+
+    def test_tests_exempt(self):
+        assert "REP008" not in rule_ids(
+            lint("import time\ntime.sleep(0.1)\n", is_test=True)
+        )
 
 
 class TestSuppressions:

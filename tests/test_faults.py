@@ -1,0 +1,555 @@
+"""Unit tests for the fault-injection substrate (repro.faults)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExpiredError,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    failpoint,
+    inject,
+    known_failpoints,
+)
+from repro.faults.failpoints import registry as failpoint_registry
+import repro.faults.failpoints as failpoints_module
+from repro.linalg import SolverError
+from repro.runtime.metrics import metrics
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for deterministic timing tests."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# FaultPlan construction and validation
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_requires_error_or_latency(self):
+        with pytest.raises(ValueError, match="error, latency, or both"):
+            FaultPlan(failpoint="x")
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultPlan(failpoint="", error=InjectedFault)
+
+    def test_probability_requires_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan(failpoint="x", error=InjectedFault, probability=0.5)
+
+    def test_probability_bounds(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="probability"):
+                FaultPlan(
+                    failpoint="x", error=InjectedFault, probability=bad, seed=0
+                )
+
+    def test_every_and_probability_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            FaultPlan(
+                failpoint="x",
+                error=InjectedFault,
+                every=2,
+                probability=0.5,
+                seed=0,
+            )
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="every"):
+            FaultPlan.fail_every("x", 0)
+
+    def test_max_triggers_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_triggers"):
+            FaultPlan.fail_every("x", 1, max_triggers=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency_seconds"):
+            FaultPlan(failpoint="x", latency_seconds=-0.1, error=InjectedFault)
+
+    def test_build_error_from_class(self):
+        plan = FaultPlan.fail_once("pt", error=SolverError)
+        err = plan.build_error()
+        assert isinstance(err, SolverError)
+        assert "pt" in str(err)
+
+    def test_build_error_from_instance(self):
+        sentinel = RuntimeError("exact instance")
+        plan = FaultPlan.fail_once("pt", error=sentinel)
+        assert plan.build_error() is sentinel
+
+    def test_build_error_from_callable(self):
+        plan = FaultPlan.fail_once("pt", error=lambda: OSError("made"))
+        err = plan.build_error()
+        assert isinstance(err, OSError)
+
+    def test_build_error_bad_spec(self):
+        plan = FaultPlan(failpoint="pt", latency_seconds=0.001)
+        with pytest.raises(TypeError, match="unsupported error spec"):
+            plan.build_error()
+
+
+# ----------------------------------------------------------------------
+# Failpoint arming, triggering shapes, and scoping
+# ----------------------------------------------------------------------
+class TestFailpoints:
+    def test_disarmed_hit_is_noop(self):
+        point = failpoint("tests.disarmed")
+        assert failpoints_module._ACTIVE is None
+        point.hit()  # must not raise, must not touch metrics
+
+    def test_known_failpoints_catalog(self):
+        failpoint("tests.catalog.entry")
+        assert "tests.catalog.entry" in known_failpoints()
+
+    def test_failpoint_identity_is_cached(self):
+        assert failpoint("tests.same") is failpoint("tests.same")
+
+    def test_fail_every_nth(self):
+        point = failpoint("tests.everynth")
+        outcomes = []
+        with inject(FaultPlan.fail_every("tests.everynth", 3)):
+            for _ in range(9):
+                try:
+                    point.hit()
+                    outcomes.append("ok")
+                except InjectedFault:
+                    outcomes.append("fault")
+        assert outcomes == ["ok", "ok", "fault"] * 3
+
+    def test_fail_once(self):
+        point = failpoint("tests.once")
+        with inject(FaultPlan.fail_once("tests.once")) as session:
+            with pytest.raises(InjectedFault):
+                point.hit()
+            for _ in range(5):
+                point.hit()
+            stats = session.stats()["tests.once"][0]
+        assert stats == {"hits": 6, "triggers": 1}
+
+    def test_fail_with_probability_reproducible(self):
+        point = failpoint("tests.prob")
+
+        def run() -> list:
+            outcomes = []
+            plan = FaultPlan.fail_with_probability("tests.prob", 0.4, seed=7)
+            with inject(plan):
+                for _ in range(50):
+                    try:
+                        point.hit()
+                        outcomes.append(0)
+                    except InjectedFault:
+                        outcomes.append(1)
+            return outcomes
+
+        first, second = run(), run()
+        assert first == second
+        assert 0 < sum(first) < 50
+
+    def test_latency_plan_counts_delays(self):
+        point = failpoint("tests.latency")
+        before = metrics.counters().get("faults.delays", 0)
+        with inject(FaultPlan.latency("tests.latency", 0.001)):
+            point.hit()
+            point.hit()
+        after = metrics.counters().get("faults.delays", 0)
+        assert after - before == 2
+
+    def test_scoping_disarms_on_exit(self):
+        point = failpoint("tests.scope")
+        with inject(FaultPlan.fail_every("tests.scope", 1)):
+            with pytest.raises(InjectedFault):
+                point.hit()
+        point.hit()  # disarmed again
+        assert failpoints_module._ACTIVE is None
+        assert not failpoint_registry.armed
+
+    def test_disarm_on_exception(self):
+        point = failpoint("tests.scope.exc")
+        with pytest.raises(RuntimeError, match="escape"):
+            with inject(FaultPlan.fail_once("tests.scope.exc")):
+                raise RuntimeError("escape")
+        assert failpoints_module._ACTIVE is None
+
+    def test_nested_sessions_compose(self):
+        point = failpoint("tests.nested")
+        with inject(FaultPlan.latency("tests.nested", 0.0001)) as outer:
+            with inject(FaultPlan.latency("tests.nested", 0.0001)) as inner:
+                point.hit()
+            point.hit()
+        assert outer.stats()["tests.nested"][0]["hits"] == 2
+        assert inner.stats()["tests.nested"][0]["hits"] == 1
+        assert failpoints_module._ACTIVE is None
+
+    def test_inject_requires_plans(self):
+        with pytest.raises(ValueError, match="at least one"):
+            with inject():
+                pass
+
+    def test_inject_rejects_non_plans(self):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            with inject("not a plan"):
+                pass
+
+    def test_context_manager_form(self):
+        point = failpoint("tests.ctx")
+        with inject(FaultPlan.fail_once("tests.ctx")):
+            with pytest.raises(InjectedFault):
+                with point:
+                    pytest.fail("body must not run when the hit raises")
+
+    def test_decorator_form(self):
+        point = failpoint("tests.deco")
+
+        @point
+        def work(value):
+            return value * 2
+
+        with inject(FaultPlan.fail_once("tests.deco")):
+            with pytest.raises(InjectedFault):
+                work(3)
+            assert work(3) == 6
+        assert work.__name__ == "work"
+
+    def test_injected_metrics_per_failpoint(self):
+        point = failpoint("tests.metricskey")
+        key = "faults.injected.tests.metricskey"
+        before = metrics.counters().get(key, 0)
+        with inject(FaultPlan.fail_once("tests.metricskey")):
+            with pytest.raises(InjectedFault):
+                point.hit()
+        assert metrics.counters().get(key, 0) - before == 1
+
+    def test_unplanned_failpoints_untouched_while_armed(self):
+        planned = failpoint("tests.planned")
+        bystander = failpoint("tests.bystander")
+        with inject(FaultPlan.fail_every("tests.planned", 1)):
+            bystander.hit()  # no plan for it: passes through
+            with pytest.raises(InjectedFault):
+                planned.hit()
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_after_and_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(2.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_nonpositive_timeout_is_already_expired(self):
+        clock = FakeClock()
+        assert Deadline.after(0.0, clock=clock).expired
+        assert Deadline.after(-1.0, clock=clock).expired
+
+    def test_repr_mentions_remaining(self):
+        assert "remaining" in repr(Deadline.after(1.0, clock=FakeClock()))
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_seconds"):
+            RetryPolicy(base_seconds=0.0)
+        with pytest.raises(ValueError, match="cap_seconds"):
+            RetryPolicy(base_seconds=0.5, cap_seconds=0.1)
+
+    def test_delays_within_bounds(self):
+        policy = RetryPolicy(max_attempts=8, base_seconds=0.01, cap_seconds=0.05)
+        delays = list(policy.delays(policy.make_rng()))
+        assert len(delays) == 7
+        assert all(policy.base_seconds <= d <= policy.cap_seconds for d in delays)
+
+    def test_delays_reproducible_from_seed(self):
+        policy = RetryPolicy(max_attempts=6, seed=99)
+        first = list(policy.delays(policy.make_rng()))
+        second = list(policy.delays(policy.make_rng()))
+        assert first == second
+
+    def test_call_succeeds_after_transients(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=3)
+        result = policy.call(flaky, sleep=sleeps.append)
+        assert result == "done"
+        assert len(attempts) == 3
+        assert len(sleeps) == 2
+        assert all(
+            policy.base_seconds <= s <= policy.cap_seconds for s in sleeps
+        )
+
+    def test_call_exhausts_attempts(self):
+        attempts = []
+
+        def always_fails():
+            attempts.append(1)
+            raise RuntimeError("persistent")
+
+        policy = RetryPolicy(max_attempts=4)
+        with pytest.raises(RuntimeError, match="persistent"):
+            policy.call(always_fails, sleep=lambda s: None)
+        assert len(attempts) == 4
+
+    def test_non_retryable_fails_immediately(self):
+        attempts = []
+
+        def bad_request():
+            attempts.append(1)
+            raise ValueError("caller bug")
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(ValueError):
+            policy.call(bad_request, sleep=lambda s: None)
+        assert len(attempts) == 1
+
+    def test_deadline_stops_backoff(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.0001, clock=clock)
+        attempts = []
+
+        def always_fails():
+            attempts.append(1)
+            raise RuntimeError("fail")
+
+        policy = RetryPolicy(max_attempts=5, base_seconds=0.01)
+        with pytest.raises(RuntimeError):
+            policy.call(always_fails, deadline=deadline, sleep=lambda s: None)
+        assert len(attempts) == 1  # first backoff would overrun the budget
+
+    def test_on_retry_hook(self):
+        seen = []
+
+        def flaky():
+            if not seen:
+                raise RuntimeError("first")
+            return 42
+
+        policy = RetryPolicy(max_attempts=2)
+        result = policy.call(
+            flaky,
+            sleep=lambda s: None,
+            on_retry=lambda error, delay: seen.append((type(error), delay)),
+        )
+        assert result == 42
+        assert seen and seen[0][0] is RuntimeError
+
+    def test_shared_rng_with_lock(self):
+        policy = RetryPolicy(max_attempts=3)
+        rng = policy.make_rng()
+        lock = threading.Lock()
+        delays = list(policy.delays(rng, lock))
+        assert len(delays) == 2
+
+    def test_lazy_draws_align_with_failures(self):
+        # A run succeeding on attempt 2 consumes exactly one jitter draw.
+        policy = RetryPolicy(max_attempts=5, seed=3)
+        state = {"calls": 0}
+
+        def flaky():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise RuntimeError("once")
+            return "ok"
+
+        rng = policy.make_rng()
+        policy.call(flaky, rng=rng, sleep=lambda s: None)
+        fresh = policy.make_rng()
+        fresh.uniform(policy.base_seconds, 3.0 * policy.base_seconds)
+        # Both Generators have now consumed one uniform draw.
+        assert rng.random() == fresh.random()
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, reset=1.0):
+        return CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout_seconds=reset,
+            clock=clock,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout_seconds"):
+            CircuitBreaker(reset_timeout_seconds=0.0)
+
+    def test_unknown_key_is_closed_and_allowed(self):
+        breaker = self.make(FakeClock())
+        assert breaker.state("k") == "closed"
+        assert breaker.allow("k")
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = self.make(FakeClock(), threshold=3)
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == "closed"
+        breaker.record_failure("k")
+        assert breaker.state("k") == "open"
+        assert not breaker.allow("k")
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make(FakeClock(), threshold=2)
+        breaker.record_failure("k")
+        breaker.record_success("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == "closed"
+
+    def test_half_open_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=1.0)
+        breaker.record_failure("k")
+        assert not breaker.allow("k")
+        clock.advance(0.5)
+        assert not breaker.allow("k")
+        clock.advance(0.6)
+        assert breaker.allow("k")  # the single half-open probe
+        assert breaker.state("k") == "half_open"
+
+    def test_single_probe_while_half_open(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=1.0)
+        breaker.record_failure("k")
+        clock.advance(1.1)
+        assert breaker.allow("k")
+        # Until the probe's outcome lands, everyone else is rejected.
+        assert not breaker.allow("k")
+        assert not breaker.allow("k")
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=1.0)
+        breaker.record_failure("k")
+        clock.advance(1.1)
+        assert breaker.allow("k")
+        breaker.record_success("k")
+        assert breaker.state("k") == "closed"
+        assert breaker.allow("k")
+        assert breaker.allow("k")
+
+    def test_probe_failure_reopens_and_restarts_timer(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=1.0)
+        breaker.record_failure("k")
+        clock.advance(1.1)
+        assert breaker.allow("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == "open"
+        assert not breaker.allow("k")
+        clock.advance(0.9)
+        assert not breaker.allow("k")  # timer restarted at probe failure
+        clock.advance(0.2)
+        assert breaker.allow("k")
+
+    def test_keys_are_independent(self):
+        breaker = self.make(FakeClock(), threshold=1)
+        breaker.record_failure("bad")
+        assert not breaker.allow("bad")
+        assert breaker.allow("good")
+
+    def test_snapshot_and_reset(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1)
+        breaker.record_failure("k")
+        clock.advance(0.25)
+        snap = breaker.snapshot()
+        assert snap["k"]["state"] == "open"
+        assert snap["k"]["open_for_seconds"] == pytest.approx(0.25)
+        breaker.reset("k")
+        assert breaker.state("k") == "closed"
+        breaker.record_failure("other")
+        breaker.reset()
+        assert breaker.snapshot() == {}
+
+    def test_transition_metrics(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=1.0)
+        before = metrics.counters("serving.breaker.")
+        breaker.record_failure("k")  # opened
+        breaker.allow("k")  # rejected
+        clock.advance(1.1)
+        breaker.allow("k")  # half_opened
+        breaker.record_success("k")  # closed
+        after = metrics.counters("serving.breaker.")
+
+        def delta(name: str) -> int:
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("serving.breaker.opened") == 1
+        assert delta("serving.breaker.rejected") == 1
+        assert delta("serving.breaker.half_opened") == 1
+        assert delta("serving.breaker.closed") == 1
+
+
+# ----------------------------------------------------------------------
+# Metrics counters view
+# ----------------------------------------------------------------------
+class TestCountersView:
+    def test_counters_excludes_timers(self):
+        metrics.increment("tests.counters.a")
+        with metrics.timer("tests.counters.timer"):
+            pass
+        counters = metrics.counters("tests.counters.")
+        assert "tests.counters.a" in counters
+        assert all(".seconds" not in k and not k.endswith(".calls") for k in counters)
+
+    def test_counters_prefix_filter_and_order(self):
+        metrics.increment("tests.prefix.b")
+        metrics.increment("tests.prefix.a")
+        counters = metrics.counters("tests.prefix.")
+        assert list(counters) == sorted(counters)
+        assert set(counters) == {"tests.prefix.a", "tests.prefix.b"}
+
+    def test_all_counter_values_are_ints(self):
+        metrics.increment("tests.ints.x", 3)
+        assert all(isinstance(v, int) for v in metrics.counters("tests.ints.").values())
+
+
+def test_circuit_open_error_is_runtime_error():
+    assert issubclass(CircuitOpenError, RuntimeError)
+
+
+def test_injected_fault_is_not_solver_error():
+    # The sequential fitter distinguishes the two; keep the hierarchy flat.
+    assert not issubclass(InjectedFault, SolverError)
+    assert not issubclass(SolverError, InjectedFault)
+
+
+def test_deadline_expired_error_is_timeout():
+    assert issubclass(DeadlineExpiredError, TimeoutError)

@@ -1,0 +1,201 @@
+"""Property-based tests for the fault substrate (hypothesis).
+
+Two surfaces get the randomized treatment because their contracts are
+range/sequence invariants rather than single examples:
+
+* :meth:`repro.faults.RetryPolicy.delays` -- every decorrelated-jitter
+  delay lies in ``[base, cap]`` and the whole schedule is a pure function
+  of the seed.
+* :class:`repro.faults.CircuitBreaker` -- model-based: a reference state
+  machine is driven with random request/outcome/clock-advance sequences
+  and the real breaker must agree call-for-call (never admitting traffic
+  while open, admitting exactly one half-open probe).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.faults import CircuitBreaker, RetryPolicy  # noqa: E402
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self._now = start
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        self._now += dt
+
+
+# ----------------------------------------------------------------------
+# Retry backoff
+# ----------------------------------------------------------------------
+policy_params = st.tuples(
+    st.integers(min_value=2, max_value=8),           # max_attempts
+    st.floats(min_value=1e-4, max_value=0.5),        # base_seconds
+    st.floats(min_value=1.0, max_value=100.0),       # cap multiplier
+    st.integers(min_value=0, max_value=2**31),       # seed
+)
+
+
+class TestBackoffProperties:
+    @given(policy_params)
+    @settings(max_examples=200, deadline=None)
+    def test_delays_stay_within_bounds(self, params):
+        attempts, base, cap_mult, seed = params
+        policy = RetryPolicy(
+            max_attempts=attempts,
+            base_seconds=base,
+            cap_seconds=base * cap_mult,
+            seed=seed,
+        )
+        delays = list(policy.delays(policy.make_rng()))
+        assert len(delays) == attempts - 1
+        for delay in delays:
+            assert policy.base_seconds <= delay <= policy.cap_seconds
+
+    @given(policy_params)
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_is_a_pure_function_of_the_seed(self, params):
+        attempts, base, cap_mult, seed = params
+        policy = RetryPolicy(
+            max_attempts=attempts,
+            base_seconds=base,
+            cap_seconds=base * cap_mult,
+            seed=seed,
+        )
+        first = list(policy.delays(policy.make_rng()))
+        second = list(policy.delays(policy.make_rng()))
+        assert first == second
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(2, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_decorrelated_jitter_recurrence(self, seed, attempts):
+        """Each delay obeys ``delay_i = min(cap, U[base, 3 * prev])``."""
+        policy = RetryPolicy(max_attempts=attempts, seed=seed)
+        previous = policy.base_seconds
+        for delay in policy.delays(policy.make_rng()):
+            assert delay <= min(policy.cap_seconds, 3.0 * previous)
+            assert delay >= policy.base_seconds
+            previous = delay
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker (model-based)
+# ----------------------------------------------------------------------
+class BreakerModel:
+    """Reference implementation of the documented breaker contract."""
+
+    def __init__(self, threshold: int, timeout: float, clock: FakeClock):
+        self.threshold = threshold
+        self.timeout = timeout
+        self.clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+    def allow(self) -> bool:
+        if self.state == "closed":
+            return True
+        if self.probing:
+            return False  # exactly one half-open probe at a time
+        if self.clock() - self.opened_at >= self.timeout:
+            self.probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+        self.probing = False
+
+    def record_failure(self) -> None:
+        if self.probing:  # failed probe: reopen, restart the window
+            self.state = "open"
+            self.opened_at = self.clock()
+            self.probing = False
+            return
+        if self.state == "closed":
+            self.failures += 1
+            if self.failures >= self.threshold:
+                self.state = "open"
+                self.opened_at = self.clock()
+                self.failures = 0
+
+
+events = st.lists(
+    st.one_of(
+        st.sampled_from(["request_ok", "request_fail"]),
+        st.tuples(st.just("advance"), st.floats(min_value=0.0, max_value=2.0)),
+    ),
+    min_size=10,
+    max_size=80,
+)
+
+
+class TestBreakerProperties:
+    @given(
+        events,
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=0.1, max_value=1.5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_breaker_agrees_with_reference_model(self, seq, threshold, timeout):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout_seconds=timeout,
+            clock=clock,
+        )
+        model = BreakerModel(threshold, timeout, clock)
+        key = "model"
+        for event in seq:
+            if isinstance(event, tuple):
+                clock.advance(event[1])
+                continue
+            allowed = breaker.allow(key)
+            assert allowed == model.allow()
+            if not allowed:
+                # Invariant: traffic is only ever rejected while the window
+                # is open or a probe is outstanding -- never when closed.
+                assert model.state == "open"
+                continue
+            if event == "request_ok":
+                breaker.record_success(key)
+                model.record_success()
+            else:
+                breaker.record_failure(key)
+                model.record_failure()
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exactly_one_half_open_probe(self, threshold, timeout, extra_allows):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout_seconds=timeout,
+            clock=clock,
+        )
+        key = "probe"
+        for _ in range(threshold):
+            assert breaker.allow(key)
+            breaker.record_failure(key)
+        assert not breaker.allow(key)  # open: no traffic inside the window
+        clock.advance(timeout * 1.01)
+        assert breaker.allow(key)  # the single probe
+        for _ in range(extra_allows):
+            assert not breaker.allow(key)  # everyone else waits on its outcome
+        breaker.record_success(key)
+        assert breaker.allow(key)  # closed again
