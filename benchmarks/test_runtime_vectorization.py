@@ -31,7 +31,10 @@ import numpy as np
 
 from conftest import save_result
 from repro.basis import OrthonormalBasis
+from repro.regression import FittedModel
 from repro.runtime import DesignMatrixCache, set_design_cache
+from repro.serving import ModelRegistry
+from repro.store import ModelStore
 
 R = 100
 K = 2000
@@ -108,6 +111,64 @@ def test_design_matrix_vectorization_speedup(benchmark):
         f"   ({result['served_speedup']:.2f}x)",
     ]
     save_result("runtime_vectorization", "\n".join(lines))
+
+
+def test_store_backed_serving_path_keeps_speedup(benchmark, tmp_path):
+    """Crash-safe persistence must not tax the serve path.
+
+    The store does all its work at *publish* time (encode, fsync, rename,
+    journal); once a version is registered, serving resolves the same
+    frozen model and hits the same design-matrix cache as before.  This
+    guard publishes through a store-backed registry (real fsyncs, no
+    failpoints armed) and re-measures the cached serving path of
+    ``test_design_matrix_vectorization_speedup`` -- the speedup must stay
+    within 5% of that test's 5.0x bar (>= 4.75x).
+    """
+    basis = OrthonormalBasis.total_degree(R, DEGREE)
+    x = np.random.default_rng(42).standard_normal((K, R))
+    coefficients = np.random.default_rng(7).standard_normal(basis.size)
+
+    def run():
+        loop_seconds, reference = _best_of(REPEATS, lambda: basis._design_matrix_loop(x))
+
+        store = ModelStore(tmp_path / "store")  # durability on: real fsyncs
+        registry = ModelRegistry(store=store)
+        registry.publish("power", FittedModel(basis, coefficients))
+        model = registry.model("power")
+
+        previous = set_design_cache(DesignMatrixCache())
+        try:
+            model.basis.design_matrix(x)  # warming miss
+            served_seconds, served = _best_of(
+                REPEATS, lambda: model.basis.design_matrix(x)
+            )
+        finally:
+            set_design_cache(previous)
+
+        return {
+            "loop_seconds": loop_seconds,
+            "served_seconds": served_seconds,
+            "served_speedup": loop_seconds / served_seconds,
+            "records": len(store.record_paths()),
+            "reference": reference,
+            "served": served,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert result["records"] == 1  # persistence really was enabled
+    assert np.allclose(result["served"], result["reference"])
+    assert result["served_speedup"] >= 4.75, (
+        "store-backed cached serving path only "
+        f"{result['served_speedup']:.2f}x faster (bar: within 5% of 5.0x)"
+    )
+    save_result(
+        "runtime_store_serving",
+        "Store-backed cached serving path, quadratic basis, "
+        f"R = {R}, K = {K}: loop {result['loop_seconds'] * 1e3:.2f} ms, "
+        f"served {result['served_seconds'] * 1e3:.2f} ms "
+        f"({result['served_speedup']:.2f}x)",
+    )
 
 
 def test_linear_design_matrix_vectorization(benchmark):

@@ -1,9 +1,10 @@
-"""Domain-specific correctness rules (REP001-REP008) for this codebase.
+"""Domain-specific correctness rules (REP001-REP009) for this codebase.
 
 Each rule guards an invariant the runtime layer depends on: deterministic
 seeded RNG flow, no silent float-equality traps, no shared mutable state
-without a lock, no validation that disappears under ``python -O``.  See
-``docs/analysis.md`` for the rationale and suppression workflow.
+without a lock, no validation that disappears under ``python -O``, no
+file handles opened outside a ``with`` block.  See ``docs/analysis.md``
+for the rationale and suppression workflow.
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "AssertForValidationRule",
     "SleepInLibraryRule",
+    "UnmanagedFileHandleRule",
 ]
 
 
@@ -366,3 +368,58 @@ class SleepInLibraryRule(Rule):
             "time.sleep outside repro/faults/; inject latency via a "
             "FaultPlan or back off via RetryPolicy instead",
         )
+
+
+@register_rule
+class UnmanagedFileHandleRule(Rule):
+    """REP009: ``open()``/``NamedTemporaryFile`` outside a ``with`` block."""
+
+    rule_id = "REP009"
+    description = "file handle opened outside a with block"
+    rationale = (
+        "A handle not bound to a `with` block leaks its descriptor on any "
+        "exception between open and close, and an unflushed buffer can "
+        "outlive the code that believes it wrote; the crash-safe store's "
+        "atomic-rename protocol requires every temp handle to be closed "
+        "before os.replace.  Deliberately long-lived handles must carry a "
+        "noqa with justification."
+    )
+    # The rule needs to know which calls sit inside a `with` item, so it
+    # takes the whole module and walks it once itself.
+    node_types = (ast.Module,)
+    applies_to_tests = False
+
+    #: Exact dotted names always treated as file-handle constructors.
+    #: ``os.open`` (raw fd) and ``path.open`` (method) deliberately absent.
+    _EXACT_OPENERS = frozenset({"open", "io.open"})
+
+    def _is_opener(self, call: ast.Call) -> bool:
+        dotted = _dotted_name(call.func)
+        if dotted is None:
+            return False
+        if dotted in self._EXACT_OPENERS:
+            return True
+        return dotted.rsplit(".", 1)[-1] == "NamedTemporaryFile"
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        managed = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    for inner in ast.walk(item.context_expr):
+                        if isinstance(inner, ast.Call):
+                            managed.add(inner)
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and sub not in managed
+                and self._is_opener(sub)
+            ):
+                dotted = _dotted_name(sub.func)
+                yield self.violation(
+                    sub,
+                    ctx,
+                    f"`{dotted}(...)` outside a with block leaks the handle "
+                    "on error; bind it with `with` (or noqa a deliberately "
+                    "long-lived handle)",
+                )

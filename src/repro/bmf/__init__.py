@@ -15,7 +15,12 @@ from .evidence import (
 from .map_estimation import KernelMapSolver, map_estimate
 from .model import BmfRegressor, fuse
 from .prior_mapping import FingerMap, PriorMapping, map_prior_coefficients
-from .sequential import RefitOutcome, SequentialBmf, SequentialBmfConfig
+from .sequential import (
+    RefitOutcome,
+    SequentialBmf,
+    SequentialBmfConfig,
+    SequentialFitterState,
+)
 from .uncertainty import coefficient_posterior_variance, predictive_variance
 from .priors import (
     GaussianCoefficientPrior,
@@ -29,6 +34,7 @@ __all__ = [
     "RefitOutcome",
     "SequentialBmf",
     "SequentialBmfConfig",
+    "SequentialFitterState",
     "coefficient_posterior_variance",
     "predictive_variance",
     "CrossValidationReport",

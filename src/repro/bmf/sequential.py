@@ -45,7 +45,12 @@ from .cross_validation import select_prior_and_eta_from_solvers
 from .map_estimation import KernelMapSolver
 from .model import BmfRegressor
 
-__all__ = ["RefitOutcome", "SequentialBmf", "SequentialBmfConfig"]
+__all__ = [
+    "RefitOutcome",
+    "SequentialBmf",
+    "SequentialBmfConfig",
+    "SequentialFitterState",
+]
 
 #: Fires at the top of every refit (before any solver work); armed plans
 #: here model a whole-refit failure, exercised via :meth:`try_add_samples`.
@@ -74,6 +79,41 @@ class RefitOutcome:
     @property
     def failed(self) -> bool:
         return not self.ok
+
+
+@dataclass(frozen=True)
+class SequentialFitterState:
+    """Portable snapshot of a :class:`SequentialBmf`'s resumable state.
+
+    Carries exactly what a warm restart needs: the accumulated samples
+    (everything a from-scratch refit would consume) plus, when the
+    fixed-eta incremental path had one cached, the lower Cholesky factor
+    of ``eta I + B`` and the index of the prior it belongs to -- so
+    :meth:`SequentialBmf.rearm` can keep border-updating the *same*
+    factor instead of re-factoring a ``K x K`` system from scratch.
+    Histories (CV-error / sample-count curves) are diagnostics, not
+    state, and restart empty.
+    """
+
+    x: np.ndarray
+    f: np.ndarray
+    chol_lower: Optional[np.ndarray] = None
+    chol_prior_index: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "x", _readonly(self.x))
+        object.__setattr__(self, "f", _readonly(self.f))
+        object.__setattr__(self, "chol_lower", _readonly(self.chol_lower))
+        if self.x is None or self.f is None:
+            raise ValueError("fitter state requires sample arrays")
+        if self.x.ndim != 2 or self.f.shape != (self.x.shape[0],):
+            raise ValueError(
+                f"inconsistent sample shapes x={self.x.shape} f={self.f.shape}"
+            )
+        if (self.chol_lower is None) != (self.chol_prior_index is None):
+            raise ValueError(
+                "chol_lower and chol_prior_index must be given together"
+            )
 
 
 def _readonly(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
@@ -498,6 +538,116 @@ class SequentialBmf:
         self._chol_prior_index = prior_index
         weights = factor.solve(solver.centered_target)
         return solver.prior.mean + solver._scale_sq * (solver.design.T @ weights)
+
+    # ------------------------------------------------------------------
+    # Warm restart (crash recovery; see docs/store.md)
+    # ------------------------------------------------------------------
+    def export_state(self) -> SequentialFitterState:
+        """Snapshot the resumable fitter state for persistence.
+
+        The snapshot (samples plus, when cached, the dual Cholesky factor)
+        is everything :meth:`rearm` needs to continue a streaming fit in a
+        fresh process.  Raises :class:`RuntimeError` before the first
+        batch -- there is nothing to resume yet.
+        """
+        if self._x is None:
+            raise RuntimeError("no samples added yet; nothing to export")
+        factor = self._chol
+        return SequentialFitterState(
+            x=self._x,
+            f=self._f,
+            chol_lower=None if factor is None else np.array(factor.lower),
+            chol_prior_index=None if factor is None else self._chol_prior_index,
+        )
+
+    def rearm(self, state: SequentialFitterState) -> "SequentialBmf":
+        """Restore a fresh fitter from a persisted snapshot.
+
+        Reinstalls the samples, rebuilds the design matrix and kernel
+        solvers from the (immutable) config, and -- on the fixed-eta
+        incremental path -- adopts the persisted Cholesky factor via
+        :meth:`repro.linalg.CholeskyFactor.from_lower`, so the next
+        :meth:`add_samples` call border-updates exactly where the dead
+        process stopped instead of re-factoring ``eta I + B`` from
+        scratch.  The restored model's coefficients are recomputed from
+        that factor (two triangular solves), not refitted.
+
+        Only a fresh fitter (no samples yet) can be re-armed, and the
+        snapshot must match the configured basis; violations raise
+        :class:`RuntimeError` / :class:`ValueError` respectively.  In
+        ``deterministic`` mode the factor is ignored (that path never
+        caches one) and the refit is recomputed blocking-independently,
+        which keeps resumed streams bitwise identical to uninterrupted
+        ones.
+        """
+        if self._x is not None:
+            raise RuntimeError(
+                "rearm() requires a fresh fitter; this one already has "
+                f"{self.num_samples} samples"
+            )
+        num_vars = self.config.basis.num_vars
+        if state.x.shape[1] != num_vars:
+            raise ValueError(
+                f"snapshot has {state.x.shape[1]} variables, basis expects "
+                f"{num_vars}"
+            )
+        self._x = np.array(state.x, dtype=float)
+        self._f = np.array(state.f, dtype=float)
+        with runtime_metrics.timer("sequential.rearm"):
+            self._design = self.config.basis.design_matrix(self._x)
+            self._build_solvers()
+            cv_error = self._rearm_solve(state)
+        self.last_refit_mode = "rearmed"
+        self.cv_error_history.append(cv_error)
+        self.sample_count_history.append(self.num_samples)
+        runtime_metrics.increment("sequential.rearms")
+        return self
+
+    def _rearm_solve(self, state: SequentialFitterState) -> float:
+        """Recompute the served model, adopting the persisted factor."""
+        eta = self.config.regressor_kwargs.get("eta")
+        use_factor = (
+            state.chol_lower is not None
+            and eta is not None
+            and not self.deterministic
+            and self._incremental_capable()
+        )
+        if not use_factor:
+            return self._solve_from_solvers()
+
+        prior_index = int(state.chol_prior_index)
+        if not 0 <= prior_index < len(self._solvers):
+            raise ValueError(
+                f"snapshot prior index {prior_index} out of range for "
+                f"{len(self._solvers)} candidate priors"
+            )
+        solver = self._solvers[prior_index]
+        factor = CholeskyFactor.from_lower(state.chol_lower)
+        if factor.size != solver.kernel.shape[0]:
+            raise ValueError(
+                f"snapshot factor is {factor.size}x{factor.size} but the "
+                f"kernel over the snapshot samples is "
+                f"{solver.kernel.shape[0]}x{solver.kernel.shape[0]}"
+            )
+        self._chol = factor
+        self._chol_prior_index = prior_index
+        weights = factor.solve(solver.centered_target)
+        coefficients = solver.prior.mean + solver._scale_sq * (
+            solver.design.T @ weights
+        )
+
+        model = self.config.make_regressor()
+        model.chosen_prior_ = solver.prior
+        model.chosen_eta_ = float(eta)
+        model.cv_report_ = None
+        model.evidence_report_ = None
+        model.coefficients_ = coefficients
+        model._train_design = self._design
+        self._model = model
+
+        residual = self._f - self._design @ coefficients
+        norm = max(float(np.linalg.norm(self._f)), 1e-300)
+        return float(np.linalg.norm(residual)) / norm
 
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -19,9 +19,11 @@ from .figures import (
 from .runners import (
     ChaosStreamReport,
     CostComparison,
+    CrashRecoveryReport,
     ServingStreamReport,
     run_chaos_stream,
     run_cost_comparison,
+    run_crash_recovery_stream,
     run_serving_stream,
 )
 from .tables import METHODS, ErrorTable, run_error_table
@@ -33,6 +35,7 @@ __all__ = [
     "ChaosStreamReport",
     "CostComparison",
     "CostReport",
+    "CrashRecoveryReport",
     "ErrorTable",
     "FittingCostCurve",
     "ServingStreamReport",
@@ -45,6 +48,7 @@ __all__ = [
     "repeats",
     "run_chaos_stream",
     "run_cost_comparison",
+    "run_crash_recovery_stream",
     "run_error_table",
     "run_fitting_cost",
     "run_serving_stream",

@@ -20,15 +20,22 @@ from ..circuits.base import Stage, Testbench
 from ..circuits.modeling import FusionProblem
 from ..montecarlo import simulate_dataset
 from ..regression import OrthogonalMatchingPursuit, relative_error
-from ..runtime.metrics import format_snapshot, metrics as runtime_metrics, snapshot_delta
+from ..runtime.metrics import (
+    counters_delta,
+    format_snapshot,
+    metrics as runtime_metrics,
+    snapshot_delta,
+)
 from .cost import CostReport, SimulationCostModel
 
 __all__ = [
     "ChaosStreamReport",
     "CostComparison",
+    "CrashRecoveryReport",
     "ServingStreamReport",
     "run_chaos_stream",
     "run_cost_comparison",
+    "run_crash_recovery_stream",
     "run_serving_stream",
 ]
 
@@ -501,11 +508,7 @@ def run_chaos_stream(
                     else:
                         answered += 1
         engine_stats = engine.stats()
-    counter_delta = {
-        key: value - counters_before.get(key, 0)
-        for key, value in runtime_metrics.counters().items()
-        if value - counters_before.get(key, 0)
-    }
+    counter_delta = counters_delta(counters_before, runtime_metrics.counters())
 
     return ChaosStreamReport(
         metric=metric,
@@ -524,6 +527,376 @@ def run_chaos_stream(
         },
         serving_counters={
             k: v for k, v in counter_delta.items() if k.startswith("serving.")
+        },
+        engine_stats=engine_stats,
+    )
+
+
+@dataclass
+class CrashRecoveryReport:
+    """Outcome of one fit -> publish -> kill -> recover -> serve run.
+
+    Like :class:`ChaosStreamReport`, every field that enters
+    :meth:`deterministic_signature` is an integer event count, a boolean,
+    or a tuple of them -- never wall-clock -- so two runs with the same
+    seed produce identical signatures.
+    """
+
+    metric: str
+    seed: int
+    batch_sizes: Sequence[int]
+    #: Publishes completed before the crash was injected.
+    crash_after_batches: int
+    #: Failpoint the simulated kill fired at (``store.write``/``store.fsync``).
+    crash_failpoint: str
+    #: Whether the injected :class:`~repro.faults.SimulatedCrash` surfaced.
+    crash_observed: bool
+    #: Record files visible in ``records/`` right after the crash (a
+    #: ``store.fsync`` kill leaves a torn one; ``store.write`` leaves none).
+    records_visible_after_crash: int
+    #: Versions re-admitted by recovery, ``(name, version)`` in order.
+    recovered_versions: Sequence[object]
+    #: Records quarantined during recovery (torn/corrupt; never served).
+    quarantined_records: int
+    #: Recovered registry snapshot == last pre-crash durable snapshot.
+    recovered_bitwise_identical: bool
+    #: Whether the sequential fitter warm-restarted from persisted state.
+    rearmed: bool
+    #: ``(ok, mode)`` per refit, pre-crash then post-recovery.
+    refit_outcomes: Sequence[object]
+    answered_requests: int
+    failed_requests: int
+    publish_attempts: int
+    publish_rejections: int
+    #: Versions retained by the post-recovery registry at the end.
+    versions_published: int
+    # -- overload burst (2x the queue bound against a paused dispatcher) --
+    queue_bound: int
+    burst_staged_expired: int
+    burst_live_submitted: int
+    burst_rejected: int
+    burst_answered: int
+    peak_queue_depth: int
+    shed_expired: int
+    shed_rejected: int
+    #: ``faults.*`` / ``serving.*`` / ``store.*`` counter deltas.
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    serving_counters: Dict[str, int] = field(default_factory=dict)
+    store_counters: Dict[str, int] = field(default_factory=dict)
+    #: Final :meth:`repro.serving.PredictionEngine.stats` snapshot.
+    engine_stats: Dict[str, object] = field(default_factory=dict)
+
+    def deterministic_signature(self) -> Dict[str, object]:
+        """Everything that must be bitwise identical across same-seed runs."""
+        return {
+            "crash_after_batches": self.crash_after_batches,
+            "crash_failpoint": self.crash_failpoint,
+            "crash_observed": self.crash_observed,
+            "records_visible_after_crash": self.records_visible_after_crash,
+            "recovered_versions": tuple(self.recovered_versions),
+            "quarantined_records": self.quarantined_records,
+            "recovered_bitwise_identical": self.recovered_bitwise_identical,
+            "rearmed": self.rearmed,
+            "refit_outcomes": tuple(
+                (outcome.ok, outcome.mode, outcome.num_samples)
+                for outcome in self.refit_outcomes
+            ),
+            "answered_requests": self.answered_requests,
+            "failed_requests": self.failed_requests,
+            "publish_attempts": self.publish_attempts,
+            "publish_rejections": self.publish_rejections,
+            "versions_published": self.versions_published,
+            "queue_bound": self.queue_bound,
+            "burst_staged_expired": self.burst_staged_expired,
+            "burst_live_submitted": self.burst_live_submitted,
+            "burst_rejected": self.burst_rejected,
+            "burst_answered": self.burst_answered,
+            "peak_queue_depth": self.peak_queue_depth,
+            "shed_expired": self.shed_expired,
+            "shed_rejected": self.shed_rejected,
+            "fault_counters": dict(self.fault_counters),
+            "serving_counters": dict(self.serving_counters),
+            "store_counters": dict(self.store_counters),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"Crash-recovery run for metric {self.metric!r} (seed {self.seed})",
+            f"  crash point          : {self.crash_failpoint} after "
+            f"{self.crash_after_batches} publishes",
+            f"  records after crash  : {self.records_visible_after_crash}"
+            f" ({self.quarantined_records} quarantined on recovery)",
+            f"  recovered versions   : {list(self.recovered_versions)}",
+            f"  bitwise identical    : {self.recovered_bitwise_identical}",
+            f"  warm restart         : {self.rearmed}",
+            f"  requests answered    : {self.answered_requests}"
+            f"/{self.answered_requests + self.failed_requests}",
+            f"  burst shed (exp/rej) : {self.shed_expired}"
+            f"/{self.shed_rejected} (peak depth {self.peak_queue_depth}"
+            f" <= bound {self.queue_bound})",
+        ]
+        text = "\n".join(lines)
+        merged = {
+            **self.fault_counters,
+            **self.serving_counters,
+            **self.store_counters,
+        }
+        if merged:
+            text += "\n\n" + format_snapshot(merged, title="Recovery counters")
+        return text
+
+
+def run_crash_recovery_stream(
+    testbench: Testbench,
+    metric: str,
+    store_root,
+    batch_sizes: Sequence[int] = (30, 10, 10, 10),
+    crash_after_batches: int = 2,
+    crash_failpoint: str = "store.fsync",
+    requests_per_batch: int = 16,
+    seed: int = 0,
+    test_size: int = 100,
+    early_samples: int = 3000,
+    model_name: Optional[str] = None,
+    request_timeout_seconds: float = 30.0,
+    max_queue_depth: int = 16,
+    sequential_kwargs: Optional[Dict[str, object]] = None,
+    engine_kwargs: Optional[Dict[str, object]] = None,
+) -> CrashRecoveryReport:
+    """Fit -> publish -> **kill** -> recover -> serve, deterministically.
+
+    Phase 1 streams ``crash_after_batches`` batches through a
+    store-backed registry (write-ahead persistence), snapshotting the
+    registry after each durable publish.  Phase 2 fits one more batch and
+    injects a :class:`~repro.faults.SimulatedCrash` at
+    ``crash_failpoint`` during its publish, then abandons every live
+    object -- fitter, registry, engine -- exactly as a killed process
+    would.  Phase 3 recovers from the store directory alone: corrupt or
+    torn records are quarantined, valid ones rebuild a registry that must
+    be *bitwise identical* to the last pre-crash snapshot, and the
+    sequential fitter warm-restarts from its persisted samples and
+    Cholesky factor.  Phase 4 replays the crashed batch plus the
+    remaining stream against the recovered state.  Phase 5 drives a
+    2x-queue-bound overload burst against a paused dispatcher to exercise
+    admission control (shed-oldest-expired, then reject) with
+    deterministic counters.
+
+    Like :func:`run_chaos_stream`, requests are awaited sequentially and
+    every signature field is event-count-only, so the
+    :meth:`CrashRecoveryReport.deterministic_signature` is a pure
+    function of the arguments.
+    """
+    from ..bmf import SequentialBmf
+    from ..faults import Deadline, FaultPlan, SimulatedCrash, inject
+    from ..serving import (
+        EngineOverloadedError,
+        ModelRegistry,
+        PredictionEngine,
+        PublishRejectedError,
+    )
+    from ..store import ModelStore, RecoveryManager
+
+    rng = np.random.default_rng(seed)
+    batch_sizes = tuple(int(b) for b in batch_sizes)
+    if not batch_sizes or any(b <= 0 for b in batch_sizes):
+        raise ValueError(f"batch_sizes must be positive, got {batch_sizes}")
+    if not 1 <= crash_after_batches < len(batch_sizes):
+        raise ValueError(
+            f"crash_after_batches must be in [1, {len(batch_sizes) - 1}], "
+            f"got {crash_after_batches}"
+        )
+    if crash_failpoint not in ("store.write", "store.fsync"):
+        raise ValueError(
+            "crash_failpoint must be 'store.write' or 'store.fsync', got "
+            f"{crash_failpoint!r}"
+        )
+    if max_queue_depth < 1:
+        raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+    name = metric if model_name is None else model_name
+
+    problem = FusionProblem(testbench, metric)
+    alpha_early = problem.fit_early_model(early_samples, rng)
+    aligned = problem.align_early_coefficients(alpha_early)
+    missing = problem.missing_indices()
+    basis = problem.late_basis
+
+    pool = simulate_dataset(
+        testbench, Stage.POST_LAYOUT, sum(batch_sizes), rng, (metric,)
+    )
+    test = simulate_dataset(testbench, Stage.POST_LAYOUT, test_size, rng, (metric,))
+    target = pool.metric(metric)
+
+    counters_before = runtime_metrics.counters()
+    seq_kwargs: Dict[str, object] = {"prior_kind": "select"}
+    seq_kwargs.update(sequential_kwargs or {})
+    eng_kwargs: Dict[str, object] = {"max_queue_depth": max_queue_depth}
+    eng_kwargs.update(engine_kwargs or {})
+
+    def make_fitter() -> "SequentialBmf":
+        return SequentialBmf(basis, aligned, missing_indices=missing, **seq_kwargs)
+
+    refit_outcomes = []
+    answered = failed = 0
+    publish_attempts = publish_rejections = 0
+
+    def serve_batch(engine, registry) -> None:
+        nonlocal answered, failed
+        rows = rng.integers(0, test.x.shape[0], size=requests_per_batch)
+        if name not in registry:
+            return
+        for row in rows:
+            # Sequential awaits keep counter values timing-independent.
+            future = engine.submit(name, test.x[row])
+            try:
+                future.result(timeout=request_timeout_seconds)
+            except Exception:
+                failed += 1
+            else:
+                answered += 1
+
+    # ----- Phase 1+2: pre-crash stream, then the killed publish ---------
+    store = ModelStore(store_root)
+    sequential = make_fitter()
+    registry = ModelRegistry(store=store)
+    durable_snapshot: Dict[str, object] = registry.snapshot()
+    crash_observed = False
+    with PredictionEngine(registry, **eng_kwargs) as engine:
+        offset = 0
+        for index in range(crash_after_batches):
+            batch = batch_sizes[index]
+            outcome = sequential.try_add_samples(
+                pool.x[offset : offset + batch], target[offset : offset + batch]
+            )
+            offset += batch
+            refit_outcomes.append(outcome)
+            if outcome.ok:
+                publish_attempts += 1
+                try:
+                    registry.publish(name, sequential)
+                except PublishRejectedError:
+                    publish_rejections += 1
+                else:
+                    durable_snapshot = registry.snapshot()
+            serve_batch(engine, registry)
+
+        crash_batch = batch_sizes[crash_after_batches]
+        outcome = sequential.try_add_samples(
+            pool.x[offset : offset + crash_batch],
+            target[offset : offset + crash_batch],
+        )
+        refit_outcomes.append(outcome)
+        if outcome.ok:
+            publish_attempts += 1
+            kill = FaultPlan.fail_once(crash_failpoint, error=SimulatedCrash)
+            try:
+                with inject(kill):
+                    registry.publish(name, sequential)
+            except SimulatedCrash:
+                crash_observed = True
+            else:  # plan did not fire (publish skipped earlier) -- still durable
+                durable_snapshot = registry.snapshot()
+    # The process is now "dead": drop every live object.  Only the store
+    # directory and the (host-side) random stream survive.
+    records_visible = len(store.record_paths())
+    del sequential, registry, engine, store
+
+    # ----- Phase 3: recovery from the store directory alone -------------
+    store = ModelStore(store_root)
+    recovery = RecoveryManager(store).recover(
+        registry=ModelRegistry(store=store)
+    )
+    registry = recovery.registry
+    recovered_identical = registry.snapshot() == durable_snapshot
+
+    sequential = make_fitter()
+    state = recovery.sequential_state(name)
+    rearmed = state is not None
+    if rearmed:
+        sequential.rearm(state)
+
+    # ----- Phase 4: replay the crashed batch + the rest of the stream ---
+    with PredictionEngine(registry, **eng_kwargs) as engine:
+        offset = sum(batch_sizes[:crash_after_batches])
+        for batch in batch_sizes[crash_after_batches:]:
+            outcome = sequential.try_add_samples(
+                pool.x[offset : offset + batch], target[offset : offset + batch]
+            )
+            offset += batch
+            refit_outcomes.append(outcome)
+            if outcome.ok:
+                publish_attempts += 1
+                try:
+                    registry.publish(name, sequential)
+                except PublishRejectedError:
+                    publish_rejections += 1
+            serve_batch(engine, registry)
+
+        # ----- Phase 5: 2x-bound saturation burst, dispatcher paused ----
+        engine.pause_dispatch()
+        stale = Deadline.after(1e-9)
+        while not stale.expired:  # nanosecond deadline: spin, do not sleep
+            pass
+        staged = []
+        for _ in range(max_queue_depth):
+            staged.append(engine.submit(name, test.x[0], deadline=stale))
+        live = []
+        burst_rejected = 0
+        for _ in range(2 * max_queue_depth):
+            try:
+                live.append(
+                    engine.submit(
+                        name, test.x[0], timeout=request_timeout_seconds
+                    )
+                )
+            except EngineOverloadedError:
+                burst_rejected += 1
+        engine.resume_dispatch()
+        burst_answered = 0
+        for future in live:
+            try:
+                future.result(timeout=request_timeout_seconds)
+            except Exception:
+                continue  # unanswered: absent from burst_answered
+            burst_answered += 1
+        for future in staged:  # shed futures resolve with DeadlineExpiredError
+            future.exception(timeout=request_timeout_seconds)
+        engine_stats = engine.stats()
+
+    counter_delta = counters_delta(counters_before, runtime_metrics.counters())
+    return CrashRecoveryReport(
+        metric=metric,
+        seed=int(seed),
+        batch_sizes=batch_sizes,
+        crash_after_batches=crash_after_batches,
+        crash_failpoint=crash_failpoint,
+        crash_observed=crash_observed,
+        records_visible_after_crash=records_visible,
+        recovered_versions=recovery.restored,
+        quarantined_records=len(recovery.quarantined),
+        recovered_bitwise_identical=recovered_identical,
+        rearmed=rearmed,
+        refit_outcomes=refit_outcomes,
+        answered_requests=answered,
+        failed_requests=failed,
+        publish_attempts=publish_attempts,
+        publish_rejections=publish_rejections,
+        versions_published=len(registry.versions(name)),
+        queue_bound=max_queue_depth,
+        burst_staged_expired=len(staged),
+        burst_live_submitted=len(live),
+        burst_rejected=burst_rejected,
+        burst_answered=burst_answered,
+        peak_queue_depth=int(engine_stats["peak_queue_depth"]),
+        shed_expired=int(engine_stats["shed_expired"]),
+        shed_rejected=int(engine_stats["shed_rejected"]),
+        fault_counters={
+            k: v for k, v in counter_delta.items() if k.startswith("faults.")
+        },
+        serving_counters={
+            k: v for k, v in counter_delta.items() if k.startswith("serving.")
+        },
+        store_counters={
+            k: v for k, v in counter_delta.items() if k.startswith("store.")
         },
         engine_stats=engine_stats,
     )

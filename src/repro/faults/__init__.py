@@ -21,6 +21,7 @@ from .failpoints import (
     FaultPlan,
     FaultSession,
     InjectedFault,
+    SimulatedCrash,
     failpoint,
     inject,
     known_failpoints,
@@ -38,6 +39,7 @@ __all__ = [
     "FaultSession",
     "InjectedFault",
     "RetryPolicy",
+    "SimulatedCrash",
     "failpoint",
     "inject",
     "known_failpoints",

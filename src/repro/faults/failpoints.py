@@ -57,6 +57,7 @@ __all__ = [
     "FaultPlan",
     "FaultSession",
     "InjectedFault",
+    "SimulatedCrash",
     "failpoint",
     "inject",
     "known_failpoints",
@@ -65,6 +66,20 @@ __all__ = [
 
 class InjectedFault(Exception):
     """Default error raised by a triggered fault plan."""
+
+
+class SimulatedCrash(Exception):
+    """Process death injected at a failpoint (crash-at-failpoint mode).
+
+    Arm a plan with ``error=SimulatedCrash`` to model the process dying at
+    that exact point.  Unlike :class:`InjectedFault`, library code never
+    absorbs or retries this exception: handlers perform at most
+    *crash-consistent* cleanup (e.g. :class:`repro.store.ModelStore`
+    leaving a torn record on disk, exactly as a real power loss would) and
+    re-raise, so the crash unwinds all the way to the harness -- which then
+    discards every in-memory object, as a dead process implicitly does, and
+    exercises recovery from durable state alone.
+    """
 
 
 ErrorSpec = Union[BaseException, Type[BaseException], Callable[[], BaseException]]

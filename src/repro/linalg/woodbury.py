@@ -313,6 +313,38 @@ class CholeskyFactor:
         except np.linalg.LinAlgError as exc:
             raise SolverError(f"matrix is not positive definite: {exc}") from exc
 
+    @classmethod
+    def from_lower(cls, lower: np.ndarray) -> "CholeskyFactor":
+        """Rehydrate a factor from a previously exported ``lower`` triangle.
+
+        This is the warm-restart entry point: a crash-safe store persists
+        ``factor.lower`` alongside a published model, and recovery re-arms
+        the sequential fitter with the *exact* factor it crashed with -- no
+        re-factorization, so the first post-restart refit border-updates the
+        restored ``L`` bitwise-identically to an uncrashed process.  The
+        strictly-upper triangle of ``lower`` is discarded (canonical zeros);
+        the lower part is preserved bit for bit.
+
+        Raises :class:`~repro.linalg.SolverError` for a non-positive
+        diagonal -- a factor that could not have come from an SPD matrix.
+        """
+        lower = np.asarray(lower, dtype=float)
+        if lower.ndim != 2 or lower.shape[0] != lower.shape[1]:
+            raise ValueError(
+                f"expected a square lower factor, got shape {lower.shape}"
+            )
+        diagonal = np.diagonal(lower)
+        if lower.size and (
+            not np.all(np.isfinite(lower)) or np.any(diagonal <= 0)
+        ):
+            raise SolverError(
+                "lower factor has a non-finite entry or non-positive "
+                "diagonal; not a valid Cholesky factor"
+            )
+        factor = object.__new__(cls)
+        factor._lower = np.tril(lower)
+        return factor
+
     @property
     def size(self) -> int:
         """Current dimension ``K`` of the factored matrix."""

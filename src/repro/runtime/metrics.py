@@ -23,6 +23,7 @@ from typing import Dict, Iterator
 __all__ = [
     "TimerStat",
     "MetricsRegistry",
+    "counters_delta",
     "metrics",
     "snapshot_delta",
     "format_snapshot",
@@ -116,6 +117,24 @@ def snapshot_delta(
 ) -> Dict[str, float]:
     """What changed between two snapshots (zero-change keys dropped)."""
     out: Dict[str, float] = {}
+    for name, value in after.items():
+        change = value - before.get(name, 0)
+        if change:
+            out[name] = change
+    return out
+
+
+def counters_delta(
+    before: Dict[str, int], after: Dict[str, int]
+) -> Dict[str, int]:
+    """Integer counter changes between two :meth:`MetricsRegistry.counters`
+    views (zero-change keys dropped).
+
+    The integer twin of :func:`snapshot_delta`: because the inputs carry
+    no timers, the result is bitwise comparable across runs -- this is
+    what the chaos runners attach to their deterministic signatures.
+    """
+    out: Dict[str, int] = {}
     for name, value in after.items():
         change = value - before.get(name, 0)
         if change:

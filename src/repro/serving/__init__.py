@@ -1,12 +1,20 @@
 """Streaming model-serving layer: versioned registry + micro-batching engine.
 
-See ``docs/serving.md`` for the architecture and metrics reference.
+See ``docs/serving.md`` for the architecture and metrics reference, and
+``docs/store.md`` for crash-safe persistence (:class:`ModelRegistry`'s
+``store=`` parameter) and warm-restart recovery.
 """
 
-from .engine import EngineStoppedError, ModelEvaluationError, PredictionEngine
+from .engine import (
+    EngineOverloadedError,
+    EngineStoppedError,
+    ModelEvaluationError,
+    PredictionEngine,
+)
 from .registry import ModelRegistry, ModelVersion, PublishRejectedError, model_key
 
 __all__ = [
+    "EngineOverloadedError",
     "EngineStoppedError",
     "ModelEvaluationError",
     "ModelRegistry",

@@ -26,12 +26,24 @@ version stale, counted as ``serving.degraded``) instead of failing the
 request.  A version whose circuit opens is quarantined via
 :meth:`~repro.serving.registry.ModelRegistry.mark_bad`.
 
+Overload protection (``docs/store.md`` has the full metrics table): the
+request queue is **bounded** (``max_queue_depth``).  When a submit finds
+it full, admission control first sheds the *oldest already-expired*
+queued requests -- they could never produce a useful answer, so they
+make room for live work (``serving.shed.expired``); if the queue is
+still full the new request is rejected immediately with
+:class:`EngineOverloadedError` (``serving.shed.rejected``) instead of
+growing an unbounded backlog.  The queue depth therefore never exceeds
+the configured bound, and :meth:`PredictionEngine.stats` reports the
+live and peak depths.
+
 Throughput and latency are reported through :mod:`repro.runtime.metrics`:
 ``serving.requests`` / ``serving.batches`` counters, the accumulated
 ``serving.batch_size`` (mean batch size = ``batch_size / batches``), the
 ``serving.evaluate`` timer, plus the resilience counters
-(``serving.expired`` / ``retries`` / ``degraded`` / ``failed`` and the
-``serving.breaker.*`` transitions); per-request wall-clock lives in
+(``serving.expired`` / ``retries`` / ``degraded`` / ``failed``, the
+``serving.shed.*`` load-shedding counters, and the ``serving.breaker.*``
+transitions); per-request wall-clock lives in
 :meth:`PredictionEngine.stats`.
 """
 
@@ -40,9 +52,10 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +71,7 @@ from ..runtime.metrics import metrics
 from .registry import ModelRegistry, ModelVersion
 
 __all__ = [
+    "EngineOverloadedError",
     "EngineStoppedError",
     "ModelEvaluationError",
     "PredictionEngine",
@@ -70,6 +84,16 @@ _FP_EVALUATE = failpoint("engine.evaluate")
 
 class EngineStoppedError(RuntimeError):
     """Raised when submitting to an engine that is not running."""
+
+
+class EngineOverloadedError(RuntimeError):
+    """A submit was rejected because the bounded request queue is full.
+
+    Raised *immediately* at the submission site (no future involved), so
+    an overloaded caller gets backpressure in microseconds instead of a
+    deadline expiry seconds later.  Shedding already-expired queued
+    requests is always tried first; see ``serving.shed.*``.
+    """
 
 
 class ModelEvaluationError(RuntimeError):
@@ -94,6 +118,105 @@ _STOP = object()
 #: Sentinel meaning "construct a fresh default CircuitBreaker per engine"
 #: (a shared default instance would couple unrelated engines' states).
 _DEFAULT_BREAKER = object()
+
+
+class _BoundedRequestQueue:
+    """FIFO of :class:`_Request` s with a hard depth bound.
+
+    Admission control lives here so depth accounting, shedding, and the
+    bound check happen under one condition variable: :meth:`offer`
+    either admits the request (possibly after evicting oldest-expired
+    entries to make room) or reports rejection -- the depth can never
+    exceed the bound, which :attr:`peak_depth` records for the tests.
+    Control sentinels (stop markers) bypass the bound; they must always
+    be deliverable.  :meth:`pause` parks consumers without blocking
+    producers, so tests can stage a deterministic backlog.
+    """
+
+    def __init__(self, bound: Optional[int]):
+        self._bound = bound
+        self._cond = threading.Condition()
+        self._items: "deque" = deque()
+        self._depth = 0  # _Request entries only; sentinels not counted
+        self._peak = 0
+        self._paused = False
+
+    def offer(self, request: _Request) -> Tuple[bool, List[_Request]]:
+        """Try to admit ``request``; returns ``(admitted, shed)``.
+
+        ``shed`` lists expired requests evicted (oldest first) to make
+        room; the caller owns failing their futures.  The shed sweep
+        runs even when the newcomer is ultimately rejected, so a full
+        queue of dead requests never starves live traffic.
+        """
+        with self._cond:
+            shed: List[_Request] = []
+            if self._bound is not None and self._depth >= self._bound:
+                need = self._depth - self._bound + 1
+                retained: "deque" = deque()
+                for item in self._items:
+                    if (
+                        len(shed) < need
+                        and isinstance(item, _Request)
+                        and item.deadline is not None
+                        and item.deadline.expired
+                    ):
+                        shed.append(item)
+                    else:
+                        retained.append(item)
+                self._items = retained
+                self._depth -= len(shed)
+            if self._bound is not None and self._depth >= self._bound:
+                return False, shed
+            self._items.append(request)
+            self._depth += 1
+            if self._depth > self._peak:
+                self._peak = self._depth
+            self._cond.notify()
+            return True, shed
+
+    def put_sentinel(self, sentinel: object) -> None:
+        with self._cond:
+            self._items.append(sentinel)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None):
+        """Pop the oldest item; raises ``queue.Empty`` on timeout/pause."""
+        with self._cond:
+            ready = self._cond.wait_for(
+                lambda: self._items and not self._paused, timeout
+            )
+            if not ready:
+                raise queue.Empty
+            item = self._items.popleft()
+            if isinstance(item, _Request):
+                self._depth -= 1
+            return item
+
+    def get_nowait(self):
+        return self.get(timeout=0)
+
+    def pause(self) -> None:
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    @property
+    def paused(self) -> bool:
+        with self._cond:
+            return self._paused
+
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth
+
+    def peak_depth(self) -> int:
+        with self._cond:
+            return self._peak
 
 
 class PredictionEngine:
@@ -125,6 +248,11 @@ class PredictionEngine:
     default_timeout_seconds:
         Deadline attached to requests submitted without one (``None`` =
         no implicit deadline).
+    max_queue_depth:
+        Hard bound on queued (not yet dispatched) requests.  A full
+        queue sheds its oldest expired entries first and then rejects
+        new submits with :class:`EngineOverloadedError`; ``None``
+        disables the bound (pre-overload-protection behavior).
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -139,6 +267,7 @@ class PredictionEngine:
         breaker: Optional[CircuitBreaker] = _DEFAULT_BREAKER,  # type: ignore[assignment]
         serve_last_good: bool = True,
         default_timeout_seconds: Optional[float] = None,
+        max_queue_depth: Optional[int] = 1024,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -152,6 +281,10 @@ class PredictionEngine:
             raise ValueError(
                 "default_timeout_seconds must be > 0 or None, got "
                 f"{default_timeout_seconds}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
             )
         self.registry = registry
         self.max_batch_size = int(max_batch_size)
@@ -169,7 +302,10 @@ class PredictionEngine:
         self.default_timeout_seconds = default_timeout_seconds
         self._retry_rng = retry_policy.make_rng()
         self._retry_rng_lock = threading.Lock()
-        self._queue: "queue.Queue" = queue.Queue()
+        self.max_queue_depth = (
+            None if max_queue_depth is None else int(max_queue_depth)
+        )
+        self._queue = _BoundedRequestQueue(self.max_queue_depth)
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._running = False
@@ -185,6 +321,8 @@ class PredictionEngine:
         self._degraded = 0
         self._failed = 0
         self._max_version_lag = 0
+        self._shed_expired = 0
+        self._shed_rejected = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -221,7 +359,9 @@ class PredictionEngine:
             pool = self._pool
             self._dispatcher = None
             self._pool = None
-        self._queue.put(_STOP)
+        self._queue.put_sentinel(_STOP)
+        # A paused dispatcher would never see the stop sentinel.
+        self._queue.resume()
         if dispatcher is not None:
             dispatcher.join()
         self._drain_queue_failing_fast()
@@ -278,7 +418,9 @@ class PredictionEngine:
         workers enforce -- an expired request is dropped *before* any
         evaluation work and its future fails with
         :class:`~repro.faults.DeadlineExpiredError`.  Raises
-        :class:`EngineStoppedError` if the engine is not running.
+        :class:`EngineStoppedError` if the engine is not running and
+        :class:`EngineOverloadedError` if the bounded queue is full even
+        after shedding its oldest expired entries.
         """
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
@@ -300,11 +442,21 @@ class PredictionEngine:
             enqueued_at=time.perf_counter(),
             deadline=deadline,
         )
+        admitted, shed = self._queue.offer(request)
+        for stale in shed:
+            self._shed(stale)
+        if not admitted:
+            metrics.increment("serving.shed.rejected")
+            with self._stats_lock:
+                self._shed_rejected += 1
+            raise EngineOverloadedError(
+                f"request queue full ({self.max_queue_depth} deep); "
+                f"request for {name!r} rejected"
+            )
         metrics.increment("serving.requests")
         with self._stats_lock:
             self._requests += 1
             self._rows += x.shape[0]
-        self._queue.put(request)
         return request.future
 
     def predict(
@@ -356,6 +508,36 @@ class PredictionEngine:
                     f"request for {request.name!r} expired before evaluation"
                 )
             )
+
+    def _shed(self, request: _Request) -> None:
+        """Fail a queued request evicted by overload admission control."""
+        metrics.increment("serving.shed.expired")
+        with self._stats_lock:
+            self._shed_expired += 1
+        if not request.future.done():
+            request.future.set_exception(
+                DeadlineExpiredError(
+                    f"request for {request.name!r} expired in queue and was "
+                    "shed under overload"
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch gating (deterministic overload tests; see docs/store.md)
+    # ------------------------------------------------------------------
+    def pause_dispatch(self) -> None:
+        """Stop the dispatcher from picking up new batches.
+
+        Submissions keep queueing (and shedding) normally, so a test can
+        stage an exact backlog and observe admission control without
+        racing the dispatcher.  Batches already picked up still finish.
+        Idempotent; :meth:`stop` implies :meth:`resume_dispatch`.
+        """
+        self._queue.pause()
+
+    def resume_dispatch(self) -> None:
+        """Re-enable batch pickup after :meth:`pause_dispatch`."""
+        self._queue.resume()
 
     def _flush(self, batch: List[_Request]) -> None:
         groups: Dict[str, List[_Request]] = {}
@@ -516,10 +698,17 @@ class PredictionEngine:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Locked snapshot of engine-local throughput/resilience counters.
+        """One point-in-time-consistent snapshot of the engine's state.
 
         Numeric keys plus ``"breaker"``, a nested per-model-key state map
-        (empty when the breaker is disabled).
+        (empty when the breaker is disabled).  Everything -- counters,
+        queue depths, and the breaker snapshot -- is gathered inside a
+        single ``_stats_lock`` critical section, so the returned mapping
+        is internally consistent: no counter in it can reflect an event
+        that another key has not seen yet.  (Previously the breaker was
+        snapshotted *after* the lock was released, so a failure landing
+        in that window produced a stats dict whose breaker state was
+        newer than its ``failed`` count.)
         """
         with self._stats_lock:
             requests = self._requests
@@ -538,6 +727,11 @@ class PredictionEngine:
                 "degraded": self._degraded,
                 "failed": self._failed,
                 "max_version_lag": self._max_version_lag,
+                "shed_expired": self._shed_expired,
+                "shed_rejected": self._shed_rejected,
+                "queue_depth": self._queue.depth(),
+                "peak_queue_depth": self._queue.peak_depth(),
+                "queue_bound": self.max_queue_depth,
+                "breaker": self.breaker.snapshot() if self.breaker else {},
             }
-        out["breaker"] = self.breaker.snapshot() if self.breaker else {}
         return out

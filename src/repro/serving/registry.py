@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from ..bmf.priors import GaussianCoefficientPrior
-from ..faults import failpoint
+from ..faults import SimulatedCrash, failpoint
 from ..regression.base import BasisRegressor, FittedModel
 from ..runtime.cache import fingerprint_array
 from ..runtime.metrics import metrics
@@ -110,8 +110,16 @@ class ModelVersion:
     published_at: float
 
 
-def _freeze_model(model) -> Tuple[FittedModel, str]:
-    """Snapshot any fitted-model-like object into (frozen model, key)."""
+def _freeze_model(
+    model,
+) -> Tuple[FittedModel, str, Optional[GaussianCoefficientPrior], Optional[float]]:
+    """Snapshot a fitted-model-like object into (frozen, key, prior, eta).
+
+    The prior and eta are surfaced (not just folded into the key) so a
+    store-backed registry can persist the full fitting context alongside
+    the coefficients; they are ``None`` for plain :class:`FittedModel`
+    publishes, which carry no selection metadata.
+    """
     prior = None
     eta = None
     if isinstance(model, FittedModel):
@@ -136,7 +144,7 @@ def _freeze_model(model) -> Tuple[FittedModel, str]:
     # FittedModel.__init__ re-wraps via np.asarray (no copy for float64),
     # so the read-only flag survives; re-assert to be safe.
     frozen.coefficients.flags.writeable = False
-    return frozen, model_key(fitted.basis, prior, eta)
+    return frozen, model_key(fitted.basis, prior, eta), prior, eta
 
 
 class ModelRegistry:
@@ -159,6 +167,20 @@ class ModelRegistry:
         When :meth:`mark_bad` quarantines the *active* version, step the
         active pointer back to the newest good retained version so readers
         degrade to last-good instead of a known-bad model.
+    store:
+        Optional crash-safe store (:class:`repro.store.ModelStore` shaped:
+        an ``append_model(...)`` method).  When set, every publish is
+        persisted **write-ahead**: the record reaches disk before the
+        in-memory active pointer moves, so a crash mid-publish can lose an
+        unannounced record but never announce an unpersisted one.  A
+        :class:`repro.store.RecoveryManager` rebuilds the registry from
+        the store after a restart.  Quarantine state (:meth:`mark_bad`)
+        is in-memory only and resets on recovery.
+    durability:
+        ``"required"`` (default): a store failure rejects the publish
+        (:class:`PublishRejectedError`, active version untouched).
+        ``"best-effort"``: the publish proceeds in memory and the miss is
+        counted as ``serving.publish_persist_skipped``.
     """
 
     def __init__(
@@ -166,15 +188,27 @@ class ModelRegistry:
         max_versions: int = 8,
         validate: bool = True,
         serve_last_good: bool = True,
+        store=None,
+        durability: str = "required",
     ):
         if max_versions < 2:
             raise ValueError(
                 f"max_versions must be >= 2 to allow rollback, got {max_versions}"
             )
+        if durability not in ("required", "best-effort"):
+            raise ValueError(
+                f"durability must be 'required' or 'best-effort', got "
+                f"{durability!r}"
+            )
         self.max_versions = int(max_versions)
         self.validate = bool(validate)
         self.serve_last_good = bool(serve_last_good)
+        self.store = store
+        self.durability = durability
         self._lock = threading.Lock()
+        # Held across version-allocate -> persist -> commit so concurrent
+        # publishes reach the store in version order; readers never take it.
+        self._publish_lock = threading.Lock()
         self._history: Dict[str, List[ModelVersion]] = {}
         self._active: Dict[str, int] = {}  # index into the history list
         self._next_version: Dict[str, int] = {}
@@ -194,10 +228,15 @@ class ModelRegistry:
         current.
 
         Raises :class:`PublishRejectedError` -- with the active version
-        untouched -- when the snapshot fails validation or the
-        ``registry.publish`` failpoint injects a fault.
+        untouched -- when the snapshot fails validation, the
+        ``registry.publish`` failpoint injects a fault, or (with a store
+        in ``"required"`` durability) the record cannot be persisted.  A
+        :class:`~repro.faults.SimulatedCrash` raised by the store
+        propagates untouched with the in-memory registry unchanged --
+        the write-ahead ordering means the crash may leave a durable
+        record the registry never announced, which recovery admits.
         """
-        frozen, derived_key = _freeze_model(model)
+        frozen, derived_key, prior, eta = _freeze_model(model)
         record_key = derived_key if key is None else str(key)
         try:
             _FP_PUBLISH.hit()
@@ -212,26 +251,151 @@ class ModelRegistry:
                 f"publish of {name!r} rejected: snapshot has non-finite "
                 "coefficients"
             )
-        with self._lock:
-            history = self._history.setdefault(name, [])
-            version = self._next_version.get(name, 0) + 1
-            self._next_version[name] = version
+        with self._publish_lock:
+            with self._lock:
+                version = self._next_version.get(name, 0) + 1
+                self._next_version[name] = version
+            published_at = time.time()
+            if self.store is not None:
+                self._persist(
+                    name, version, record_key, published_at, frozen, prior,
+                    eta, model,
+                )
             record = ModelVersion(
                 name=name,
                 version=version,
                 key=record_key,
                 model=frozen,
-                published_at=time.time(),
+                published_at=published_at,
             )
-            history.append(record)
-            self._active[name] = len(history) - 1
-            # Prune the oldest entries, keeping the active one reachable.
-            while len(history) > self.max_versions and self._active[name] > 0:
-                dropped = history.pop(0)
-                self._active[name] -= 1
-                self._bad.get(name, set()).discard(dropped.version)
+            with self._lock:
+                history = self._history.setdefault(name, [])
+                history.append(record)
+                self._active[name] = len(history) - 1
+                self._prune_locked(name, history)
         metrics.increment("serving.publishes")
         return record
+
+    def _persist(
+        self, name, version, key, published_at, frozen, prior, eta, source
+    ) -> None:
+        """Write-ahead persist of one publish; see the publish docstring."""
+        state = None
+        if hasattr(source, "export_state"):  # SequentialBmf duck type
+            state = source.export_state()
+        try:
+            self.store.append_model(
+                name,
+                version,
+                key,
+                published_at,
+                frozen,
+                prior=prior,
+                eta=eta,
+                sequential_state=state,
+            )
+        except SimulatedCrash:
+            raise
+        except Exception as exc:
+            if self.durability == "required":
+                metrics.increment("serving.rejected_publishes")
+                raise PublishRejectedError(
+                    f"publish of {name!r} v{version} could not be made "
+                    f"durable: {exc}"
+                ) from exc
+            metrics.increment("serving.publish_persist_skipped")
+
+    def _prune_locked(self, name: str, history: List[ModelVersion]) -> None:
+        """Drop the oldest entries, keeping the active one reachable."""
+        while len(history) > self.max_versions and self._active[name] > 0:
+            dropped = history.pop(0)
+            self._active[name] -= 1
+            self._bad.get(name, set()).discard(dropped.version)
+
+    def restore(
+        self,
+        name: str,
+        version: int,
+        key: str,
+        published_at: float,
+        model,
+    ) -> ModelVersion:
+        """Re-admit a recovered version with its original identity.
+
+        Used by :class:`repro.store.RecoveryManager` to rebuild the
+        registry after a crash: unlike :meth:`publish`, the version
+        number, key, and timestamp come from the durable record (so the
+        rebuilt registry is bitwise comparable to the pre-crash one via
+        :meth:`snapshot`) and nothing is written back to the store.
+        Versions must be restored in increasing order per name; the
+        restored version becomes active and history pruning applies
+        exactly as at publish time.  Validation still rejects non-finite
+        coefficients (:class:`PublishRejectedError`), so a corrupt-but-
+        CRC-valid record can never be served.
+        """
+        frozen, _, _, _ = _freeze_model(model)
+        if self.validate and not np.all(np.isfinite(frozen.coefficients)):
+            metrics.increment("serving.rejected_publishes")
+            raise PublishRejectedError(
+                f"restore of {name!r} v{version} rejected: snapshot has "
+                "non-finite coefficients"
+            )
+        version = int(version)
+        with self._publish_lock:
+            with self._lock:
+                history = self._history.setdefault(name, [])
+                if history and history[-1].version >= version:
+                    raise ValueError(
+                        f"restore of {name!r} v{version} out of order: "
+                        f"newest retained is v{history[-1].version}"
+                    )
+                record = ModelVersion(
+                    name=name,
+                    version=version,
+                    key=str(key),
+                    model=frozen,
+                    published_at=float(published_at),
+                )
+                history.append(record)
+                self._active[name] = len(history) - 1
+                self._next_version[name] = max(
+                    self._next_version.get(name, 0), version
+                )
+                self._prune_locked(name, history)
+        metrics.increment("serving.restored_versions")
+        return record
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic, bitwise-comparable digest of the registry state.
+
+        Per name: the active version number, the quarantined version set,
+        and for every retained version its number, key, timestamp, basis
+        cache token, and the coefficient buffer (dtype, shape, raw
+        bytes).  Two registries serving identical models compare equal
+        with ``==``; the crash-recovery suite uses this to prove a
+        recovered registry is bit-for-bit the pre-crash one.
+        """
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for name in sorted(self._history):
+                history = self._history[name]
+                out[name] = {
+                    "active_version": history[self._active[name]].version,
+                    "bad": tuple(sorted(self._bad.get(name, ()))),
+                    "versions": tuple(
+                        (
+                            record.version,
+                            record.key,
+                            record.published_at,
+                            record.model.basis.cache_token(),
+                            str(record.model.coefficients.dtype),
+                            record.model.coefficients.shape,
+                            record.model.coefficients.tobytes(),
+                        )
+                        for record in history
+                    ),
+                }
+            return out
 
     def current(self, name: str) -> ModelVersion:
         """The active version under ``name`` (raises ``KeyError`` if none)."""

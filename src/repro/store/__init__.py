@@ -1,0 +1,44 @@
+"""Crash-safe model persistence and warm-restart recovery.
+
+Three pieces (see ``docs/store.md``):
+
+* :mod:`~repro.store.format` -- the checksummed record codec
+  (:class:`ModelRecord`, a single CRC32-covered blob per published
+  version; any single flipped byte is detected);
+* :mod:`~repro.store.store` -- :class:`ModelStore`, atomic
+  write-temp -> fsync -> rename persistence with an append-only journal
+  and a quarantine directory, instrumented with ``store.*`` failpoints
+  for deterministic crash simulation;
+* :mod:`~repro.store.recovery` -- :class:`RecoveryManager`, which turns
+  a store directory back into a live
+  :class:`~repro.serving.ModelRegistry` and warm-restarts sequential
+  fitters from their persisted Cholesky factors.
+"""
+
+from .format import (
+    FORMAT_VERSION,
+    MAGIC,
+    CorruptRecordError,
+    ModelRecord,
+    decode_record,
+    encode_record,
+    record_crc,
+)
+from .recovery import RecoveryManager, RecoveryReport
+from .store import JournalEntry, ModelStore, StoreScan, StoreWriteError
+
+__all__ = [
+    "CorruptRecordError",
+    "FORMAT_VERSION",
+    "JournalEntry",
+    "MAGIC",
+    "ModelRecord",
+    "ModelStore",
+    "RecoveryManager",
+    "RecoveryReport",
+    "StoreScan",
+    "StoreWriteError",
+    "decode_record",
+    "encode_record",
+    "record_crc",
+]

@@ -1,0 +1,149 @@
+"""Warm-restart recovery: rebuild the serving state from the model store.
+
+After a crash (or an ordinary restart) the serving process owns nothing
+but the store directory.  :class:`RecoveryManager` turns that directory
+back into a live :class:`~repro.serving.ModelRegistry`:
+
+1. **scan** -- every committed record is read and CRC-validated; corrupt
+   or torn records (a lost-fsync crash can rename a half-written file
+   into place) are moved to ``quarantine/`` and counted as
+   ``store.corrupt_quarantined`` -- they are never served;
+2. **restore** -- valid records are re-admitted in ``(name, version)``
+   order with their original version numbers, keys, and timestamps via
+   :meth:`~repro.serving.ModelRegistry.restore`, so the rebuilt registry
+   is *bitwise identical* (per :meth:`~repro.serving.ModelRegistry.snapshot`)
+   to the pre-crash registry over the records that reached disk;
+3. **re-arm** -- the newest record of a name that carries sequential
+   fitter state (samples + dual Cholesky factor) can warm-restart a
+   fresh :class:`~repro.bmf.SequentialBmf` through
+   :meth:`RecoveryReport.sequential_state`, so streaming fits resume
+   border-updating instead of refitting from scratch.
+
+The journal is an audit log, not the source of truth: a valid record the
+journal does not mention (crash between the rename commit point and the
+journal append) is still recovered, and a journal entry whose record file
+is missing (crash before the rename) is reported, not fabricated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..bmf.sequential import SequentialFitterState
+from ..regression.base import FittedModel
+from ..runtime.metrics import metrics
+from ..serving.registry import ModelRegistry, PublishRejectedError
+from .format import ModelRecord
+from .store import JournalEntry, ModelStore
+
+__all__ = ["RecoveryManager", "RecoveryReport"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :meth:`RecoveryManager.recover` pass found and rebuilt."""
+
+    #: The rebuilt (or caller-supplied) registry, ready to serve.
+    registry: ModelRegistry
+    #: ``(name, version)`` of every record re-admitted, in restore order.
+    restored: Tuple[Tuple[str, int], ...]
+    #: ``(name, version, reason)`` for CRC-valid records the registry
+    #: refused (e.g. non-finite coefficients); quarantined, never served.
+    rejected: Tuple[Tuple[str, int, str], ...]
+    #: Final quarantine paths of corrupt, torn, or rejected records.
+    quarantined: Tuple[Path, ...]
+    #: Journal entries whose record never reached disk (crash pre-rename).
+    missing: Tuple[JournalEntry, ...]
+    #: Valid records the journal did not mention (crash post-rename).
+    unjournaled: Tuple[Tuple[str, int], ...]
+    #: Trailing journal lines dropped as torn.
+    torn_journal_lines: int
+    #: Newest restored record per name (the basis for warm restarts).
+    latest: Mapping[str, ModelRecord] = field(default_factory=dict)
+
+    def sequential_state(self, name: str) -> Optional[SequentialFitterState]:
+        """Warm-restart state for ``name``'s newest restored record.
+
+        Returns ``None`` when the name is unknown or its newest record
+        was published without sequential context (e.g. a plain
+        ``FittedModel`` publish).  Feed the result to
+        :meth:`repro.bmf.SequentialBmf.rearm` on a fresh fitter built
+        with the *same* configuration as the crashed one.
+        """
+        record = self.latest.get(name)
+        if record is None or record.train_x is None or record.train_f is None:
+            return None
+        return SequentialFitterState(
+            x=record.train_x,
+            f=record.train_f,
+            chol_lower=record.chol_lower,
+            chol_prior_index=record.chol_prior_index,
+        )
+
+
+class RecoveryManager:
+    """Rebuilds serving state from a :class:`~repro.store.ModelStore`."""
+
+    def __init__(self, store: ModelStore):
+        self.store = store
+
+    def recover(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        quarantine_corrupt: bool = True,
+    ) -> RecoveryReport:
+        """Scan the store and restore every valid record to a registry.
+
+        ``registry`` defaults to a fresh :class:`ModelRegistry` with
+        default configuration; pass one explicitly to control
+        ``max_versions`` / ``validate`` / ``serve_last_good`` (use the
+        same values as the crashed process for a bitwise-identical
+        rebuild) or to attach the store for continued write-ahead
+        publishing.  Corrupt records are quarantined when
+        ``quarantine_corrupt`` (the default), otherwise left in place
+        but still excluded from the registry.
+        """
+        if registry is None:
+            registry = ModelRegistry()
+        scan = self.store.scan(quarantine_corrupt=quarantine_corrupt)
+        restored = []
+        rejected = []
+        quarantined = list(scan.quarantined)
+        latest: Dict[str, ModelRecord] = {}
+        for record in scan.records:
+            model = FittedModel(record.basis(), record.coefficients)
+            try:
+                registry.restore(
+                    record.name,
+                    record.version,
+                    record.key,
+                    record.published_at,
+                    model,
+                )
+            except PublishRejectedError as exc:
+                rejected.append((record.name, record.version, str(exc)))
+                if quarantine_corrupt:
+                    path = self.store.records_dir / self.store.record_filename(
+                        record.name, record.version
+                    )
+                    if path.exists():
+                        quarantined.append(self.store.quarantine(path, str(exc)))
+                continue
+            restored.append((record.name, record.version))
+            latest[record.name] = record
+            metrics.increment("store.recovered_records")
+        return RecoveryReport(
+            registry=registry,
+            restored=tuple(restored),
+            rejected=tuple(rejected),
+            quarantined=tuple(quarantined),
+            missing=scan.missing,
+            unjournaled=tuple(
+                (record.name, record.version) for record in scan.unjournaled
+            ),
+            torn_journal_lines=scan.torn_journal_lines,
+            latest=MappingProxyType(latest),
+        )

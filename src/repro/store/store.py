@@ -1,0 +1,423 @@
+"""Crash-safe on-disk model store: atomic records plus an append-only journal.
+
+Layout under the store root::
+
+    root/
+      records/     one ``.rbmf`` blob per published version (atomic rename)
+      quarantine/  records that failed validation, moved aside with a reason
+      journal.log  append-only publish log, one checksummed line per record
+
+Durability protocol (the classic write-temp -> fsync -> rename dance):
+
+1. the encoded record is written to ``records/<file>.tmp``;
+2. the temp file is flushed and ``fsync``'d -- its bytes are durable;
+3. ``os.replace`` renames it over the final name -- the *commit point*:
+   a record is published iff the final name exists;
+4. the records directory is ``fsync``'d so the rename itself is durable;
+5. a journal line is appended (and ``fsync``'d) describing the record.
+
+A crash before step 3 leaves at most an invisible ``.tmp`` file; a crash
+after step 3 but before step 5 leaves a valid record the journal does not
+know about (recovery still admits it -- rename is the commit point, the
+journal is an audit log).  The dangerous window is a *lost fsync* (step 2
+skipped by a dying kernel): the rename can survive while the data pages
+do not, leaving a **torn** record.  The ``store.fsync`` failpoint armed
+with :class:`~repro.faults.SimulatedCrash` models exactly that worst
+case, deterministically: the store truncates the half-written file,
+renames it into place, and re-raises the crash -- recovery must then
+catch the damage by CRC and quarantine the record.
+
+Failpoints: ``store.write`` (mid-payload; a crash here abandons a
+half-written temp file), ``store.fsync`` (before the data fsync),
+``store.load`` (per record read).  All activity is reported through
+integer ``store.*`` counters in :mod:`repro.runtime.metrics`, so chaos
+signatures over them stay a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..faults import SimulatedCrash, failpoint
+from ..runtime.metrics import metrics
+from .format import CorruptRecordError, ModelRecord, decode_record, encode_record
+
+__all__ = [
+    "JournalEntry",
+    "ModelStore",
+    "StoreWriteError",
+    "StoreScan",
+]
+
+#: Fires mid-payload, after the first half of the record bytes are written;
+#: a :class:`~repro.faults.SimulatedCrash` here abandons the temp file.
+_FP_WRITE = failpoint("store.write")
+#: Fires just before the temp file's data fsync; a crash here is modeled as
+#: a lost fsync -- the rename lands but the tail pages do not (torn record).
+_FP_FSYNC = failpoint("store.fsync")
+#: Fires at the top of every record read; an injected error marks the
+#: record unreadable (recovery quarantines it).
+_FP_LOAD = failpoint("store.load")
+
+_JOURNAL_LINE = re.compile(r"^v1 (?P<crc>[0-9a-f]{8}) (?P<payload>\{.*\})$")
+
+
+class StoreWriteError(RuntimeError):
+    """A record could not be made durable (no partial state left behind)."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One checksummed publish line from the append-only journal."""
+
+    name: str
+    version: int
+    filename: str
+    record_crc: int
+
+
+@dataclass(frozen=True)
+class StoreScan:
+    """Outcome of one full store scan (see :meth:`ModelStore.scan`)."""
+
+    #: Valid records, sorted by ``(name, version)``.
+    records: Tuple[ModelRecord, ...]
+    #: Final resting paths of records quarantined during this scan.
+    quarantined: Tuple[Path, ...]
+    #: Journal entries whose record file is missing from ``records/``.
+    missing: Tuple[JournalEntry, ...]
+    #: Valid records the journal does not mention (crash between the
+    #: rename commit point and the journal append).
+    unjournaled: Tuple[ModelRecord, ...]
+    #: Trailing journal lines dropped as torn (bad per-line CRC / truncated).
+    torn_journal_lines: int
+
+
+def _slug(name: str) -> str:
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "model"
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=4).hexdigest()
+    return f"{safe[:48]}-{digest}"
+
+
+class ModelStore:
+    """Directory-backed store of published model records.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created, with subdirectories, when missing).
+    use_fsync:
+        Issue real ``os.fsync`` calls (temp file, directory, journal).
+        Disable only in tests that measure pure codec cost; the crash
+        guarantees obviously require it on.
+
+    Thread safety: appends and journal writes are serialized under one
+    lock; reads are lock-free (records are immutable once renamed in).
+    """
+
+    RECORD_SUFFIX = ".rbmf"
+
+    def __init__(self, root, use_fsync: bool = True):
+        self.root = Path(root)
+        self.records_dir = self.root / "records"
+        self.quarantine_dir = self.root / "quarantine"
+        self.journal_path = self.root / "journal.log"
+        self.use_fsync = bool(use_fsync)
+        self._lock = threading.Lock()
+        self.records_dir.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_filename(self, name: str, version: int) -> str:
+        """Deterministic record filename for ``(name, version)``."""
+        return f"{_slug(name)}-v{int(version):08d}{self.RECORD_SUFFIX}"
+
+    def append(self, record: ModelRecord) -> Path:
+        """Durably persist ``record``; returns the committed path.
+
+        Raises :class:`StoreWriteError` when the record could not be made
+        durable (temp state cleaned up, nothing visible to recovery) and
+        lets :class:`~repro.faults.SimulatedCrash` propagate untouched
+        after performing crash-consistent (possibly torn) on-disk effects.
+        """
+        blob = encode_record(record)
+        final = self.records_dir / self.record_filename(record.name, record.version)
+        tmp = final.with_suffix(final.suffix + ".tmp")
+        metrics.increment("store.writes")
+        with self._lock:
+            try:
+                self._write_atomic(tmp, final, blob)
+            except SimulatedCrash:
+                raise
+            except Exception as exc:
+                metrics.increment("store.write_failures")
+                tmp.unlink(missing_ok=True)
+                raise StoreWriteError(
+                    f"could not persist {record.name!r} v{record.version}: {exc}"
+                ) from exc
+            self._journal_append(record, final.name, blob)
+        return final
+
+    def _write_atomic(self, tmp: Path, final: Path, blob: bytes) -> None:
+        half = len(blob) // 2
+        crash: Optional[SimulatedCrash] = None
+        with open(tmp, "wb") as handle:
+            handle.write(blob[:half])
+            _FP_WRITE.hit()
+            handle.write(blob[half:])
+            handle.flush()
+            try:
+                _FP_FSYNC.hit()
+            except SimulatedCrash as exc:
+                # Lost-fsync crash: data pages past the first half never
+                # reach disk, but the rename below still can.  Truncate
+                # deterministically so recovery faces a torn record.
+                crash = exc
+                handle.truncate(half)
+                handle.flush()
+            else:
+                if self.use_fsync:
+                    os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._fsync_dir(self.records_dir)
+        if crash is not None:
+            metrics.increment("store.torn_writes")
+            raise crash
+
+    def _fsync_dir(self, directory: Path) -> None:
+        if not self.use_fsync:
+            return
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _journal_append(self, record: ModelRecord, filename: str, blob: bytes) -> None:
+        payload = json.dumps(
+            {
+                "name": record.name,
+                "version": record.version,
+                "file": filename,
+                "crc": zlib.crc32(blob[8:]) & 0xFFFFFFFF,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        line = f"v1 {zlib.crc32(payload.encode('utf-8')) & 0xFFFFFFFF:08x} {payload}\n"
+        try:
+            with open(self.journal_path, "ab") as handle:
+                handle.write(line.encode("utf-8"))
+                handle.flush()
+                if self.use_fsync:
+                    os.fsync(handle.fileno())
+        except OSError:
+            # The record itself is already committed (rename happened);
+            # a failed journal append only degrades the audit trail.
+            metrics.increment("store.journal_write_failures")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def record_paths(self) -> List[Path]:
+        """Committed record files, sorted by filename (temp files excluded)."""
+        return sorted(
+            path
+            for path in self.records_dir.iterdir()
+            if path.suffix == self.RECORD_SUFFIX
+        )
+
+    def read(self, path) -> ModelRecord:
+        """Read and validate one record file.
+
+        Raises :class:`~repro.store.CorruptRecordError` for unreadable or
+        damaged records (including injected ``store.load`` faults, which
+        model unreadable sectors); :class:`~repro.faults.SimulatedCrash`
+        propagates untouched.
+        """
+        path = Path(path)
+        metrics.increment("store.loads")
+        try:
+            _FP_LOAD.hit()
+        except SimulatedCrash:
+            raise
+        except Exception as exc:
+            metrics.increment("store.load_failures")
+            raise CorruptRecordError(f"{path.name}: unreadable: {exc}") from exc
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            metrics.increment("store.load_failures")
+            raise CorruptRecordError(f"{path.name}: unreadable: {exc}") from exc
+        try:
+            return decode_record(blob)
+        except CorruptRecordError:
+            metrics.increment("store.load_failures")
+            raise
+
+    def journal_entries(self) -> Tuple[List[JournalEntry], int]:
+        """Parse the journal; returns ``(entries, torn_trailing_lines)``.
+
+        Lines are validated front to back; the first damaged line (bad
+        shape or per-line CRC -- a torn tail from a crashed append) stops
+        the parse, and it plus everything after it is counted as torn.
+        """
+        try:
+            raw = self.journal_path.read_bytes()
+        except FileNotFoundError:
+            return [], 0
+        entries: List[JournalEntry] = []
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        for index, line in enumerate(lines):
+            entry = self._parse_journal_line(line)
+            if entry is None:
+                torn = len(lines) - index
+                metrics.increment("store.journal_torn", torn)
+                return entries, torn
+            entries.append(entry)
+        return entries, 0
+
+    @staticmethod
+    def _parse_journal_line(line: bytes) -> Optional[JournalEntry]:
+        try:
+            text = line.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        match = _JOURNAL_LINE.match(text)
+        if match is None:
+            return None
+        payload = match.group("payload")
+        if int(match.group("crc"), 16) != (
+            zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        ):
+            return None
+        try:
+            body = json.loads(payload)
+            return JournalEntry(
+                name=body["name"],
+                version=int(body["version"]),
+                filename=body["file"],
+                record_crc=int(body["crc"]),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Quarantine + scan
+    # ------------------------------------------------------------------
+    def quarantine(self, path, reason: str) -> Path:
+        """Move a damaged record aside; it is never served or re-scanned."""
+        path = Path(path)
+        target = self.quarantine_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self.quarantine_dir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+        target.with_suffix(target.suffix + ".reason").write_text(
+            reason + "\n", encoding="utf-8"
+        )
+        self._fsync_dir(self.quarantine_dir)
+        self._fsync_dir(self.records_dir)
+        metrics.increment("store.corrupt_quarantined")
+        return target
+
+    def scan(self, quarantine_corrupt: bool = True) -> StoreScan:
+        """Validate every committed record against its CRC and the journal.
+
+        Corrupt or torn records are quarantined (when
+        ``quarantine_corrupt``) and reported; valid records come back
+        sorted by ``(name, version)`` ready for registry restoration.
+        """
+        journal, torn = self.journal_entries()
+        journaled = {entry.filename: entry for entry in journal}
+        records: List[ModelRecord] = []
+        quarantined: List[Path] = []
+        unjournaled: List[ModelRecord] = []
+        seen_files = set()
+        for path in self.record_paths():
+            seen_files.add(path.name)
+            try:
+                record = self.read(path)
+            except CorruptRecordError as exc:
+                if quarantine_corrupt:
+                    quarantined.append(self.quarantine(path, str(exc)))
+                else:
+                    quarantined.append(path)
+                continue
+            records.append(record)
+            if path.name not in journaled:
+                unjournaled.append(record)
+                metrics.increment("store.recovered_unjournaled")
+        missing = tuple(
+            entry for entry in journal if entry.filename not in seen_files
+        )
+        if missing:
+            metrics.increment("store.missing_records", len(missing))
+        records.sort(key=lambda r: (r.name, r.version))
+        return StoreScan(
+            records=tuple(records),
+            quarantined=tuple(quarantined),
+            missing=missing,
+            unjournaled=tuple(unjournaled),
+            torn_journal_lines=torn,
+        )
+
+    # ------------------------------------------------------------------
+    # Publish-side convenience (used by ModelRegistry)
+    # ------------------------------------------------------------------
+    def append_model(
+        self,
+        name: str,
+        version: int,
+        key: str,
+        published_at: float,
+        model,
+        prior=None,
+        eta: Optional[float] = None,
+        sequential_state=None,
+    ) -> Path:
+        """Build and persist the record for one published model version.
+
+        ``model`` is a :class:`~repro.regression.base.FittedModel`-like
+        object (``basis`` + ``coefficients``); ``sequential_state`` is an
+        optional :class:`repro.bmf.SequentialFitterState` carrying the
+        samples and dual Cholesky factor for warm sequential resume.
+        """
+        record = ModelRecord(
+            name=name,
+            version=int(version),
+            key=key,
+            published_at=float(published_at),
+            basis_digest=model.basis.cache_token(),
+            basis_num_vars=model.basis.num_vars,
+            basis_indices=tuple(model.basis.indices),
+            coefficients=model.coefficients,
+            prior_name=None if prior is None else prior.name,
+            prior_mean=None if prior is None else prior.mean,
+            prior_scale=None if prior is None else prior.scale,
+            eta=None if eta is None else float(eta),
+            chol_lower=(
+                None if sequential_state is None else sequential_state.chol_lower
+            ),
+            chol_prior_index=(
+                None
+                if sequential_state is None
+                else sequential_state.chol_prior_index
+            ),
+            train_x=None if sequential_state is None else sequential_state.x,
+            train_f=None if sequential_state is None else sequential_state.f,
+        )
+        return self.append(record)

@@ -1,4 +1,4 @@
-"""Tests for the AST lint engine, rules REP001-REP008, noqa, and baseline."""
+"""Tests for the AST lint engine, rules REP001-REP009, noqa, and baseline."""
 
 import json
 import os
@@ -201,6 +201,51 @@ class TestRep008SleepInLibrary:
         )
 
 
+class TestRep009UnmanagedFileHandle:
+    def test_bare_open_flagged(self):
+        out = lint("f = open('x.txt')\ndata = f.read()\nf.close()\n")
+        assert rule_ids(out) == ["REP009"]
+        assert out[0].line == 1
+
+    def test_io_open_flagged(self):
+        out = lint("import io\nf = io.open('x.txt')\n")
+        assert rule_ids(out) == ["REP009"]
+
+    def test_named_temporary_file_flagged(self):
+        out = lint("import tempfile\nt = tempfile.NamedTemporaryFile()\n")
+        assert rule_ids(out) == ["REP009"]
+        out = lint("from tempfile import NamedTemporaryFile\nt = NamedTemporaryFile()\n")
+        assert rule_ids(out) == ["REP009"]
+
+    def test_with_block_ok(self):
+        assert lint("with open('x.txt') as f:\n    f.read()\n") == []
+        assert lint(
+            "import tempfile\nwith tempfile.NamedTemporaryFile() as t:\n    t.write(b'x')\n"
+        ) == []
+
+    def test_call_nested_in_with_item_ok(self):
+        src = (
+            "import contextlib\n"
+            "with contextlib.closing(open('x.txt')) as f:\n"
+            "    f.read()\n"
+        )
+        assert lint(src) == []
+
+    def test_open_in_expression_flagged(self):
+        out = lint("data = open('x.txt').read()\n")
+        assert rule_ids(out) == ["REP009"]
+
+    def test_os_open_and_method_open_ok(self):
+        assert lint("import os\nfd = os.open('x', os.O_RDONLY)\n") == []
+        assert lint("h = path.open()\n") == []
+
+    def test_skipped_in_tests(self):
+        assert lint("f = open('x.txt')\n", is_test=True) == []
+
+    def test_noqa_suppresses(self):
+        assert lint("f = open('x.txt')  # repro: noqa[REP009]\n") == []
+
+
 class TestSuppressions:
     def test_targeted_noqa_suppresses(self):
         out = lint("x = 1\ny = x == 0.0  # repro: noqa[REP003]\n")
@@ -239,9 +284,9 @@ class TestEngine:
         with pytest.raises(ValueError):
             LintEngine(select=["REP999"])
 
-    def test_registry_has_all_seven_rules(self):
+    def test_registry_has_all_nine_rules(self):
         ids = set(registered_rules())
-        assert {f"REP00{i}" for i in range(1, 8)} <= ids
+        assert {f"REP00{i}" for i in range(1, 10)} <= ids
 
     def test_violations_sorted_by_location(self):
         src = "import numpy as np\nb = np.random.rand(1)\na = 1 == 0.5\n"
@@ -363,7 +408,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 8):
+        for i in range(1, 10):
             assert f"REP00{i}" in out
 
 

@@ -24,7 +24,7 @@ import numpy as np
 import pytest
 
 from repro.basis import OrthonormalBasis
-from repro.experiments import run_chaos_stream
+from repro.experiments import run_chaos_stream, run_crash_recovery_stream
 from repro.faults import CircuitBreaker, FaultPlan, inject
 from repro.linalg import SolverError
 from repro.regression import FittedModel
@@ -268,3 +268,93 @@ class TestDeterminism:
         text = report.format()
         assert "power" in text
         assert str(report.answered_requests) in text
+
+
+def _run_crash(testbench, store_root, seed=0, crash_failpoint="store.fsync", **overrides):
+    kwargs = dict(
+        batch_sizes=(20, 8, 8),
+        crash_after_batches=1,
+        requests_per_batch=8,
+        test_size=40,
+        early_samples=300,
+        max_queue_depth=8,
+        sequential_kwargs=FIXED_ETA,
+    )
+    kwargs.update(overrides)
+    return run_crash_recovery_stream(
+        testbench,
+        "power",
+        store_root,
+        seed=seed,
+        crash_failpoint=crash_failpoint,
+        **kwargs,
+    )
+
+
+class TestCrashRecovery:
+    """The ISSUE acceptance scenario: fit -> publish -> kill -> recover
+    -> serve.  The kill lands mid-publish at a ``store.*`` failpoint; the
+    recovered registry must be bitwise identical to the last durable
+    pre-crash snapshot, zero corrupt records may ever be served, the
+    sequential fitter warm-restarts from its persisted Cholesky factor,
+    and a 2x saturation burst sheds within the queue bound."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("crash_failpoint", ["store.write", "store.fsync"])
+    def test_kill_mid_publish_recovers_bitwise(
+        self, tiny_ro, tmp_path, seed, crash_failpoint
+    ):
+        report = _run_crash(
+            tiny_ro, tmp_path, seed=seed, crash_failpoint=crash_failpoint
+        )
+        assert report.crash_observed
+        assert report.recovered_bitwise_identical
+        assert report.rearmed  # warm restart from the persisted factor
+        assert report.recovered_versions == (("power", 1),)
+        if crash_failpoint == "store.fsync":
+            # Lost fsync: the rename landed on a torn record -- recovery
+            # must quarantine it, never serve it.
+            assert report.records_visible_after_crash == 2
+            assert report.quarantined_records == 1
+            assert report.store_counters.get("store.corrupt_quarantined") == 1
+            assert report.store_counters.get("store.torn_writes") == 1
+        else:
+            # Crash mid-write: the temp file was abandoned pre-rename, so
+            # nothing new is visible and nothing needs quarantining.
+            assert report.records_visible_after_crash == 1
+            assert report.quarantined_records == 0
+        # Every request before and after the crash was answered.
+        assert report.failed_requests == 0
+        assert report.answered_requests == 3 * 8
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_burst_sheds_within_the_bound(self, tiny_ro, tmp_path, seed):
+        report = _run_crash(tiny_ro, tmp_path, seed=seed)
+        bound = report.queue_bound
+        # 2x-bound burst against a paused dispatcher: every staged expired
+        # request is shed, every overflow live submit is rejected, and the
+        # depth never exceeded the bound.
+        assert report.burst_staged_expired == bound
+        assert report.burst_live_submitted == bound
+        assert report.burst_rejected == bound
+        assert report.burst_answered == bound
+        assert report.shed_expired == bound
+        assert report.shed_rejected == bound
+        assert report.peak_queue_depth <= bound
+        assert report.serving_counters.get("serving.shed.expired") == bound
+        assert report.serving_counters.get("serving.shed.rejected") == bound
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_is_bitwise_identical(self, tiny_ro, tmp_path, seed):
+        first = _run_crash(tiny_ro, tmp_path / "a", seed=seed)
+        second = _run_crash(tiny_ro, tmp_path / "b", seed=seed)
+        assert first.deterministic_signature() == second.deterministic_signature()
+        assert first.store_counters == second.store_counters
+        assert first.serving_counters == second.serving_counters
+
+    def test_report_format_is_human_readable(self, tiny_ro, tmp_path):
+        report = _run_crash(tiny_ro, tmp_path)
+        text = report.format()
+        assert "store.fsync" in text
+        assert "bitwise identical" in text
+        assert "True" in text

@@ -1,0 +1,433 @@
+"""Unit tests for the crash-safe model store (`repro.store`).
+
+Covers the record codec's validation surface, the atomic append /
+journal / scan protocol (including simulated write and lost-fsync
+crashes at the ``store.*`` failpoints), quarantine of damaged records,
+warm-restart recovery into a registry, and the registry's write-ahead
+durability modes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.basis import OrthonormalBasis, total_degree_index_set
+from repro.bmf import SequentialBmf
+from repro.faults import FaultPlan, SimulatedCrash, inject
+from repro.regression import FittedModel
+from repro.runtime.metrics import metrics
+from repro.serving import ModelRegistry, PublishRejectedError
+from repro.store import (
+    MAGIC,
+    CorruptRecordError,
+    ModelRecord,
+    ModelStore,
+    RecoveryManager,
+    StoreWriteError,
+    decode_record,
+    encode_record,
+    record_crc,
+)
+
+
+def _counter(name):
+    return metrics.counters().get(name, 0)
+
+
+def make_basis(num_vars=3, degree=1):
+    return OrthonormalBasis(num_vars, total_degree_index_set(num_vars, degree))
+
+
+def make_record(name="power", version=1, seed=0, **overrides):
+    basis = make_basis()
+    rng = np.random.default_rng(seed)
+    fields = dict(
+        name=name,
+        version=version,
+        key="deadbeef" * 4,
+        published_at=123.5,
+        basis_digest=basis.cache_token(),
+        basis_num_vars=basis.num_vars,
+        basis_indices=tuple(basis.indices),
+        coefficients=rng.normal(size=len(basis.indices)),
+    )
+    fields.update(overrides)
+    return ModelRecord(**fields)
+
+
+class TestRecordFormat:
+    def test_round_trip_is_bitwise_identical(self):
+        coeffs = np.array([1.0, -0.0, np.nan, np.inf, 5e-324])
+        record = make_record(
+            coefficients=coeffs,
+            prior_name="nonzero-mean",
+            prior_mean=np.array([0.5, 0.25]),
+            prior_scale=np.array([1.0, np.inf]),
+            eta=1e-3,
+            chol_lower=np.tril(np.ones((3, 3))),
+            chol_prior_index=0,
+            train_x=np.zeros((4, 3)),
+            train_f=np.arange(4.0),
+        )
+        decoded = decode_record(encode_record(record))
+        assert decoded.equals_bitwise(record)
+        # NaN payload and signed zero survive exactly.
+        assert decoded.coefficients.tobytes() == coeffs.tobytes()
+
+    def test_blob_layout_and_stored_crc(self):
+        blob = encode_record(make_record())
+        assert blob[:4] == MAGIC
+        assert record_crc(blob) == zlib.crc32(blob[8:]) & 0xFFFFFFFF
+
+    def test_optional_fields_round_trip_as_none(self):
+        decoded = decode_record(encode_record(make_record()))
+        assert decoded.prior_mean is None
+        assert decoded.chol_lower is None
+        assert decoded.eta is None
+        assert decoded.prior() is None
+
+    def test_basis_rebuilds_identically(self):
+        basis = make_basis(num_vars=4, degree=2)
+        record = make_record(
+            basis_digest=basis.cache_token(),
+            basis_num_vars=basis.num_vars,
+            basis_indices=tuple(basis.indices),
+            coefficients=np.ones(len(basis.indices)),
+        )
+        rebuilt = decode_record(encode_record(record)).basis()
+        assert rebuilt.cache_token() == basis.cache_token()
+
+    def test_wrong_magic_rejected(self):
+        blob = bytearray(encode_record(make_record()))
+        blob[0] ^= 0xFF
+        with pytest.raises(CorruptRecordError, match="magic"):
+            decode_record(bytes(blob))
+
+    def test_truncation_rejected(self):
+        blob = encode_record(make_record())
+        for cut in (0, 4, 15, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CorruptRecordError):
+                decode_record(blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        blob = encode_record(make_record())
+        with pytest.raises(CorruptRecordError):
+            decode_record(blob + b"\x00")
+
+    def test_unsupported_format_version_rejected(self):
+        blob = encode_record(make_record())
+        body = bytearray(blob[8:])
+        struct.pack_into("<I", body, 0, 999)
+        forged = (
+            MAGIC
+            + struct.pack("<I", zlib.crc32(bytes(body)) & 0xFFFFFFFF)
+            + bytes(body)
+        )
+        with pytest.raises(CorruptRecordError, match="version"):
+            decode_record(forged)
+
+    def test_equals_bitwise_detects_differences(self):
+        record = make_record()
+        assert record.equals_bitwise(make_record())
+        assert not record.equals_bitwise(make_record(version=2))
+        other = make_record(coefficients=record.coefficients + 1e-16)
+        assert not record.equals_bitwise(other)
+        assert not record.equals_bitwise(object())
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            make_record(name="")
+        with pytest.raises(ValueError):
+            make_record(version=0)
+        with pytest.raises(ValueError):
+            make_record(coefficients=None)
+        with pytest.raises(TypeError):
+            encode_record("not a record")
+
+
+class TestModelStore:
+    def test_append_read_scan_round_trip(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        record = make_record()
+        path = store.append(record)
+        assert path.exists()
+        assert store.read(path).equals_bitwise(record)
+        entries, torn = store.journal_entries()
+        assert torn == 0
+        assert [(e.name, e.version) for e in entries] == [("power", 1)]
+        assert entries[0].record_crc == record_crc(path.read_bytes())
+        scan = store.scan()
+        assert len(scan.records) == 1
+        assert scan.records[0].equals_bitwise(record)
+        assert scan.quarantined == () and scan.missing == ()
+        assert scan.unjournaled == () and scan.torn_journal_lines == 0
+
+    def test_record_filenames_are_deterministic_and_distinct(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        assert store.record_filename("power", 1) == store.record_filename("power", 1)
+        # Names that sanitize to the same slug stay distinct via the digest.
+        assert store.record_filename("a/b", 1) != store.record_filename("a:b", 1)
+
+    def test_scan_sorts_by_name_then_version(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        store.append(make_record(name="power", version=2))
+        store.append(make_record(name="delay", version=1))
+        store.append(make_record(name="power", version=1))
+        scan = store.scan()
+        assert [(r.name, r.version) for r in scan.records] == [
+            ("delay", 1),
+            ("power", 1),
+            ("power", 2),
+        ]
+
+    def test_torn_journal_tail_stops_parse(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        store.append(make_record(version=1))
+        store.append(make_record(version=2))
+        with open(store.journal_path, "ab") as handle:
+            handle.write(b"v1 00000000 {torn")  # crashed append: no newline
+        entries, torn = store.journal_entries()
+        assert len(entries) == 2
+        assert torn == 1
+
+    def test_unjournaled_record_still_recovered(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        record = make_record()
+        store.append(record)
+        store.journal_path.unlink()  # crash between rename and journal append
+        scan = store.scan()
+        assert len(scan.records) == 1
+        assert [(r.name, r.version) for r in scan.unjournaled] == [("power", 1)]
+
+    def test_missing_record_reported_not_fabricated(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        path = store.append(make_record())
+        path.unlink()
+        scan = store.scan()
+        assert scan.records == ()
+        assert [(m.name, m.version) for m in scan.missing] == [("power", 1)]
+
+    def test_corrupt_record_quarantined_with_reason(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        path = store.append(make_record())
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        before = _counter("store.corrupt_quarantined")
+        scan = store.scan()
+        assert scan.records == ()
+        assert len(scan.quarantined) == 1
+        quarantined = scan.quarantined[0]
+        assert quarantined.parent == store.quarantine_dir
+        reason = quarantined.with_suffix(quarantined.suffix + ".reason")
+        assert "checksum" in reason.read_text()
+        assert _counter("store.corrupt_quarantined") - before == 1
+        # Quarantined records never reappear on later scans.
+        assert store.scan().records == ()
+
+    def test_write_crash_leaves_nothing_visible(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        plan = FaultPlan.fail_once("store.write", error=SimulatedCrash)
+        with inject(plan):
+            with pytest.raises(SimulatedCrash):
+                store.append(make_record())
+        assert store.record_paths() == []
+        assert store.journal_entries() == ([], 0)
+
+    def test_fsync_crash_leaves_torn_record(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        before = _counter("store.torn_writes")
+        plan = FaultPlan.fail_once("store.fsync", error=SimulatedCrash)
+        with inject(plan):
+            with pytest.raises(SimulatedCrash):
+                store.append(make_record())
+        assert _counter("store.torn_writes") - before == 1
+        paths = store.record_paths()
+        assert len(paths) == 1  # the rename landed...
+        with pytest.raises(CorruptRecordError):
+            store.read(paths[0])  # ...but the tail pages did not
+        scan = store.scan()
+        assert scan.records == ()
+        assert len(scan.quarantined) == 1
+
+    def test_non_crash_write_failure_wrapped_and_cleaned(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        before = _counter("store.write_failures")
+        with inject(FaultPlan.fail_once("store.write")):
+            with pytest.raises(StoreWriteError):
+                store.append(make_record())
+        assert _counter("store.write_failures") - before == 1
+        assert store.record_paths() == []
+        assert list(store.records_dir.iterdir()) == []  # temp cleaned up
+
+    def test_injected_load_fault_is_corrupt_record(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        path = store.append(make_record())
+        with inject(FaultPlan.fail_once("store.load")):
+            with pytest.raises(CorruptRecordError, match="unreadable"):
+                store.read(path)
+        assert store.read(path).name == "power"  # fault was one-shot
+
+
+class TestRecovery:
+    def _publish_fitted(self, registry, name, seed=0):
+        basis = make_basis()
+        coeffs = np.random.default_rng(seed).normal(size=len(basis.indices))
+        return registry.publish(name, FittedModel(basis, coeffs))
+
+    def test_recovery_is_bitwise_identical(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        self._publish_fitted(registry, "power", seed=1)
+        self._publish_fitted(registry, "power", seed=2)
+        self._publish_fitted(registry, "delay", seed=3)
+        snapshot = registry.snapshot()
+
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        assert recovery.registry.snapshot() == snapshot
+        assert recovery.restored == (("delay", 1), ("power", 1), ("power", 2))
+        assert recovery.rejected == () and recovery.quarantined == ()
+        assert recovery.registry.current("power").version == 2
+
+    def test_corrupt_record_not_restored(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        self._publish_fitted(registry, "power", seed=1)
+        self._publish_fitted(registry, "power", seed=2)
+        # Corrupt v2 on disk; recovery must fall back to v1.
+        path = store.records_dir / store.record_filename("power", 2)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        assert recovery.restored == (("power", 1),)
+        assert len(recovery.quarantined) == 1
+        assert recovery.registry.current("power").version == 1
+
+    def test_nonfinite_record_rejected_and_quarantined(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        store.append(
+            make_record(coefficients=np.array([1.0, np.nan, 0.0, 2.0]))
+        )
+        recovery = RecoveryManager(store).recover()
+        assert recovery.restored == ()
+        assert len(recovery.rejected) == 1
+        assert "non-finite" in recovery.rejected[0][2]
+        assert len(recovery.quarantined) == 1
+        assert "power" not in recovery.registry
+
+    def test_sequential_state_none_without_samples(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        self._publish_fitted(registry, "power")  # plain FittedModel publish
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        assert recovery.sequential_state("power") is None
+        assert recovery.sequential_state("unknown") is None
+
+    def test_sequential_warm_restart_matches_uncrashed_fitter(self, tmp_path):
+        basis = make_basis(num_vars=2, degree=2)
+        rng = np.random.default_rng(7)
+        alpha = rng.normal(size=len(basis.indices))
+
+        def draw(n):
+            x = rng.normal(size=(n, basis.num_vars))
+            f = basis.design_matrix(x) @ alpha + 0.01 * rng.normal(size=n)
+            return x, f
+
+        def fitter():
+            return SequentialBmf(
+                basis, alpha, prior_kind="nonzero-mean", eta=1e-3
+            )
+
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        crashed = fitter()
+        survivor = fitter()
+        x1, f1 = draw(30)
+        crashed.add_samples(x1, f1)
+        survivor.add_samples(x1, f1)
+        registry.publish("power", crashed)
+        del crashed  # the "kill"
+
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        state = recovery.sequential_state("power")
+        assert state is not None
+        rearmed = fitter().rearm(state)
+        assert rearmed.last_refit_mode == "rearmed"
+        np.testing.assert_allclose(
+            rearmed.model.coefficients_, survivor.model.coefficients_
+        )
+        # The restored factor keeps border-updating on the next batch.
+        x2, f2 = draw(10)
+        rearmed.add_samples(x2, f2)
+        survivor.add_samples(x2, f2)
+        assert rearmed.last_refit_mode == "incremental"
+        np.testing.assert_allclose(
+            rearmed.model.coefficients_, survivor.model.coefficients_
+        )
+
+
+class TestRegistryStoreIntegration:
+    def _model(self, seed=0):
+        basis = make_basis()
+        coeffs = np.random.default_rng(seed).normal(size=len(basis.indices))
+        return FittedModel(basis, coeffs)
+
+    def test_invalid_durability_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="durability"):
+            ModelRegistry(store=ModelStore(tmp_path), durability="maybe")
+
+    def test_required_durability_rejects_on_store_failure(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        with inject(FaultPlan.fail_once("store.write")):
+            with pytest.raises(PublishRejectedError, match="durable"):
+                registry.publish("power", self._model())
+        assert "power" not in registry
+        assert store.record_paths() == []
+        # The registry heals: the next publish lands normally as v1... no,
+        # version numbers are never reused -- the failed allocate burned v1.
+        record = registry.publish("power", self._model())
+        assert record.version == 2
+
+    def test_best_effort_durability_serves_without_persisting(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store, durability="best-effort")
+        before = _counter("serving.publish_persist_skipped")
+        with inject(FaultPlan.fail_once("store.write")):
+            record = registry.publish("power", self._model())
+        assert record.version == 1
+        assert registry.current("power").version == 1
+        assert store.record_paths() == []
+        assert _counter("serving.publish_persist_skipped") - before == 1
+
+    def test_crash_mid_publish_never_announces(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        registry.publish("power", self._model(seed=1))
+        snapshot = registry.snapshot()
+        plan = FaultPlan.fail_once("store.fsync", error=SimulatedCrash)
+        with inject(plan):
+            with pytest.raises(SimulatedCrash):
+                registry.publish("power", self._model(seed=2))
+        # Write-ahead ordering: the crash may leave a durable (here: torn)
+        # record, but the in-memory registry never moved.
+        assert registry.snapshot() == snapshot
+        assert registry.current("power").version == 1
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        assert recovery.restored == (("power", 1),)
+        assert len(recovery.quarantined) == 1
+        assert recovery.registry.snapshot() == snapshot
+
+    def test_restore_out_of_order_rejected(self):
+        registry = ModelRegistry()
+        model = self._model()
+        registry.restore("power", 3, "key", 1.0, model)
+        with pytest.raises(ValueError, match="out of order"):
+            registry.restore("power", 3, "key", 2.0, model)
+        # Publishing after a restore continues the version sequence.
+        assert registry.publish("power", model).version == 4
