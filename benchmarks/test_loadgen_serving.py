@@ -1,0 +1,54 @@
+"""Benchmark: synthetic load against the sharded serving tier.
+
+Drives the :mod:`repro.loadgen` harness through its full scenario --
+multi-tenant traffic with per-tenant quotas, a shard kill mid-run, and a
+2x overload burst -- and archives the machine-readable JSON report
+(p50/p99/p999 latency, throughput, shed/rebalance counts) under
+``benchmarks/results/loadgen_serving.json``.  CI re-validates the file
+against :data:`repro.loadgen.REPORT_SCHEMA`, so the report shape is a
+tracked contract, not an incidental artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.loadgen import LoadConfig, run_load, validate_report
+
+from conftest import save_result
+
+CONFIG = LoadConfig(
+    seed=0,
+    num_requests=2000,
+    num_tenants=16,
+    num_models=12,
+    num_shards=3,
+    replication_factor=2,
+    tenant_quota=120,
+    max_queue_depth=64,
+    workers=2,
+    kill_shard_after=1000,
+    overload_burst=2,
+)
+
+
+def test_loadgen_serving(results_dir, tmp_path):
+    report = run_load(CONFIG, tmp_path / "store")
+
+    # The serving tier may not drop accepted work on the floor.
+    assert report.failed == 0
+    assert report.expired == 0
+    assert report.answered == report.admitted
+    # The kill rebalanced keys onto warm replicas: zero store backfills.
+    assert report.killed_shard is not None
+    assert report.rebalanced_keys >= 1
+    assert report.backfills == 0
+    assert report.max_version_lag <= 1
+    # Quota gate and overload burst both engaged.
+    assert report.quota_rejected > 0
+    assert report.burst_rejected == CONFIG.max_queue_depth
+    assert report.latency_p50_ms <= report.latency_p99_ms
+
+    path = report.write_json(results_dir / "loadgen_serving.json")
+    validate_report(json.loads(path.read_text()))
+    save_result("loadgen_serving", report.format())

@@ -1,0 +1,152 @@
+"""CLI for the synthetic-load harness and its report schema check.
+
+Run a load::
+
+    python -m repro.loadgen --requests 2000 --tenants 16 --shards 3 \\
+        --kill-shard-after 1000 --output benchmarks/results/loadgen_serving.json
+
+Validate an existing report against the schema (CI's drift gate)::
+
+    python -m repro.loadgen --check-schema benchmarks/results/loadgen_serving.json
+
+Exit codes: 0 = success / valid report, 1 = schema violation or bad
+arguments, 2 = the run itself failed its internal sanity checks (an
+admitted request went unanswered).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .harness import LoadConfig, run_load
+from .report import validate_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Seeded synthetic-load harness for the sharded serving tier.",
+    )
+    parser.add_argument(
+        "--check-schema",
+        metavar="PATH",
+        help="validate an existing JSON report against the schema and exit",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--models", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        help="per-tenant admission quota (requests per run; default: none)",
+    )
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--kill-shard-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kill one shard after N generated requests (default: never)",
+    )
+    parser.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        help="shard id to kill (default: the first model's primary)",
+    )
+    parser.add_argument(
+        "--overload-burst",
+        type=int,
+        default=0,
+        help="saturation factor of the optional overload-burst phase",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory (replication log); default: a fresh temp dir",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the schema-validated JSON report here",
+    )
+    return parser
+
+
+def _check_schema(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: could not read {path!r}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        validate_report(data)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid loadgen report (schema_version {data['schema_version']})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.check_schema is not None:
+        return _check_schema(args.check_schema)
+
+    try:
+        config = LoadConfig(
+            seed=args.seed,
+            num_requests=args.requests,
+            num_tenants=args.tenants,
+            num_models=args.models,
+            num_shards=args.shards,
+            replication_factor=args.replication,
+            tenant_quota=args.quota,
+            max_queue_depth=args.queue_depth,
+            workers=args.workers,
+            kill_shard_after=args.kill_shard_after,
+            kill_shard=args.kill_shard,
+            overload_burst=args.overload_burst,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.store is not None:
+        report = run_load(config, Path(args.store))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+            report = run_load(config, Path(tmp))
+
+    print(report.format())
+    if args.output is not None:
+        path = report.write_json(args.output)
+        print(f"[report written to {path}]")
+    # An admitted request that neither answered nor failed-by-policy means
+    # the serving tier dropped work on the floor -- fail loudly.
+    unanswered = report.admitted - report.answered - report.failed - report.expired
+    if unanswered != 0 or report.failed != 0:
+        print(
+            f"error: {report.failed} failed / {unanswered} unaccounted "
+            "admitted requests",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

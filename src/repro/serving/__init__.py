@@ -12,14 +12,18 @@ from .engine import (
     PredictionEngine,
 )
 from .registry import ModelRegistry, ModelVersion, PublishRejectedError, model_key
+from .sharding import JournalFollower, ShardDeadError, ShardRouter
 
 __all__ = [
     "EngineOverloadedError",
     "EngineStoppedError",
+    "JournalFollower",
     "ModelEvaluationError",
     "ModelRegistry",
     "ModelVersion",
     "PredictionEngine",
     "PublishRejectedError",
+    "ShardDeadError",
+    "ShardRouter",
     "model_key",
 ]

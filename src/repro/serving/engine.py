@@ -464,11 +464,19 @@ class PredictionEngine:
     ) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`.
 
-        The timeout is propagated as the request's deadline, so a caller
-        that gives up never leaves a ghost request behind to be evaluated:
-        the dispatcher drops it as expired.
+        ``timeout`` is one total budget: a single deadline is computed at
+        entry, attached to the request (so the dispatcher drops it as
+        expired if the caller has already given up -- no ghost
+        evaluations), and the blocking wait consumes only the budget
+        *remaining* after submission.  (Passing ``timeout`` to both
+        :meth:`submit` and ``Future.result`` would restart the clock at
+        the wait and double the worst-case wall time.)
         """
-        return self.submit(name, x, timeout=timeout).result(timeout=timeout)
+        if timeout is None:
+            return self.submit(name, x).result()
+        deadline = Deadline.after(timeout)
+        future = self.submit(name, x, deadline=deadline)
+        return future.result(timeout=deadline.remaining())
 
     # ------------------------------------------------------------------
     # Dispatcher

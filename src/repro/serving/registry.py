@@ -235,6 +235,18 @@ class ModelRegistry:
         propagates untouched with the in-memory registry unchanged --
         the write-ahead ordering means the crash may leave a durable
         record the registry never announced, which recovery admits.
+
+        **Version numbers are allocated exactly once and never reused.**
+        A publish that fails *after* allocation (persist failure under
+        ``"required"`` durability, or a crash mid-persist) leaves a
+        permanent gap in the version sequence: the failed number is
+        burned, the next publish takes a fresh one.  This is deliberate
+        -- reusing the number could collide with a durable-but-
+        unannounced record the crashed persist left behind, so gaps are
+        the price of the guarantee that a version number on disk or in
+        memory refers to exactly one snapshot, ever.  Recovery preserves
+        the invariant by resuming allocation above the highest durable
+        version it restores (``tests/test_store.py::TestVersionGaps``).
         """
         frozen, derived_key, prior, eta = _freeze_model(model)
         record_key = derived_key if key is None else str(key)

@@ -132,6 +132,10 @@ class ModelStore:
         self.journal_path = self.root / "journal.log"
         self.use_fsync = bool(use_fsync)
         self._lock = threading.Lock()
+        # Fingerprint of the torn journal tail last charged to the
+        # ``store.journal_torn`` counter; re-parsing the *same* damage
+        # (repeated scans, follower tailing) must not re-count it.
+        self._torn_counted: Optional[Tuple[int, bytes]] = None
         self.records_dir.mkdir(parents=True, exist_ok=True)
         self.quarantine_dir.mkdir(parents=True, exist_ok=True)
 
@@ -271,6 +275,13 @@ class ModelStore:
         Lines are validated front to back; the first damaged line (bad
         shape or per-line CRC -- a torn tail from a crashed append) stops
         the parse, and it plus everything after it is counted as torn.
+
+        The ``store.journal_torn`` counter is charged **once per distinct
+        journal damage state** (keyed on the torn tail's offset and
+        content): repeated scans or recoveries of the same torn tail --
+        and a replication follower tailing the journal every publish --
+        leave the metric untouched, so it counts damage events, not
+        reads.  *New* damage (a different torn tail) is charged again.
         """
         try:
             raw = self.journal_path.read_bytes()
@@ -284,9 +295,20 @@ class ModelStore:
             entry = self._parse_journal_line(line)
             if entry is None:
                 torn = len(lines) - index
-                metrics.increment("store.journal_torn", torn)
+                torn_tail = b"\n".join(lines[index:])
+                state = (
+                    index,
+                    hashlib.blake2b(torn_tail, digest_size=16).digest(),
+                )
+                with self._lock:
+                    new_damage = state != self._torn_counted
+                    self._torn_counted = state
+                if new_damage:
+                    metrics.increment("store.journal_torn", torn)
                 return entries, torn
             entries.append(entry)
+        with self._lock:
+            self._torn_counted = None
         return entries, 0
 
     @staticmethod

@@ -291,6 +291,65 @@ def _run_crash(testbench, store_root, seed=0, crash_failpoint="store.fsync", **o
     )
 
 
+def _run_shard_kill(store_root, seed=0, **overrides):
+    from repro.loadgen import LoadConfig, run_load
+
+    kwargs = dict(
+        seed=seed,
+        num_requests=200,
+        num_tenants=6,
+        num_models=8,
+        num_shards=3,
+        replication_factor=2,
+        max_queue_depth=32,
+        workers=1,
+        kill_shard_after=100,
+    )
+    kwargs.update(overrides)
+    return run_load(LoadConfig(**kwargs), store_root)
+
+
+class TestShardKill:
+    """The ISSUE acceptance scenario for the sharded tier: kill one shard
+    mid-traffic.  Every accepted request must still be answered, the dead
+    shard's keys must be served from warm follower replicas (no refit, no
+    store backfill), the served version lag stays bounded, and the same
+    seed produces a bitwise-identical report signature."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_kill_mid_traffic_answers_everything(self, tmp_path, seed):
+        report = _run_shard_kill(tmp_path, seed=seed)
+        assert report.killed_shard is not None
+        assert report.failovers == 1
+        assert report.rebalanced_keys >= 1
+        # 100% of accepted requests answered, before and after the kill.
+        assert report.failed == 0
+        assert report.expired == 0
+        assert report.answered == report.admitted
+        assert report.post_kill_answered == report.post_kill_admitted
+        assert report.post_kill_admitted >= 1
+        # Warm failover: the survivors' followers replicated every model
+        # at publish time, so no request ever backfills from the store
+        # (let alone refits from scratch).
+        assert report.backfills == 0
+        assert report.replica_applied >= report.rebalanced_keys
+        assert report.max_version_lag <= 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_is_bitwise_identical(self, tmp_path, seed):
+        first = _run_shard_kill(tmp_path / "a", seed=seed)
+        second = _run_shard_kill(tmp_path / "b", seed=seed)
+        assert (
+            first.deterministic_signature() == second.deterministic_signature()
+        )
+
+    def test_report_format_is_human_readable(self, tmp_path):
+        report = _run_shard_kill(tmp_path, num_requests=60, kill_shard_after=30)
+        text = report.format()
+        assert "rebalanced" in text
+        assert str(report.killed_shard) in text
+
+
 class TestCrashRecovery:
     """The ISSUE acceptance scenario: fit -> publish -> kill -> recover
     -> serve.  The kill lands mid-publish at a ``store.*`` failpoint; the

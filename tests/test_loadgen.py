@@ -1,0 +1,232 @@
+"""Synthetic-load harness and report schema (`repro.loadgen`).
+
+Covers config validation, the two-way schema contract (missing keys,
+wrong types, and unknown keys all fail), the harness's deterministic
+outcome accounting (quota gate, shard kill, overload burst), and the
+CLI's run / ``--check-schema`` modes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen import (
+    REPORT_SCHEMA,
+    SCHEMA_VERSION,
+    LoadConfig,
+    latency_percentiles,
+    run_load,
+    validate_report,
+)
+from repro.loadgen.__main__ import main as loadgen_main
+
+
+def small_config(**overrides):
+    kwargs = dict(
+        seed=0,
+        num_requests=40,
+        num_tenants=4,
+        num_models=4,
+        num_shards=2,
+        replication_factor=2,
+        max_queue_depth=8,
+        workers=1,
+    )
+    kwargs.update(overrides)
+    return LoadConfig(**kwargs)
+
+
+class TestLoadConfig:
+    def test_defaults_are_valid(self):
+        config = LoadConfig()
+        assert config.seed == 0
+        assert config.tenant_quota is None
+        assert config.kill_shard_after is None
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "num_requests",
+            "num_tenants",
+            "num_models",
+            "num_shards",
+            "max_queue_depth",
+            "workers",
+        ],
+    )
+    def test_counts_must_be_positive(self, field):
+        with pytest.raises(ValueError, match=field):
+            LoadConfig(**{field: 0})
+
+    def test_kill_and_quota_bounds(self):
+        with pytest.raises(ValueError, match="kill_shard_after"):
+            LoadConfig(num_requests=10, kill_shard_after=11)
+        with pytest.raises(ValueError, match="kill_shard"):
+            LoadConfig(num_shards=2, kill_shard=2)
+        with pytest.raises(ValueError, match="tenant_quota"):
+            LoadConfig(tenant_quota=-1)
+        with pytest.raises(ValueError, match="overload_burst"):
+            LoadConfig(overload_burst=-1)
+        with pytest.raises(ValueError, match="request_timeout_seconds"):
+            LoadConfig(request_timeout_seconds=0.0)
+
+
+class TestReportSchema:
+    def _valid_report(self, tmp_path):
+        report = run_load(small_config(num_requests=10), tmp_path / "store")
+        return report.to_dict()
+
+    def test_emitted_report_validates(self, tmp_path):
+        data = self._valid_report(tmp_path)
+        validate_report(data)  # must not raise
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "loadgen"
+        assert set(data) == set(REPORT_SCHEMA)
+
+    def test_missing_key_fails(self, tmp_path):
+        data = self._valid_report(tmp_path)
+        del data["latency_p999_ms"]
+        with pytest.raises(ValueError, match="missing key 'latency_p999_ms'"):
+            validate_report(data)
+
+    def test_wrong_type_fails(self, tmp_path):
+        data = self._valid_report(tmp_path)
+        data["answered"] = "lots"
+        with pytest.raises(ValueError, match="key 'answered' has type str"):
+            validate_report(data)
+
+    def test_bool_is_not_an_int(self, tmp_path):
+        data = self._valid_report(tmp_path)
+        data["failed"] = True
+        with pytest.raises(ValueError, match="'failed'"):
+            validate_report(data)
+
+    def test_unknown_key_fails(self, tmp_path):
+        data = self._valid_report(tmp_path)
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown key 'surprise'"):
+            validate_report(data)
+
+    def test_non_object_fails(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_report([1, 2, 3])
+
+    def test_write_json_round_trips(self, tmp_path):
+        report = run_load(small_config(num_requests=10), tmp_path / "store")
+        path = report.write_json(tmp_path / "out" / "report.json")
+        data = json.loads(path.read_text())
+        validate_report(data)
+        assert data["submitted"] == report.submitted
+
+    def test_percentiles_empty_and_ordered(self):
+        empty = latency_percentiles([])
+        assert empty["latency_p50_ms"] == 0.0
+        values = latency_percentiles([0.001] * 99 + [0.1])
+        assert (
+            values["latency_p50_ms"]
+            <= values["latency_p99_ms"]
+            <= values["latency_p999_ms"]
+            <= values["latency_max_ms"]
+        )
+
+
+class TestRunLoad:
+    def test_plain_run_answers_everything(self, tmp_path):
+        report = run_load(small_config(), tmp_path / "store")
+        assert report.submitted == 40
+        assert report.admitted == 40
+        assert report.answered == 40
+        assert report.failed == 0
+        assert report.expired == 0
+        assert report.answered_fraction == 1.0
+        assert report.killed_shard is None
+        assert report.rebalanced_keys == 0
+        assert report.duration_seconds > 0
+        assert report.throughput_rps > 0
+
+    def test_quota_gate_rejects_before_the_engine(self, tmp_path):
+        quota = 3
+        report = run_load(
+            small_config(tenant_quota=quota), tmp_path / "store"
+        )
+        assert report.quota_rejected > 0
+        assert report.submitted + report.quota_rejected == 40
+        assert all(n <= quota for n in report.tenant_admitted.values())
+        assert report.answered == report.submitted  # admitted all answered
+
+    def test_shard_kill_mid_traffic(self, tmp_path):
+        report = run_load(
+            small_config(kill_shard_after=20), tmp_path / "store"
+        )
+        assert report.killed_shard is not None
+        assert report.rebalanced_keys >= 1
+        assert report.failovers == 1
+        assert report.failed == 0
+        assert report.post_kill_admitted == report.post_kill_answered
+        assert report.backfills == 0  # warm replicas: no refit, no backfill
+        assert report.replica_applied >= report.rebalanced_keys
+
+    def test_overload_burst_counts(self, tmp_path):
+        depth = 8
+        report = run_load(
+            small_config(max_queue_depth=depth, overload_burst=2),
+            tmp_path / "store",
+        )
+        # The staged expired requests fill the queue; the 2x burst evicts
+        # them (shed-oldest-expired) and the overflow is rejected.
+        assert report.burst_staged == depth
+        assert report.burst_submitted == 2 * depth
+        assert report.burst_rejected == depth
+        assert report.burst_answered == depth
+        assert report.shed_expired == depth
+
+    def test_same_seed_signature_is_identical(self, tmp_path):
+        config = small_config(
+            seed=13, kill_shard_after=20, tenant_quota=8, overload_burst=1
+        )
+        first = run_load(config, tmp_path / "a")
+        second = run_load(config, tmp_path / "b")
+        assert (
+            first.deterministic_signature() == second.deterministic_signature()
+        )
+
+    def test_different_seeds_differ(self, tmp_path):
+        first = run_load(small_config(seed=1), tmp_path / "a")
+        second = run_load(small_config(seed=2), tmp_path / "b")
+        assert first.deterministic_signature() != second.deterministic_signature()
+        assert first.tenant_admitted != second.tenant_admitted
+
+
+class TestCli:
+    def test_run_and_check_schema(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = loadgen_main(
+            [
+                "--requests", "20",
+                "--models", "4",
+                "--queue-depth", "8",
+                "--workers", "1",
+                "--store", str(tmp_path / "store"),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert "Synthetic load run" in capsys.readouterr().out
+        validate_report(json.loads(out.read_text()))
+        assert loadgen_main(["--check-schema", str(out)]) == 0
+
+    def test_check_schema_rejects_drift(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        assert loadgen_main(["--check-schema", str(path)]) == 1
+        assert "missing key" in capsys.readouterr().err
+
+    def test_check_schema_rejects_unreadable(self, tmp_path, capsys):
+        assert loadgen_main(["--check-schema", str(tmp_path / "nope.json")]) == 1
+        assert "could not read" in capsys.readouterr().err
+
+    def test_bad_config_exits_1(self, capsys):
+        assert loadgen_main(["--requests", "0"]) == 1
+        assert "num_requests" in capsys.readouterr().err

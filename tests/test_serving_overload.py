@@ -17,6 +17,9 @@ backlog:
 
 from __future__ import annotations
 
+import queue
+import time
+
 import numpy as np
 import pytest
 
@@ -30,6 +33,7 @@ from repro.serving import (
     ModelRegistry,
     PredictionEngine,
 )
+from repro.serving.engine import _STOP, _BoundedRequestQueue, _Request
 
 NUM_VARS = 3
 
@@ -171,6 +175,121 @@ class TestAdmissionControl:
             assert stats["queue_depth"] == 1
             engine.resume_dispatch()
             assert live.result(timeout=10.0).shape == (1,)
+
+
+class TestPredictTimeoutBudget:
+    """Regression: ``predict(timeout=t)`` used to pass ``t`` to both the
+    submit deadline and ``Future.result``, restarting the clock at the
+    wait -- a request stuck in the queue blocked for ~2t before raising.
+    One deadline is computed at entry and the wait gets only what is
+    left of it."""
+
+    def test_timeout_is_charged_once(self, registry, sample):
+        budget = 0.5
+        with PredictionEngine(registry, max_queue_depth=4, workers=1) as engine:
+            engine.pause_dispatch()  # the request can never be served
+            start = time.perf_counter()
+            with pytest.raises(TimeoutError):
+                engine.predict("power", sample, timeout=budget)
+            elapsed = time.perf_counter() - start
+            engine.resume_dispatch()
+        # One budget, not two: the double-charge bug took ~2t.
+        assert budget * 0.9 <= elapsed < budget * 1.5
+
+    def test_abandoned_request_expires_instead_of_ghost_evaluating(
+        self, registry, sample
+    ):
+        """The deadline travels with the queued request, so after the
+        caller gives up the dispatcher drops it -- no ghost evaluation."""
+        with PredictionEngine(registry, max_queue_depth=4, workers=1) as engine:
+            engine.pause_dispatch()
+            before = _counter("serving.expired")
+            with pytest.raises(TimeoutError):
+                engine.predict("power", sample, timeout=0.05)
+            engine.resume_dispatch()
+            deadline = Deadline.after(5.0)
+            while (
+                _counter("serving.expired") == before and not deadline.expired
+            ):
+                time.sleep(0.005)
+            assert _counter("serving.expired") - before == 1
+            assert engine.stats()["batches"] == 0  # never evaluated
+
+    def test_timeout_none_blocks_until_served(self, registry, sample):
+        with PredictionEngine(registry, max_queue_depth=4, workers=1) as engine:
+            assert engine.predict("power", sample, timeout=None).shape == (1,)
+
+
+class TestBoundedQueuePauseStop:
+    """The queue's pause/stop contract, at the queue level and end to end.
+
+    Regression territory: a paused dispatcher never wakes for the stop
+    sentinel on its own (``get`` blocks while paused no matter what is
+    queued), so ``stop()`` must resume the queue after planting the
+    sentinel and then drain-fail whatever the dispatcher left behind."""
+
+    def _request(self, sample, deadline=None):
+        return _Request(
+            name="power",
+            x=sample[None, :],
+            enqueued_at=time.perf_counter(),
+            deadline=deadline,
+        )
+
+    def test_paused_get_times_out_even_with_items_queued(self, sample):
+        bounded = _BoundedRequestQueue(bound=4)
+        bounded.pause()
+        admitted, shed = bounded.offer(self._request(sample))
+        assert admitted and shed == []
+        bounded.put_sentinel(_STOP)
+        with pytest.raises(queue.Empty):
+            bounded.get(timeout=0.05)  # pause gates sentinels too
+
+    def test_resume_delivers_backlog_then_sentinel_fifo(self, sample):
+        bounded = _BoundedRequestQueue(bound=4)
+        bounded.pause()
+        first = self._request(sample)
+        second = self._request(sample)
+        bounded.offer(first)
+        bounded.offer(second)
+        bounded.put_sentinel(_STOP)
+        assert bounded.depth() == 2  # sentinels never count as depth
+        bounded.resume()
+        assert bounded.get(timeout=1.0) is first
+        assert bounded.get(timeout=1.0) is second
+        assert bounded.get(timeout=1.0) is _STOP
+        assert bounded.depth() == 0
+
+    def test_stop_while_paused_resolves_every_future(self, registry, sample):
+        engine = PredictionEngine(registry, max_queue_depth=8, workers=1)
+        engine.start()
+        engine.pause_dispatch()
+        futures = [engine.submit("power", sample) for _ in range(5)]
+        engine.stop()  # must not hang on the paused dispatcher
+        for future in futures:
+            assert future.done()
+            if future.exception() is not None:
+                assert isinstance(future.exception(), EngineStoppedError)
+        with pytest.raises(EngineStoppedError):
+            engine.submit("power", sample)
+
+    def test_backlog_behind_the_sentinel_is_drain_failed(
+        self, registry, sample
+    ):
+        """Deterministic drain path: a sentinel planted *ahead* of the
+        backlog makes the dispatcher exit before serving it, so stop()'s
+        drain must fail every queued request fast."""
+        engine = PredictionEngine(registry, max_queue_depth=8, workers=1)
+        engine.start()
+        engine.pause_dispatch()
+        engine._queue.put_sentinel(_STOP)
+        futures = [engine.submit("power", sample) for _ in range(3)]
+        drops_before = _counter("serving.shutdown_drops")
+        engine.stop()
+        assert _counter("serving.shutdown_drops") - drops_before == 3
+        for future in futures:
+            with pytest.raises(EngineStoppedError):
+                future.result()
 
 
 class TestLifecycleWhilePaused:

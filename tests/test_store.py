@@ -431,3 +431,117 @@ class TestRegistryStoreIntegration:
             registry.restore("power", 3, "key", 2.0, model)
         # Publishing after a restore continues the version sequence.
         assert registry.publish("power", model).version == 4
+
+
+class TestJournalTornMetric:
+    """Regression: ``store.journal_torn`` was charged on *every* scan of
+    the same torn tail, so any poll-driven consumer (recovery retries, a
+    replication follower tailing the journal) inflated the damage count
+    without any new damage occurring.  The counter is keyed on the torn
+    tail's offset + content and charged once per distinct damage state."""
+
+    def _corrupt_tail(self, store, garbage=b"v1 00000000 {torn"):
+        with open(store.journal_path, "ab") as handle:
+            handle.write(garbage)  # crashed append: no trailing newline
+
+    def test_two_consecutive_scans_count_once(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        store.append(make_record(version=1))
+        store.append(make_record(version=2))
+        self._corrupt_tail(store)
+        before = _counter("store.journal_torn")
+        first = store.journal_entries()
+        second = store.journal_entries()
+        assert first[1] == second[1] == 1  # torn count still reported...
+        assert _counter("store.journal_torn") - before == 1  # ...charged once
+        # Full scans route through the same parse: still no re-charge.
+        assert store.scan().torn_journal_lines == 1
+        assert _counter("store.journal_torn") - before == 1
+
+    def test_new_damage_is_charged_again(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        store.append(make_record(version=1))
+        self._corrupt_tail(store)
+        before = _counter("store.journal_torn")
+        store.journal_entries()
+        assert _counter("store.journal_torn") - before == 1
+        self._corrupt_tail(store, garbage=b" more")  # the tail grew: new state
+        store.journal_entries()
+        assert _counter("store.journal_torn") - before == 2
+
+    def test_repair_resets_the_fingerprint(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        store.append(make_record(version=1))
+        clean = store.journal_path.read_bytes()
+        self._corrupt_tail(store)
+        before = _counter("store.journal_torn")
+        store.journal_entries()
+        assert _counter("store.journal_torn") - before == 1
+        store.journal_path.write_bytes(clean)  # operator repaired the tail
+        assert store.journal_entries()[1] == 0
+        assert _counter("store.journal_torn") - before == 1
+        # Identical damage after a repair is a *new* event: charge again.
+        self._corrupt_tail(store)
+        store.journal_entries()
+        assert _counter("store.journal_torn") - before == 2
+
+
+class TestVersionGaps:
+    """The allocate-then-persist gap, pinned as an invariant: version
+    numbers are allocated exactly once and never reused, so a publish
+    that fails after allocation burns its number and nothing -- later
+    publishes, durable-but-unannounced leftovers, or recovery -- can
+    ever collide on a version."""
+
+    def _model(self, seed=0):
+        basis = make_basis()
+        coeffs = np.random.default_rng(seed).normal(size=len(basis.indices))
+        return FittedModel(basis, coeffs)
+
+    def test_failed_publish_gap_survives_recovery(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        registry.publish("power", self._model(seed=1))
+        with inject(FaultPlan.fail_once("store.write")):
+            with pytest.raises(PublishRejectedError):
+                registry.publish("power", self._model(seed=2))  # burns v2
+        assert registry.publish("power", self._model(seed=3)).version == 3
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        assert recovery.restored == (("power", 1), ("power", 3))
+        # The recovered allocator resumes above the highest durable
+        # version: the gap persists, no number is ever handed out twice.
+        assert recovery.registry.publish("power", self._model(seed=4)).version == 4
+        assert [r.version for r in store.scan().records] == [1, 3]  # the gap
+
+    def test_durable_but_unannounced_record_never_collides(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        v1 = registry.publish("power", self._model(seed=1))
+        # A crash between persist and announce leaves exactly this state:
+        # an intact durable v2 the in-memory registry never saw.
+        store.append_model(
+            "power", 2, "ab" * 16, v1.published_at + 1.0, self._model(seed=2)
+        )
+        assert registry.current("power").version == 1
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        # Recovery admits the unannounced record and resumes above it.
+        assert recovery.restored == (("power", 1), ("power", 2))
+        assert recovery.registry.current("power").version == 2
+        assert recovery.registry.publish("power", self._model(seed=3)).version == 3
+
+    def test_torn_leftover_is_skipped_not_reused(self, tmp_path):
+        store = ModelStore(tmp_path, use_fsync=False)
+        registry = ModelRegistry(store=store)
+        registry.publish("power", self._model(seed=1))
+        plan = FaultPlan.fail_once("store.fsync", error=SimulatedCrash)
+        with inject(plan):
+            with pytest.raises(SimulatedCrash):
+                registry.publish("power", self._model(seed=2))  # torn v2
+        # The survivor (same process) keeps publishing past the gap...
+        assert registry.publish("power", self._model(seed=3)).version == 3
+        # ...and recovery quarantines the torn v2 instead of resurrecting
+        # its number.
+        recovery = RecoveryManager(ModelStore(tmp_path, use_fsync=False)).recover()
+        assert recovery.restored == (("power", 1), ("power", 3))
+        assert len(recovery.quarantined) == 1
+        assert recovery.registry.publish("power", self._model(seed=4)).version == 4
