@@ -11,10 +11,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import concurrency as _concurrency  # noqa: F401 -- registers REP010-REP012
 from . import rules as _rules  # noqa: F401 -- import registers the rule set
 from .baseline import filter_baselined, load_baseline, write_baseline
 from .engine import _NOQA_PATTERN, LintEngine, iter_python_files, registered_rules
-from .reporters import format_json, format_text, summarize
+from .reporters import format_github, format_json, format_text, summarize
 from .violations import Severity
 
 __all__ = ["main", "build_parser", "audit_suppressions"]
@@ -25,8 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based correctness linter for the repro codebase: "
-            "deterministic-RNG, float-equality, and shared-state rules "
-            "(REP001-REP007)."
+            "deterministic-RNG, float-equality, shared-state, "
+            "lock-discipline, and metric-catalog rules (REP001-REP013)."
         ),
     )
     parser.add_argument(
@@ -37,9 +38,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format; 'github' emits workflow-command annotations "
+        "(default: text)",
     )
     parser.add_argument(
         "--baseline",
@@ -166,6 +168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(format_json(violations))
+    elif args.format == "github":
+        print(format_github(violations))
     else:
         print(format_text(violations))
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import functools
 import os
 import threading
+from ..locks import named_lock
 from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -35,7 +36,7 @@ class ContractViolationError(TypeError):
     """An array crossed an API boundary in a state its contract forbids."""
 
 
-_state_lock = threading.Lock()
+_state_lock = named_lock("analysis.contracts")
 _enabled = os.environ.get("REPRO_CONTRACTS", "1").strip().lower() not in (
     "0",
     "false",

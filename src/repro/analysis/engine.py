@@ -11,22 +11,28 @@ declares the node types it wants, a stable ``rule_id``, a default
 :class:`~repro.analysis.violations.Severity`, and whether it applies to
 test files (exact-value assertions and ad-hoc RNGs are legitimate in
 tests, so several rules opt out there).
+
+Two rule shapes exist: plain :class:`Rule` subclasses see one node at a
+time within one file, while :class:`ProjectRule` subclasses observe every
+linted file and emit findings once the whole target set has been seen —
+the shape cross-file analyses (e.g. the REP012 lock-order graph) need.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-import threading
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
+from ..locks import named_lock
 from .violations import Severity, Violation
 
 __all__ = [
     "LintContext",
     "LintEngine",
     "Rule",
+    "ProjectRule",
     "register_rule",
     "registered_rules",
     "iter_python_files",
@@ -105,7 +111,33 @@ class Rule:
         )
 
 
-_registry_lock = threading.Lock()
+class ProjectRule(Rule):
+    """A rule that needs the whole lint target set before it can report.
+
+    The engine calls :meth:`begin` once per run, :meth:`observe` for every
+    parsed file (skipping tests unless ``applies_to_tests``), and finally
+    :meth:`finish`, whose violations are suppression-filtered against the
+    file each one anchors to.  ``node_types`` stays empty — project rules
+    never take part in per-node dispatch.
+    """
+
+    node_types: Tuple[type, ...] = ()
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        return iter(())
+
+    def begin(self) -> None:
+        """Reset per-run state; called before any file is observed."""
+
+    def observe(self, ctx: LintContext) -> None:
+        """Record whatever this rule needs from one parsed file."""
+
+    def finish(self) -> Iterator[Violation]:
+        """Yield findings after every file has been observed."""
+        return iter(())
+
+
+_registry_lock = named_lock("analysis.rule_registry")
 _registry: Dict[str, Type[Rule]] = {}
 
 
@@ -168,6 +200,9 @@ class LintEngine:
             dropped = {r.upper() for r in ignore}
             rules = [r for r in rules if r.rule_id not in dropped]
         self.rules: List[Rule] = rules
+        self._project_rules: List[ProjectRule] = [
+            r for r in self.rules if isinstance(r, ProjectRule)
+        ]
         # Node-type -> interested rules, built once per engine.
         self._dispatch: Dict[type, List[Rule]] = {}
         for rule in self.rules:
@@ -175,26 +210,26 @@ class LintEngine:
                 self._dispatch.setdefault(node_type, []).append(rule)
 
     # ------------------------------------------------------------------
-    def lint_source(
-        self, source: str, path: str = "<string>", is_test: bool = False
-    ) -> List[Violation]:
-        """Lint one source string; returns sorted, suppression-filtered findings."""
+    def _parse(
+        self, source: str, path: str, is_test: bool
+    ) -> Union[LintContext, Violation]:
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
-            return [
-                Violation(
-                    path=path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule_id="PARSE",
-                    message=f"could not parse file: {exc.msg}",
-                    severity=Severity.ERROR,
-                )
-            ]
-        ctx = LintContext(path, source, tree, is_test)
+            return Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="PARSE",
+                message=f"could not parse file: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        return LintContext(path, source, tree, is_test)
+
+    def _check_context(self, ctx: LintContext) -> List[Violation]:
+        """Run the per-node rules over one parsed file."""
         out: List[Violation] = []
-        for node in ast.walk(tree):
+        for node in ast.walk(ctx.tree):
             for rule in self._dispatch.get(type(node), ()):
                 if ctx.is_test and not rule.applies_to_tests:
                     continue
@@ -203,6 +238,42 @@ class LintEngine:
                     if suppressed is None or violation.rule_id in suppressed:
                         continue
                     out.append(violation)
+        return out
+
+    def _project_pass(self, contexts: Sequence[LintContext]) -> List[Violation]:
+        """Run every project rule once over the full set of parsed files.
+
+        Findings that anchor inside a linted file are suppression-filtered
+        against that file's noqa comments; findings anchored elsewhere
+        (e.g. seeded lock-order edges with no source location) pass
+        through unfiltered.
+        """
+        by_path = {ctx.path: ctx for ctx in contexts}
+        out: List[Violation] = []
+        for rule in self._project_rules:
+            rule.begin()
+            for ctx in contexts:
+                if ctx.is_test and not rule.applies_to_tests:
+                    continue
+                rule.observe(ctx)
+            for violation in rule.finish():
+                ctx = by_path.get(violation.path)
+                if ctx is not None:
+                    suppressed = ctx.suppressed_rules(violation.line)
+                    if suppressed is None or violation.rule_id in suppressed:
+                        continue
+                out.append(violation)
+        return out
+
+    def lint_source(
+        self, source: str, path: str = "<string>", is_test: bool = False
+    ) -> List[Violation]:
+        """Lint one source string; returns sorted, suppression-filtered findings."""
+        parsed = self._parse(source, path, is_test)
+        if isinstance(parsed, Violation):
+            return [parsed]
+        out = self._check_context(parsed)
+        out.extend(self._project_pass([parsed]))
         out.sort(key=Violation.sort_key)
         return out
 
@@ -224,9 +295,35 @@ class LintEngine:
         return self.lint_source(source, path=str(path), is_test=_looks_like_test(path))
 
     def lint_paths(self, paths: Sequence[str]) -> List[Violation]:
-        """Lint every python file under the given files/directories."""
+        """Lint every python file under the given files/directories.
+
+        Per-node rules run file by file; project rules see the *whole*
+        target set in one pass, so cross-file findings (REP012) emerge
+        here rather than per file.
+        """
         out: List[Violation] = []
+        contexts: List[LintContext] = []
         for path in iter_python_files(paths):
-            out.extend(self.lint_file(path))
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                out.append(
+                    Violation(
+                        path=str(path),
+                        line=1,
+                        col=0,
+                        rule_id="PARSE",
+                        message=f"could not read file: {exc}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            parsed = self._parse(source, str(path), _looks_like_test(path))
+            if isinstance(parsed, Violation):
+                out.append(parsed)
+                continue
+            contexts.append(parsed)
+            out.extend(self._check_context(parsed))
+        out.extend(self._project_pass(contexts))
         out.sort(key=Violation.sort_key)
         return out

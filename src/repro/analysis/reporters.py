@@ -1,4 +1,5 @@
-"""Render lint findings as text (for terminals/CI) or JSON (for tooling)."""
+"""Render lint findings: text (terminals), JSON (tooling), or GitHub
+workflow-command annotations (``--format github`` in the CI lint job)."""
 
 from __future__ import annotations
 
@@ -7,7 +8,7 @@ from typing import List, Sequence
 
 from .violations import Severity, Violation
 
-__all__ = ["format_text", "format_json", "summarize"]
+__all__ = ["format_text", "format_json", "format_github", "summarize"]
 
 
 def summarize(violations: Sequence[Violation]) -> str:
@@ -29,6 +30,42 @@ def format_text(violations: Sequence[Violation]) -> str:
     lines: List[str] = [
         f"{v.location()}: {v.rule_id} [{v.severity}] {v.message}" for v in violations
     ]
+    lines.append(summarize(violations))
+    return "\n".join(lines)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (GitHub's escaping rules)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape workflow-command message data."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def format_github(violations: Sequence[Violation]) -> str:
+    """GitHub Actions annotations: one ``::error``/``::warning`` line each.
+
+    Emitted to stdout inside a workflow run, these surface as inline
+    annotations on the PR diff at the offending file/line.  The summary
+    line at the end is plain text (invisible to the annotation parser).
+    """
+    lines: List[str] = []
+    for v in violations:
+        command = "error" if v.severity >= Severity.ERROR else "warning"
+        lines.append(
+            f"::{command} file={_escape_property(v.path)}"
+            f",line={v.line},col={v.col + 1}"
+            f",title={_escape_property(v.rule_id)}"
+            f"::{_escape_data(v.message)}"
+        )
     lines.append(summarize(violations))
     return "\n".join(lines)
 

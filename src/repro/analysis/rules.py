@@ -1,4 +1,4 @@
-"""Domain-specific correctness rules (REP001-REP009) for this codebase.
+"""Domain-specific correctness rules (REP001-REP009, REP013) for this codebase.
 
 Each rule guards an invariant the runtime layer depends on: deterministic
 seeded RNG flow, no silent float-equality traps, no shared mutable state
@@ -25,6 +25,7 @@ __all__ = [
     "AssertForValidationRule",
     "SleepInLibraryRule",
     "UnmanagedFileHandleRule",
+    "UndeclaredMetricRule",
 ]
 
 
@@ -231,7 +232,7 @@ class UnlockedModuleStateRule(Rule):
     )
     node_types = (ast.Module,)
 
-    _LOCK_NAMES = frozenset({"Lock", "RLock"})
+    _LOCK_NAMES = frozenset({"Lock", "RLock", "named_lock", "named_rlock"})
 
     def _has_module_lock(self, module: ast.Module) -> bool:
         for stmt in module.body:
@@ -422,4 +423,71 @@ class UnmanagedFileHandleRule(Rule):
                     f"`{dotted}(...)` outside a with block leaks the handle "
                     "on error; bind it with `with` (or noqa a deliberately "
                     "long-lived handle)",
+                )
+
+
+@register_rule
+class UndeclaredMetricRule(Rule):
+    """REP013: metric name emitted but not declared in the runtime catalog."""
+
+    rule_id = "REP013"
+    description = "metric name not declared in repro.runtime.catalog"
+    rationale = (
+        "Dashboards, the docs metric tables, and the loadgen report "
+        "schema key off the central catalog; a counter incremented under "
+        "an undeclared name is invisible to all of them.  Declare it in "
+        "repro.runtime.catalog.METRICS/TIMERS (dynamic names must start "
+        "with a DYNAMIC_PREFIXES entry) and document it under docs/."
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+    applies_to_tests = False
+
+    def _is_metrics_receiver(self, receiver: ast.AST) -> bool:
+        if isinstance(receiver, ast.Name):
+            return receiver.id in ("metrics", "_metrics")
+        if isinstance(receiver, ast.Call):
+            dotted = _dotted_name(receiver.func)
+            return dotted is not None and dotted.rsplit(".", 1)[-1] == "_metrics"
+        dotted = _dotted_name(receiver)
+        return dotted is not None and dotted.rsplit(".", 1)[-1] == "metrics"
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in (
+            "increment",
+            "timer",
+        ):
+            return
+        if not self._is_metrics_receiver(func.value) or not node.args:
+            return
+        # Imported late: the catalog lives in repro.runtime, which pulls in
+        # modules that themselves import repro.analysis at import time.
+        from ..runtime.catalog import DYNAMIC_PREFIXES, is_declared
+
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not is_declared(arg.value):
+                yield self.violation(
+                    node,
+                    ctx,
+                    f"metric `{arg.value}` is not declared in "
+                    "repro.runtime.catalog",
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            head = arg.values[0] if arg.values else None
+            prefix = (
+                head.value
+                if isinstance(head, ast.Constant) and isinstance(head.value, str)
+                else ""
+            )
+            if not any(
+                prefix == p or prefix.startswith(p) for p in DYNAMIC_PREFIXES
+            ):
+                yield self.violation(
+                    node,
+                    ctx,
+                    "dynamically-formatted metric name must start with a "
+                    "declared DYNAMIC_PREFIXES entry from "
+                    "repro.runtime.catalog",
                 )

@@ -20,6 +20,7 @@ every transition is both counted in :mod:`repro.runtime.metrics`
 from __future__ import annotations
 
 import threading
+from ..locks import named_lock
 import time
 from typing import Callable, Dict, Optional
 
@@ -83,7 +84,7 @@ class CircuitBreaker:
         self.failure_threshold = int(failure_threshold)
         self.reset_timeout_seconds = float(reset_timeout_seconds)
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("faults.breaker")
         self._keys: Dict[str, _KeyState] = {}
 
     # ------------------------------------------------------------------

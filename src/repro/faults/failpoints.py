@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import functools
 import threading
+from ..locks import named_lock
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -215,7 +216,7 @@ class _ArmedPlan:
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
-        self._lock = threading.Lock()
+        self._lock = named_lock("faults.plan")
         self.hits = 0
         self.triggers = 0
         self._rng = (
@@ -276,7 +277,7 @@ class FailpointRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("faults.registry")
         self._points: Dict[str, "Failpoint"] = {}
         self._sessions: Tuple[FaultSession, ...] = ()
 
@@ -319,7 +320,10 @@ class FailpointRegistry:
 
     # -- hit dispatch (armed path only) ---------------------------------
     def dispatch(self, name: str) -> None:
-        sessions = self._sessions  # atomic tuple read; no lock on purpose
+        # Lock-free snapshot: _sessions is only ever rebound to a fresh
+        # tuple under _lock, so one atomic read yields a consistent view;
+        # taking the lock here would serialize every failpoint dispatch.
+        sessions = self._sessions  # repro: noqa[REP010] -- deliberate lock-free tuple snapshot
         metrics = _metrics()
         for session in sessions:
             armed_list = session.plans_for(name)

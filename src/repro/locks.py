@@ -1,0 +1,431 @@
+"""Named locks and an opt-in runtime lock-order watchdog.
+
+Every lock in the library is created through :func:`named_lock`,
+:func:`named_rlock`, or :func:`named_condition` with a stable dotted site
+name (``"serving.registry.publish"``).  When the watchdog is disarmed —
+the default — the factories return **raw** :mod:`threading` primitives,
+so production hot paths pay zero overhead.  When armed (either
+``REPRO_LOCK_WATCHDOG=1`` in the environment at import time, or
+:func:`enable_watchdog` / :func:`watch_locks` from code), newly created
+locks are wrapped so each acquisition is recorded:
+
+* a per-thread stack of currently-held lock names,
+* a global acquisition-order graph (edges ``held -> acquired``) merged
+  across threads, with eager inversion detection (both ``a -> b`` and
+  ``b -> a`` observed) and Tarjan-SCC cycle detection on demand,
+* per-lock hold-time statistics (acquire counts, max hold, long holds).
+
+The watchdog reports through :meth:`LockWatchdog.report` (JSON-ready
+dict), :meth:`LockWatchdog.write_report` (artifact file, written at
+process exit when ``REPRO_LOCK_REPORT`` names a path), and
+:meth:`LockWatchdog.publish_metrics` (delta-tracked ``lock.*`` counters).
+
+This module is imported by every lock-using package, so it must stay a
+stdlib-only leaf: no imports from elsewhere in :mod:`repro` at module
+level (``publish_metrics`` late-imports the metrics registry).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockWatchdog",
+    "graph_cycles",
+    "named_lock",
+    "named_rlock",
+    "named_condition",
+    "enable_watchdog",
+    "disable_watchdog",
+    "watchdog",
+    "watch_locks",
+]
+
+#: Metric names published by :meth:`LockWatchdog.publish_metrics`; kept in
+#: the runtime metric catalog (``repro.runtime.catalog``).
+_METRIC_ACQUIRES = "lock.acquires"
+_METRIC_LONG_HOLDS = "lock.long_holds"
+_METRIC_EDGES = "lock.order_edges"
+_METRIC_INVERSIONS = "lock.order_inversions"
+_METRIC_CYCLES = "lock.order_cycles"
+
+
+class LockWatchdog:
+    """Runtime lock-acquisition tracker.
+
+    Thread-safe.  The internal bookkeeping lock is a raw primitive and is
+    a leaf (never held while acquiring anything else), so the watchdog
+    cannot itself introduce a lock-order hazard.  The acquire/release
+    paths never touch the metrics registry — the registry's own lock may
+    be tracked, and publishing from inside the hook would recurse.
+    """
+
+    def __init__(self, long_hold_seconds: float = 0.1) -> None:
+        self.long_hold_seconds = float(long_hold_seconds)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._edge_sites: Dict[Tuple[str, str], str] = {}
+        self._stats: Dict[str, Dict[str, float]] = {}
+        self._inversions: Set[Tuple[str, str]] = set()
+        self._published: Dict[str, int] = {}
+
+    # -- per-thread held stack -------------------------------------------
+
+    def _stack(self) -> List[List[object]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_names(self) -> Tuple[str, ...]:
+        """Names of locks the calling thread currently holds (outermost first)."""
+        return tuple(str(entry[0]) for entry in self._stack())
+
+    # -- hooks called by _TrackedLock ------------------------------------
+
+    def on_acquired(self, name: str) -> None:
+        stack = self._stack()
+        held = [str(entry[0]) for entry in stack]
+        thread = threading.current_thread().name
+        with self._lock:
+            rec = self._stats.setdefault(
+                name, {"acquires": 0, "long_holds": 0, "max_hold_seconds": 0.0}
+            )
+            rec["acquires"] += 1
+            for held_name in held:
+                if held_name == name:  # re-entrant RLock acquisition
+                    continue
+                key = (held_name, name)
+                self._edges[key] = self._edges.get(key, 0) + 1
+                self._edge_sites.setdefault(key, thread)
+                if (name, held_name) in self._edges:
+                    inv = (min(held_name, name), max(held_name, name))
+                    self._inversions.add(inv)
+        stack.append([name, time.perf_counter()])
+
+    def on_released(self, name: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == name:
+                entry = stack.pop(i)
+                break
+        else:
+            return  # release of a lock acquired before tracking began
+        elapsed = time.perf_counter() - float(entry[1])  # type: ignore[arg-type]
+        with self._lock:
+            rec = self._stats.setdefault(
+                name, {"acquires": 0, "long_holds": 0, "max_hold_seconds": 0.0}
+            )
+            if elapsed > rec["max_hold_seconds"]:
+                rec["max_hold_seconds"] = elapsed
+            if elapsed >= self.long_hold_seconds:
+                rec["long_holds"] += 1
+
+    # -- analysis ---------------------------------------------------------
+
+    def edges(self) -> Dict[Tuple[str, str], int]:
+        with self._lock:
+            return dict(self._edges)
+
+    def inversions(self) -> List[Tuple[str, str]]:
+        with self._lock:
+            return sorted(self._inversions)
+
+    def cycles(self) -> List[List[str]]:
+        """Cycles in the observed acquisition-order graph (Tarjan SCCs)."""
+        return graph_cycles(set(self.edges()))
+
+    def report(self) -> Dict[str, object]:
+        with self._lock:
+            stats = {
+                name: dict(rec) for name, rec in sorted(self._stats.items())
+            }
+            edges = sorted(
+                (
+                    {
+                        "from": a,
+                        "to": b,
+                        "count": count,
+                        "first_thread": self._edge_sites.get((a, b), ""),
+                    }
+                    for (a, b), count in self._edges.items()
+                ),
+                key=lambda e: (e["from"], e["to"]),
+            )
+            inversions = sorted(list(pair) for pair in self._inversions)
+            edge_keys = set(self._edges)
+        return {
+            "long_hold_seconds": self.long_hold_seconds,
+            "locks": stats,
+            "edges": edges,
+            "inversions": inversions,
+            "cycles": graph_cycles(edge_keys),
+        }
+
+    def write_report(self, path: str) -> None:
+        payload = self.report()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def publish_metrics(self) -> Dict[str, int]:
+        """Publish delta-tracked ``lock.*`` counters to the metrics registry.
+
+        Safe to call repeatedly: only the growth since the previous call
+        is emitted.  Returns the deltas that were published.
+        """
+        from .runtime.metrics import metrics
+
+        with self._lock:
+            edge_keys = set(self._edges)
+            totals = {
+                _METRIC_ACQUIRES: int(
+                    sum(rec["acquires"] for rec in self._stats.values())
+                ),
+                _METRIC_LONG_HOLDS: int(
+                    sum(rec["long_holds"] for rec in self._stats.values())
+                ),
+                _METRIC_EDGES: len(self._edges),
+                _METRIC_INVERSIONS: len(self._inversions),
+            }
+        totals[_METRIC_CYCLES] = len(graph_cycles(edge_keys))
+        with self._lock:
+            deltas = {
+                name: value - self._published.get(name, 0)
+                for name, value in totals.items()
+            }
+            self._published = totals
+        for name, delta in deltas.items():
+            if delta > 0:
+                metrics.increment(name, delta)
+        return deltas
+
+
+def graph_cycles(edges: Set[Tuple[str, str]]) -> List[List[str]]:
+    """Cycles in a directed graph given as a set of (src, dst) edges.
+
+    Returns one representative closed walk per strongly connected
+    component with a cycle, e.g. ``["a", "b", "a"]``.  Deterministic:
+    nodes are visited in sorted order.
+    """
+    adjacency: Dict[str, Set[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        # Iterative Tarjan: (node, iterator over remaining neighbours).
+        work: List[Tuple[str, Iterator[str]]] = []
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(sorted(adjacency[root]))))
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for nxt in neighbours:
+                if nxt not in index_of:
+                    index_of[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adjacency[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for node in sorted(adjacency):
+        if node not in index_of:
+            strongconnect(node)
+
+    cycles: List[List[str]] = []
+    for component in sccs:
+        members = sorted(component)
+        if len(members) > 1:
+            cycles.append(_component_cycle(members, adjacency))
+        elif members[0] in adjacency.get(members[0], set()):
+            cycles.append([members[0], members[0]])
+    cycles.sort()
+    return cycles
+
+
+def _component_cycle(
+    members: List[str], adjacency: Dict[str, Set[str]]
+) -> List[str]:
+    """A representative closed walk through a multi-node SCC."""
+    member_set = set(members)
+    start = members[0]
+    path = [start]
+    seen = {start: 0}
+    current = start
+    while True:
+        nxt = min(n for n in adjacency[current] if n in member_set)
+        if nxt in seen:
+            return path[seen[nxt] :] + [nxt]
+        seen[nxt] = len(path)
+        path.append(nxt)
+        current = nxt
+
+
+class _TrackedLock:
+    """Wraps a Lock/RLock, reporting acquire/release to a watchdog.
+
+    Also serves as the backing lock of a tracked ``Condition``: the
+    wrapper deliberately exposes no ``_release_save`` / ``_acquire_restore``
+    / ``_is_owned``, so :class:`threading.Condition` falls back to plain
+    ``release()`` / ``acquire()`` calls, which keep the per-thread held
+    stack consistent across ``wait()``.
+    """
+
+    __slots__ = ("_inner", "name", "_watchdog")
+
+    def __init__(self, inner: object, name: str, watchdog: LockWatchdog) -> None:
+        self._inner = inner
+        self.name = name
+        self._watchdog = watchdog
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if acquired:
+            self._watchdog.on_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._watchdog.on_released(self.name)
+        self._inner.release()  # type: ignore[attr-defined]
+
+    def locked(self) -> bool:
+        return self._inner.locked()  # type: ignore[attr-defined]
+
+    def __enter__(self) -> "_TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<tracked {self._inner!r} name={self.name!r}>"
+
+
+_guard = threading.Lock()
+_watchdog: Optional[LockWatchdog] = None
+
+
+def watchdog() -> Optional[LockWatchdog]:
+    """The active global watchdog, or ``None`` when disarmed."""
+    return _watchdog
+
+
+def enable_watchdog(long_hold_seconds: float = 0.1) -> LockWatchdog:
+    """Arm the global watchdog; idempotent.
+
+    Only locks created *after* arming are tracked — existing raw locks
+    keep their zero-overhead fast path.
+    """
+    global _watchdog
+    with _guard:
+        if _watchdog is None:
+            _watchdog = LockWatchdog(long_hold_seconds=long_hold_seconds)
+        return _watchdog
+
+
+def disable_watchdog() -> Optional[LockWatchdog]:
+    """Disarm the global watchdog, returning the previous one (if any).
+
+    Locks already created as tracked keep reporting to the watchdog they
+    were created under; new locks revert to raw primitives.
+    """
+    global _watchdog
+    with _guard:
+        previous = _watchdog
+        _watchdog = None
+        return previous
+
+
+@contextmanager
+def watch_locks(long_hold_seconds: float = 0.1):
+    """Scoped watchdog for tests: arm a *fresh* watchdog, yield it, disarm.
+
+    Locks created inside the scope are tracked by the yielded watchdog
+    only, so concurrent state from earlier scopes cannot leak in.
+    """
+    global _watchdog
+    with _guard:
+        previous = _watchdog
+        scoped = LockWatchdog(long_hold_seconds=long_hold_seconds)
+        _watchdog = scoped
+    try:
+        yield scoped
+    finally:
+        with _guard:
+            _watchdog = previous
+
+
+def named_lock(name: str) -> object:
+    """A mutex for the dotted site *name*; tracked iff the watchdog is armed."""
+    active = _watchdog
+    if active is None:
+        return threading.Lock()
+    return _TrackedLock(threading.Lock(), name, active)
+
+
+def named_rlock(name: str) -> object:
+    """A re-entrant mutex for *name*; tracked iff the watchdog is armed."""
+    active = _watchdog
+    if active is None:
+        return threading.RLock()
+    return _TrackedLock(threading.RLock(), name, active)
+
+
+def named_condition(name: str) -> threading.Condition:
+    """A condition variable whose backing lock is tracked iff armed."""
+    active = _watchdog
+    if active is None:
+        return threading.Condition()
+    return threading.Condition(_TrackedLock(threading.Lock(), name, active))
+
+
+def _install_from_env() -> None:
+    flag = os.environ.get("REPRO_LOCK_WATCHDOG", "").strip().lower()
+    if flag not in ("1", "true", "on", "yes"):
+        return
+    armed = enable_watchdog()
+    report_path = os.environ.get("REPRO_LOCK_REPORT", "").strip()
+    if report_path:
+        atexit.register(armed.write_report, report_path)
+
+
+_install_from_env()

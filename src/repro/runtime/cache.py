@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from ..locks import named_lock
 from collections import OrderedDict
 from typing import Callable, Hashable, Optional, Tuple
 
@@ -83,7 +84,7 @@ class DesignMatrixCache:
         self.max_entries = int(max_entries)
         self.max_bytes = int(max_bytes)
         self.min_result_cells = int(min_result_cells)
-        self._lock = threading.Lock()
+        self._lock = named_lock("runtime.design_cache")
         self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -187,7 +188,7 @@ class DesignMatrixCache:
 
 
 _default_cache: Optional[DesignMatrixCache] = DesignMatrixCache()
-_cache_lock = threading.Lock()
+_cache_lock = named_lock("runtime.design_cache.global")
 
 
 def design_cache() -> Optional[DesignMatrixCache]:

@@ -15,6 +15,7 @@ everywhere.  Names are dotted strings (``"design_matrix.cells"``,
 from __future__ import annotations
 
 import threading
+from ..locks import named_lock
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -42,7 +43,7 @@ class MetricsRegistry:
     """Thread-safe named counters and timers."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("runtime.metrics")
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, TimerStat] = {}
 

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from ..locks import named_condition, named_lock
 import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -135,7 +136,7 @@ class _BoundedRequestQueue:
 
     def __init__(self, bound: Optional[int]):
         self._bound = bound
-        self._cond = threading.Condition()
+        self._cond = named_condition("serving.engine.queue")
         self._items: "deque" = deque()
         self._depth = 0  # _Request entries only; sentinels not counted
         self._peak = 0
@@ -301,7 +302,7 @@ class PredictionEngine:
         self.serve_last_good = bool(serve_last_good)
         self.default_timeout_seconds = default_timeout_seconds
         self._retry_rng = retry_policy.make_rng()
-        self._retry_rng_lock = threading.Lock()
+        self._retry_rng_lock = named_lock("serving.engine.retry_rng")
         self.max_queue_depth = (
             None if max_queue_depth is None else int(max_queue_depth)
         )
@@ -309,8 +310,8 @@ class PredictionEngine:
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._running = False
-        self._state_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
+        self._state_lock = named_lock("serving.engine.state")
+        self._stats_lock = named_lock("serving.engine.stats")
         self._requests = 0
         self._batches = 0
         self._rows = 0
@@ -557,7 +558,8 @@ class PredictionEngine:
                 self._expire(request)
                 continue
             groups.setdefault(request.name, []).append(request)
-        pool = self._pool
+        with self._state_lock:
+            pool = self._pool
         for name, requests in groups.items():
             try:
                 version = self.registry.current(name)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from ..locks import named_lock
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -205,10 +206,10 @@ class ModelRegistry:
         self.serve_last_good = bool(serve_last_good)
         self.store = store
         self.durability = durability
-        self._lock = threading.Lock()
+        self._lock = named_lock("serving.registry.state")
         # Held across version-allocate -> persist -> commit so concurrent
         # publishes reach the store in version order; readers never take it.
-        self._publish_lock = threading.Lock()
+        self._publish_lock = named_lock("serving.registry.publish")
         self._history: Dict[str, List[ModelVersion]] = {}
         self._active: Dict[str, int] = {}  # index into the history list
         self._next_version: Dict[str, int] = {}

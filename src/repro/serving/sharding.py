@@ -43,6 +43,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import threading
+from ..locks import named_lock
 from concurrent.futures import Future
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -100,7 +101,7 @@ class JournalFollower:
         self.registry = registry
         self.should_replicate = should_replicate
         self._offset = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("serving.shard.follower")
 
     @property
     def offset(self) -> int:
@@ -239,7 +240,7 @@ class ShardRouter:
         self.num_shards = int(num_shards)
         self.replication_factor = min(int(replication_factor), self.num_shards)
         self.virtual_nodes = int(virtual_nodes)
-        self._lock = threading.Lock()
+        self._lock = named_lock("serving.shard.router")
         self._names: Dict[str, None] = {}  # insertion-ordered set of names
         self._failovers = 0
         self._rebalanced_keys = 0

@@ -1,0 +1,584 @@
+"""Tests for the concurrency lint pass: REP010, REP011, REP012."""
+
+import textwrap
+
+from repro.analysis import LintEngine
+from repro.analysis.concurrency import (
+    DEFAULT_SEED_EDGES,
+    LockOrderRule,
+    build_class_model,
+)
+import ast
+
+
+def lint(source, select, is_test=False, **engine_kwargs):
+    engine = LintEngine(select=select, **engine_kwargs)
+    return engine.lint_source(
+        textwrap.dedent(source), path="snippet.py", is_test=is_test
+    )
+
+
+class TestGuardedAttribute:
+    def test_unguarded_read_of_guarded_attribute_flagged(self):
+        violations = lint(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    return self._count
+            """,
+            select=["REP010"],
+        )
+        assert len(violations) == 1
+        assert "Counter._count" in violations[0].message
+        assert "peek()" in violations[0].message
+
+    def test_consistently_guarded_class_is_clean(self):
+        violations = lint(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    with self._lock:
+                        return self._count
+            """,
+            select=["REP010"],
+        )
+        assert violations == []
+
+    def test_init_writes_do_not_establish_guards(self):
+        violations = lint(
+            """
+            import threading
+
+            class Config:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    with self._lock:
+                        self._name = "x"
+
+                def name(self):
+                    return self._name
+            """,
+            select=["REP010"],
+        )
+        assert violations == []
+
+    def test_locked_suffix_helper_without_call_sites_is_trusted(self):
+        violations = lint(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+
+                def _drain_locked(self):
+                    out = list(self._items)
+                    self._items = []
+                    return out
+            """,
+            select=["REP010"],
+        )
+        assert violations == []
+
+    def test_locked_helper_called_without_lock_is_flagged(self):
+        violations = lint(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+
+                def drain(self):
+                    return self._drain_locked()
+
+                def _drain_locked(self):
+                    out = list(self._items)
+                    self._items = []
+                    return out
+            """,
+            select=["REP010"],
+        )
+        assert violations
+        assert all("_drain_locked()" in v.message for v in violations)
+
+    def test_named_lock_factory_recognized(self):
+        violations = lint(
+            """
+            from repro.locks import named_lock
+
+            class Counter:
+                def __init__(self):
+                    self._lock = named_lock("test.counter")
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    return self._count
+            """,
+            select=["REP010"],
+        )
+        assert len(violations) == 1
+
+    def test_nested_function_body_not_credited_with_outer_lock(self):
+        violations = lint(
+            """
+            import threading
+
+            class Sched:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = []
+
+                def submit(self, job):
+                    with self._lock:
+                        self._jobs.append(job)
+
+                def deferred(self):
+                    with self._lock:
+                        def later():
+                            self._jobs.pop()
+                        return later
+            """,
+            select=["REP010"],
+        )
+        assert len(violations) == 1
+        assert "later" not in violations[0].message  # anchored on the access
+        assert "deferred()" in violations[0].message
+
+    def test_wait_for_predicate_runs_with_condition_lock(self):
+        violations = lint(
+            """
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._items = []
+
+                def put(self, item):
+                    with self._cond:
+                        self._items.append(item)
+                        self._cond.notify()
+
+                def get(self, timeout):
+                    with self._cond:
+                        self._cond.wait_for(lambda: self._items, timeout)
+                        return self._items.pop()
+            """,
+            select=["REP010"],
+        )
+        assert violations == []
+
+    def test_noqa_suppresses(self):
+        violations = lint(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    return self._count  # repro: noqa[REP010] -- racy read ok
+            """,
+            select=["REP010"],
+        )
+        assert violations == []
+
+    def test_test_files_exempt(self):
+        violations = lint(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    return self._count
+            """,
+            select=["REP010"],
+            is_test=True,
+        )
+        assert violations == []
+
+
+class TestBlockingUnderLock:
+    def _one(self, body, select=("REP011",)):
+        return lint(body, select=list(select))
+
+    def test_sleep_under_lock_flagged(self):
+        violations = self._one(
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poll(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """
+        )
+        assert len(violations) == 1
+        assert "self._lock" in violations[0].message
+
+    def test_open_under_lock_flagged(self):
+        violations = self._one(
+            """
+            import threading
+
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def dump(self, path, data):
+                    with self._lock:
+                        with open(path, "w") as fh:
+                            fh.write(data)
+            """
+        )
+        assert len(violations) == 1
+
+    def test_future_result_under_lock_flagged(self):
+        violations = self._one(
+            """
+            import threading
+
+            class Gather:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_all(self, futures):
+                    with self._lock:
+                        return [f.result() for f in futures]
+            """
+        )
+        assert len(violations) == 1
+
+    def test_untimed_wait_flagged_but_timed_ok(self):
+        flagged = self._one(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._event = threading.Event()
+
+                def block(self):
+                    with self._lock:
+                        self._event.wait()
+            """
+        )
+        assert len(flagged) == 1
+        clean = self._one(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._event = threading.Event()
+
+                def block(self):
+                    with self._lock:
+                        self._event.wait(1.0)
+            """
+        )
+        assert clean == []
+
+    def test_condition_wait_on_own_lock_not_flagged(self):
+        violations = self._one(
+            """
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._items = []
+
+                def get(self):
+                    with self._cond:
+                        while not self._items:
+                            self._cond.wait(0.5)
+                        return self._items.pop()
+            """
+        )
+        assert violations == []
+
+    def test_interprocedural_helper_blocking_flagged_at_call_site(self):
+        violations = self._one(
+            """
+            import threading
+            import os
+
+            class Journal:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def commit(self):
+                    with self._lock:
+                        self._sync()
+
+                def _sync(self):
+                    os.fsync(3)
+            """
+        )
+        assert len(violations) == 1
+        assert "self._sync()" in violations[0].message
+
+    def test_blocking_outside_lock_is_clean(self):
+        violations = self._one(
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poll(self):
+                    time.sleep(0.1)
+                    with self._lock:
+                        pass
+            """
+        )
+        assert violations == []
+
+    def test_noqa_suppresses(self):
+        violations = self._one(
+            """
+            import threading
+            import os
+
+            class Journal:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def commit(self):
+                    with self._lock:
+                        os.fsync(3)  # repro: noqa[REP011] -- WAL ordering
+            """
+        )
+        assert violations == []
+
+
+class TestLockOrder:
+    def test_single_file_cycle_detected(self):
+        violations = lint(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+            select=["REP012"],
+        )
+        assert len(violations) == 1
+        assert "lock-order cycle" in violations[0].message
+        assert "Pair._a" in violations[0].message
+        assert "Pair._b" in violations[0].message
+
+    def test_consistent_order_is_clean(self):
+        violations = lint(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def also_forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """,
+            select=["REP012"],
+        )
+        assert violations == []
+
+    def test_cross_file_cycle_via_annotated_attribute(self, tmp_path):
+        (tmp_path / "shard.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Shard:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def ping(self):
+                        with self._lock:
+                            pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        (tmp_path / "router.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+                from shard import Shard
+
+                class Router:
+                    def __init__(self, shard: Shard):
+                        self._lock = threading.Lock()
+                        self._shard = shard
+
+                    def route(self):
+                        with self._lock:
+                            self._shard.ping()
+                """
+            ),
+            encoding="utf-8",
+        )
+        rule = LockOrderRule(
+            seed_edges=(("Shard._lock", "Router._lock"),)
+        )
+        engine = LintEngine(rules=[rule])
+        violations = engine.lint_paths([str(tmp_path)])
+        assert len(violations) == 1
+        assert "Router._lock" in violations[0].message
+        assert "Shard._lock" in violations[0].message
+        # The inferred half of the cycle carries a real source location.
+        assert violations[0].path.endswith("router.py")
+
+    def test_seed_only_cycle_anchors_at_sentinel_path(self):
+        rule = LockOrderRule(
+            seed_edges=(("A.x", "B.y"), ("B.y", "A.x"))
+        )
+        engine = LintEngine(rules=[rule])
+        violations = engine.lint_source("", path="empty.py")
+        assert len(violations) == 1
+        assert violations[0].path == "<lock-order-seeds>"
+
+    def test_default_seed_edges_are_acyclic(self):
+        rule = LockOrderRule()
+        assert rule.seed_edges == DEFAULT_SEED_EDGES
+        engine = LintEngine(rules=[rule])
+        assert engine.lint_source("", path="empty.py") == []
+
+    def test_edges_exposes_merged_graph(self):
+        rule = LockOrderRule(seed_edges=())
+        engine = LintEngine(rules=[rule])
+        engine.lint_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Pair:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def forward(self):
+                        with self._a:
+                            with self._b:
+                                pass
+                """
+            ),
+            path="pair.py",
+        )
+        edges = rule.edges()
+        assert ("Pair._a", "Pair._b") in edges
+        path, line = edges[("Pair._a", "Pair._b")]
+        assert path == "pair.py"
+        assert line > 0
+
+
+class TestClassModel:
+    def test_model_identifies_locks_and_attr_types(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                import threading
+                from repro.locks import named_condition
+
+                class Engine:
+                    def __init__(self, store: "Store"):
+                        self._lock = threading.Lock()
+                        self._cond = named_condition("q")
+                        self._store = store
+                        self._depth = 0
+                """
+            )
+        )
+        classdef = next(
+            n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+        )
+        model = build_class_model(classdef)
+        assert set(model.locks) == {"_lock", "_cond"}
+        assert model.locks["_cond"] == "condition"
+        assert "Store" in model.attr_types.get("_store", ())
+
+
+class TestShippedTree:
+    def test_src_tree_has_no_concurrency_findings(self):
+        engine = LintEngine(select=["REP010", "REP011", "REP012"])
+        violations = engine.lint_paths(["src"])
+        assert violations == []

@@ -284,9 +284,11 @@ class TestEngine:
         with pytest.raises(ValueError):
             LintEngine(select=["REP999"])
 
-    def test_registry_has_all_nine_rules(self):
+    def test_registry_has_all_thirteen_rules(self):
         ids = set(registered_rules())
-        assert {f"REP00{i}" for i in range(1, 10)} <= ids
+        expected = {f"REP00{i}" for i in range(1, 10)}
+        expected |= {"REP010", "REP011", "REP012", "REP013"}
+        assert expected <= ids
 
     def test_violations_sorted_by_location(self):
         src = "import numpy as np\nb = np.random.rand(1)\na = 1 == 0.5\n"
@@ -410,6 +412,52 @@ class TestCli:
         out = capsys.readouterr().out
         for i in range(1, 10):
             assert f"REP00{i}" in out
+        for rule_id in ("REP010", "REP011", "REP012", "REP013"):
+            assert rule_id in out
+
+    def test_github_format(self, tmp_path, capsys):
+        f = tmp_path / "dirty.py"
+        f.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main([str(f), "--format=github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=REP001" in out
+        assert "line=2" in out
+
+    def test_github_format_escapes_newlines_and_commas(self):
+        from repro.analysis import Severity
+        from repro.analysis.engine import Violation
+        from repro.analysis.reporters import format_github
+
+        v = Violation(
+            path="a,b.py",
+            line=3,
+            col=0,
+            rule_id="REP001",
+            message="bad\nthing",
+            severity=Severity.ERROR,
+            line_text="",
+        )
+        out = format_github([v])
+        first = out.splitlines()[0]
+        assert first.startswith("::error file=a%2Cb.py,line=3,col=1")
+        assert "bad%0Athing" in first
+
+    def test_github_format_warning_severity(self):
+        from repro.analysis import Severity
+        from repro.analysis.engine import Violation
+        from repro.analysis.reporters import format_github
+
+        v = Violation(
+            path="w.py",
+            line=1,
+            col=0,
+            rule_id="REPX",
+            message="heads up",
+            severity=Severity.WARNING,
+            line_text="",
+        )
+        assert format_github([v]).startswith("::warning ")
 
 
 class TestShippedTreeIsClean:

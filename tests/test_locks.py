@@ -1,0 +1,282 @@
+"""Tests for the runtime lock-order watchdog (`repro.locks`)."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro import locks
+from repro.locks import (
+    enable_watchdog,
+    disable_watchdog,
+    graph_cycles,
+    named_condition,
+    named_lock,
+    named_rlock,
+    watch_locks,
+    watchdog,
+)
+from repro.runtime.metrics import metrics
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestGraphCycles:
+    def test_acyclic_graph_has_no_cycles(self):
+        edges = {("a", "b"), ("b", "c"), ("a", "c")}
+        assert graph_cycles(edges) == []
+
+    def test_simple_cycle_is_reported_as_closed_walk(self):
+        cycles = graph_cycles({("a", "b"), ("b", "c"), ("c", "a")})
+        assert len(cycles) == 1
+        walk = cycles[0]
+        assert walk[0] == walk[-1]
+        assert set(walk) == {"a", "b", "c"}
+
+    def test_self_loop_is_a_cycle(self):
+        assert graph_cycles({("d", "d")}) == [["d", "d"]]
+
+    def test_two_disjoint_cycles_both_reported(self):
+        cycles = graph_cycles({("a", "b"), ("b", "a"), ("d", "d")})
+        assert len(cycles) == 2
+
+    def test_deterministic_across_calls(self):
+        edges = {("x", "y"), ("y", "x"), ("p", "q"), ("q", "p")}
+        assert graph_cycles(set(edges)) == graph_cycles(set(edges))
+
+
+class TestDisarmedFactories:
+    def test_named_lock_returns_raw_primitive(self):
+        assert watchdog() is None
+        lock = named_lock("test.raw")
+        assert type(lock) is type(threading.Lock())
+
+    def test_named_rlock_returns_raw_primitive(self):
+        rlock = named_rlock("test.raw_r")
+        assert type(rlock) is type(threading.RLock())
+
+    def test_named_condition_returns_plain_condition(self):
+        cond = named_condition("test.raw_cond")
+        assert isinstance(cond, threading.Condition)
+        assert type(cond._lock) is type(threading.RLock())
+
+
+class TestEnableDisable:
+    def test_enable_is_idempotent_and_disable_returns_previous(self):
+        try:
+            first = enable_watchdog()
+            second = enable_watchdog()
+            assert first is second
+            assert watchdog() is first
+        finally:
+            previous = disable_watchdog()
+        assert previous is first
+        assert watchdog() is None
+
+    def test_armed_factory_locks_are_tracked(self):
+        with watch_locks() as wd:
+            lock = named_lock("test.tracked")
+            with lock:
+                pass
+        assert wd.report()["locks"]["test.tracked"]["acquires"] == 1
+
+    def test_watch_locks_restores_prior_state(self):
+        assert watchdog() is None
+        with watch_locks():
+            assert watchdog() is not None
+        assert watchdog() is None
+
+
+class TestAcquisitionGraph:
+    def test_nested_acquisition_records_edge(self):
+        with watch_locks() as wd:
+            outer = named_lock("test.outer")
+            inner = named_lock("test.inner")
+            with outer:
+                with inner:
+                    pass
+        assert wd.edges() == {("test.outer", "test.inner"): 1}
+        assert wd.inversions() == []
+        assert wd.cycles() == []
+
+    def test_inversion_and_cycle_detected_across_threads(self):
+        with watch_locks() as wd:
+            a = named_lock("test.a")
+            b = named_lock("test.b")
+
+            with a:
+                with b:
+                    pass
+
+            def reversed_order():
+                with b:
+                    with a:
+                        pass
+
+            worker = threading.Thread(target=reversed_order)
+            worker.start()
+            worker.join()
+
+            report = wd.report()
+        assert report["inversions"] == [["test.a", "test.b"]]
+        assert len(report["cycles"]) == 1
+        assert set(report["cycles"][0]) == {"test.a", "test.b"}
+
+    def test_edge_counts_accumulate(self):
+        with watch_locks() as wd:
+            a = named_lock("test.a")
+            b = named_lock("test.b")
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+        assert wd.edges()[("test.a", "test.b")] == 3
+
+    def test_condition_wait_keeps_held_stack_consistent(self):
+        with watch_locks() as wd:
+            cond = named_condition("test.cond")
+            ready = []
+
+            def producer():
+                with cond:
+                    ready.append(True)
+                    cond.notify()
+
+            worker = threading.Thread(target=producer)
+            with cond:
+                worker.start()
+                ok = cond.wait_for(lambda: ready, timeout=5.0)
+            worker.join()
+            assert ok
+            # After wait() reacquires, release must still balance: taking
+            # another lock now must not fabricate a stale edge.
+            other = named_lock("test.other")
+            with other:
+                pass
+        edges = wd.edges()
+        assert ("test.cond", "test.other") not in edges
+        assert wd.cycles() == []
+
+
+class TestLongHolds:
+    def test_long_hold_counted_against_tiny_threshold(self):
+        with watch_locks(long_hold_seconds=0.001) as wd:
+            lock = named_lock("test.slow")
+            with lock:
+                time.sleep(0.01)
+        stats = wd.report()["locks"]["test.slow"]
+        assert stats["long_holds"] == 1
+        assert stats["max_hold_seconds"] >= 0.001
+
+    def test_fast_hold_not_counted(self):
+        with watch_locks(long_hold_seconds=10.0) as wd:
+            lock = named_lock("test.fast")
+            with lock:
+                pass
+        assert wd.report()["locks"]["test.fast"]["long_holds"] == 0
+
+
+class TestPublishMetrics:
+    def test_deltas_and_registry_increments(self):
+        before = metrics.counters()
+        with watch_locks() as wd:
+            a = named_lock("test.a")
+            b = named_lock("test.b")
+            with a:
+                with b:
+                    pass
+            first = wd.publish_metrics()
+            second = wd.publish_metrics()
+        assert first["lock.acquires"] == 2
+        assert first["lock.order_edges"] == 1
+        assert first["lock.order_inversions"] == 0
+        assert first["lock.order_cycles"] == 0
+        assert all(value == 0 for value in second.values())
+        after = metrics.counters()
+        assert after.get("lock.acquires", 0) - before.get("lock.acquires", 0) == 2
+        assert (
+            after.get("lock.order_edges", 0) - before.get("lock.order_edges", 0)
+            == 1
+        )
+
+
+class TestReport:
+    def test_write_report_round_trips_json(self, tmp_path):
+        path = tmp_path / "lock-report.json"
+        with watch_locks() as wd:
+            lock = named_lock("test.reported")
+            with lock:
+                pass
+            wd.write_report(str(path))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert set(payload) == {
+            "long_hold_seconds",
+            "locks",
+            "edges",
+            "inversions",
+            "cycles",
+        }
+        assert payload["locks"]["test.reported"]["acquires"] == 1
+        assert payload["edges"] == []
+        assert payload["cycles"] == []
+
+    def test_report_edges_carry_first_thread(self):
+        with watch_locks() as wd:
+            a = named_lock("test.a")
+            b = named_lock("test.b")
+            with a:
+                with b:
+                    pass
+        (edge,) = wd.report()["edges"]
+        assert edge["from"] == "test.a"
+        assert edge["to"] == "test.b"
+        assert edge["count"] == 1
+        assert edge["first_thread"]
+
+
+class TestEnvArming:
+    def test_env_var_arms_and_atexit_writes_report(self, tmp_path):
+        report_path = tmp_path / "env-report.json"
+        script = (
+            "from repro.locks import named_lock, watchdog\n"
+            "assert watchdog() is not None\n"
+            "a = named_lock('env.a')\n"
+            "b = named_lock('env.b')\n"
+            "with a:\n"
+            "    with b:\n"
+            "        pass\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["REPRO_LOCK_WATCHDOG"] = "1"
+        env["REPRO_LOCK_REPORT"] = str(report_path)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["locks"]["env.a"]["acquires"] == 1
+        assert [e["from"] for e in payload["edges"]] == ["env.a"]
+
+    def test_env_var_off_leaves_watchdog_disarmed(self, tmp_path):
+        script = (
+            "from repro.locks import watchdog\n"
+            "import sys\n"
+            "sys.exit(0 if watchdog() is None else 1)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_LOCK_WATCHDOG", None)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
