@@ -20,10 +20,12 @@ from .runners import (
     ChaosStreamReport,
     CostComparison,
     CrashRecoveryReport,
+    RollingRestartReport,
     ServingStreamReport,
     run_chaos_stream,
     run_cost_comparison,
     run_crash_recovery_stream,
+    run_rolling_restart_drill,
     run_serving_stream,
 )
 from .tables import METHODS, ErrorTable, run_error_table
@@ -36,6 +38,7 @@ __all__ = [
     "CostComparison",
     "CostReport",
     "CrashRecoveryReport",
+    "RollingRestartReport",
     "ErrorTable",
     "FittingCostCurve",
     "ServingStreamReport",
@@ -49,6 +52,7 @@ __all__ = [
     "run_chaos_stream",
     "run_cost_comparison",
     "run_crash_recovery_stream",
+    "run_rolling_restart_drill",
     "run_error_table",
     "run_fitting_cost",
     "run_serving_stream",

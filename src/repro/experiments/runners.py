@@ -32,10 +32,12 @@ __all__ = [
     "ChaosStreamReport",
     "CostComparison",
     "CrashRecoveryReport",
+    "RollingRestartReport",
     "ServingStreamReport",
     "run_chaos_stream",
     "run_cost_comparison",
     "run_crash_recovery_stream",
+    "run_rolling_restart_drill",
     "run_serving_stream",
 ]
 
@@ -899,4 +901,261 @@ def run_crash_recovery_stream(
             k: v for k, v in counter_delta.items() if k.startswith("store.")
         },
         engine_stats=engine_stats,
+    )
+
+
+@dataclass
+class RollingRestartReport:
+    """Outcome of one zero-downtime rolling-restart drill.
+
+    Every field that enters :meth:`deterministic_signature` is an event
+    count, a tuple of them, or a mode string -- never wall-clock -- so two
+    runs with the same seed produce identical signatures.
+    """
+
+    seed: int
+    num_shards: int
+    replication_factor: int
+    num_models: int
+    #: Versions published across all phases (pre-stream + post-rearm).
+    versions_published: int
+    #: Whether the store was compacted under live traffic mid-drill.
+    compacted: bool
+    history_window: int
+    #: Live store generation when the drill finished (0 = never compacted).
+    generation: int
+    #: Global journal offset the live generation's checkpoint covers.
+    checkpoint_offset: int
+    #: Shard ids in the order the drill restarted them.
+    restart_order: Sequence[int]
+    #: Versions each restarted shard restored from the store, same order.
+    restart_restored: Sequence[int]
+    requests_issued: int
+    answered_requests: int
+    #: Must be 0: every accepted request is answered by a warm replica.
+    failed_requests: int
+    #: ``last_refit_mode`` per model for the first post-restart batch --
+    #: all ``"incremental"`` means no refit-from-scratch ever ran.
+    rearm_modes: Sequence[str]
+    #: ``sequential.rearms`` counter delta (one warm rearm per model).
+    rearms: int
+    #: ``woodbury.fallbacks`` counter delta (must be 0).
+    woodbury_fallbacks: int
+    #: ``serving.*`` / ``store.*`` counter deltas over the whole drill.
+    serving_counters: Dict[str, int] = field(default_factory=dict)
+    store_counters: Dict[str, int] = field(default_factory=dict)
+    #: Final :meth:`repro.serving.ShardRouter.stats` snapshot.
+    router_stats: Dict[str, object] = field(default_factory=dict)
+
+    def deterministic_signature(self) -> Dict[str, object]:
+        """Everything that must be bitwise identical across same-seed runs."""
+        return {
+            "num_shards": self.num_shards,
+            "replication_factor": self.replication_factor,
+            "num_models": self.num_models,
+            "versions_published": self.versions_published,
+            "compacted": self.compacted,
+            "history_window": self.history_window,
+            "generation": self.generation,
+            "checkpoint_offset": self.checkpoint_offset,
+            "restart_order": tuple(self.restart_order),
+            "restart_restored": tuple(self.restart_restored),
+            "requests_issued": self.requests_issued,
+            "answered_requests": self.answered_requests,
+            "failed_requests": self.failed_requests,
+            "rearm_modes": tuple(self.rearm_modes),
+            "rearms": self.rearms,
+            "woodbury_fallbacks": self.woodbury_fallbacks,
+            "serving_counters": dict(self.serving_counters),
+            "store_counters": dict(self.store_counters),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"Rolling-restart drill (seed {self.seed}): "
+            f"{self.num_shards} shards, rf={self.replication_factor}",
+            f"  models / versions    : {self.num_models}"
+            f" / {self.versions_published}",
+            f"  compacted            : {self.compacted}"
+            f" (window {self.history_window}, generation {self.generation},"
+            f" checkpoint {self.checkpoint_offset})",
+            f"  restarts             : {list(self.restart_order)} restored "
+            f"{list(self.restart_restored)}",
+            f"  requests answered    : {self.answered_requests}"
+            f"/{self.requests_issued} ({self.failed_requests} failed)",
+            f"  warm rearms          : {self.rearms}"
+            f" ({self.woodbury_fallbacks} woodbury fallbacks),"
+            f" next batches {list(self.rearm_modes)}",
+        ]
+        text = "\n".join(lines)
+        merged = {**self.serving_counters, **self.store_counters}
+        if merged:
+            text += "\n\n" + format_snapshot(merged, title="Drill counters")
+        return text
+
+
+def run_rolling_restart_drill(
+    store_root,
+    num_shards: int = 3,
+    replication_factor: int = 2,
+    num_models: int = 4,
+    pre_batches: int = 2,
+    batch_size: int = 16,
+    requests_per_phase: int = 6,
+    basis_vars: int = 2,
+    basis_degree: int = 2,
+    compact_between: bool = True,
+    history_window: int = 1,
+    seed: int = 0,
+    request_timeout_seconds: float = 30.0,
+    registry_kwargs: Optional[Dict[str, object]] = None,
+    engine_kwargs: Optional[Dict[str, object]] = None,
+) -> RollingRestartReport:
+    """Publish -> (compact) -> restart every shard under live traffic.
+
+    The zero-downtime drill the shard tier must survive in production:
+
+    1. stream ``pre_batches`` sequential-BMF batches per model through a
+       :class:`~repro.serving.ShardRouter` (write-ahead persistence into
+       the shared store), serving between publishes;
+    2. optionally compact the store *under the live router* (survivors +
+       journal checkpoint into a new generation; every follower crosses
+       the compaction boundary on its next poll);
+    3. :meth:`~repro.serving.ShardRouter.rolling_restart` -- one shard at
+       a time is stopped, rebuilt from nothing but the store directory,
+       and rejoined, while the ``drive`` callback pushes live requests
+       through the degraded ring (``replication_factor >= 2`` keeps every
+       name on a warm replica, so **zero requests fail**);
+    4. warm-rearm a fresh fitter per model from recovered state and prove
+       the next ``add_samples`` is *incremental* -- no refit-from-scratch
+       ever lands on the critical path (``sequential.rearms`` up,
+       ``woodbury.fallbacks`` zero).
+
+    Requests are awaited sequentially (blocking ``predict``), so every
+    signature field is a pure function of the arguments: same seed, same
+    :meth:`RollingRestartReport.deterministic_signature`.
+    """
+    from ..basis import OrthonormalBasis
+    from ..bmf import SequentialBmf
+    from ..serving import ShardRouter
+    from ..store import ModelStore, RecoveryManager, compact
+
+    if num_models < 1:
+        raise ValueError(f"num_models must be >= 1, got {num_models}")
+    if pre_batches < 1:
+        raise ValueError(f"pre_batches must be >= 1, got {pre_batches}")
+
+    rng = np.random.default_rng(seed)
+    basis = OrthonormalBasis.total_degree(basis_vars, basis_degree)
+    names = [f"model-{index:04d}" for index in range(num_models)]
+    alphas = {name: rng.normal(size=len(basis.indices)) for name in names}
+    test_x = rng.normal(size=(64, basis.num_vars))
+
+    def make_fitter(name: str) -> "SequentialBmf":
+        return SequentialBmf(
+            basis, alphas[name], prior_kind="nonzero-mean", eta=1e-3
+        )
+
+    def draw(name: str, count: int):
+        x = rng.normal(size=(count, basis.num_vars))
+        f = basis.design_matrix(x) @ alphas[name] + 0.01 * rng.normal(size=count)
+        return x, f
+
+    counters_before = runtime_metrics.counters()
+    store = ModelStore(store_root)
+    router = ShardRouter(
+        store,
+        num_shards=num_shards,
+        replication_factor=replication_factor,
+        registry_kwargs=dict(registry_kwargs or {}),
+        engine_kwargs=dict(engine_kwargs or {}),
+    )
+
+    issued = answered = failed = 0
+
+    def serve_phase(_shard_id: Optional[int] = None) -> None:
+        nonlocal issued, answered, failed
+        for _ in range(requests_per_phase):
+            name = names[int(rng.integers(0, num_models))]
+            row = int(rng.integers(0, test_x.shape[0]))
+            issued += 1
+            try:
+                # Sequential awaits keep counter values timing-independent.
+                router.predict(
+                    name, test_x[row], timeout=request_timeout_seconds
+                )
+            except Exception:
+                failed += 1
+            else:
+                answered += 1
+
+    fitters = {name: make_fitter(name) for name in names}
+    versions_published = 0
+    with router:
+        # ----- Phase 1: pre-drill publish stream ------------------------
+        for _ in range(pre_batches):
+            for name in names:
+                x, f = draw(name, batch_size)
+                fitters[name].add_samples(x, f)
+                router.publish(name, fitters[name])
+                versions_published += 1
+            serve_phase()
+
+        # ----- Phase 2: compaction under the live router ----------------
+        if compact_between:
+            compact(store, history_window=history_window)
+            router.catch_up()  # every follower crosses the boundary
+            serve_phase()
+
+        # ----- Phase 3: one-at-a-time restarts under live traffic ------
+        restart_order = list(router.alive_shards())
+        restored_map = router.rolling_restart(drive=serve_phase)
+        restart_restored = [restored_map[sid] for sid in restart_order]
+        serve_phase()  # the fully-restarted fleet still serves everything
+
+        # ----- Phase 4: warm rearm, next batch must be incremental ------
+        recovery = RecoveryManager(store).recover(quarantine_corrupt=False)
+        rearm_modes = []
+        for name in names:
+            state = recovery.sequential_state(name)
+            if state is None:
+                rearm_modes.append("missing")
+                continue
+            fresh = make_fitter(name)
+            fresh.rearm(state)
+            x, f = draw(name, batch_size)
+            fresh.add_samples(x, f)
+            rearm_modes.append(fresh.last_refit_mode)
+            router.publish(name, fresh)
+            versions_published += 1
+        serve_phase()
+        router_stats = router.stats()
+
+    view = store.journal_view()
+    counter_delta = counters_delta(counters_before, runtime_metrics.counters())
+    return RollingRestartReport(
+        seed=int(seed),
+        num_shards=int(num_shards),
+        replication_factor=int(replication_factor),
+        num_models=int(num_models),
+        versions_published=versions_published,
+        compacted=bool(compact_between),
+        history_window=int(history_window),
+        generation=view.generation,
+        checkpoint_offset=view.checkpoint_offset,
+        restart_order=tuple(restart_order),
+        restart_restored=tuple(restart_restored),
+        requests_issued=issued,
+        answered_requests=answered,
+        failed_requests=failed,
+        rearm_modes=tuple(rearm_modes),
+        rearms=counter_delta.get("sequential.rearms", 0),
+        woodbury_fallbacks=counter_delta.get("woodbury.fallbacks", 0),
+        serving_counters={
+            k: v for k, v in counter_delta.items() if k.startswith("serving.")
+        },
+        store_counters={
+            k: v for k, v in counter_delta.items() if k.startswith("store.")
+        },
+        router_stats=router_stats,
     )

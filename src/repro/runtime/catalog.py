@@ -85,17 +85,26 @@ METRICS: Dict[str, str] = {
     "serving.shard.replica_applied": "journal entries applied to warm replicas",
     "serving.shard.replica_corrupt": "journal entries skipped by replicas as corrupt",
     "serving.shard.replica_skipped": "journal entries skipped by replica filters",
+    "serving.shard.follower_boundary": "follower polls that crossed a compaction boundary",
     "serving.shard.rerouted": "requests rerouted away from a dead shard",
+    "serving.shard.restart_restored": "versions restored by restarted shards",
+    "serving.shard.restarts": "shard restarts performed (rolling-restart drill)",
     "serving.shard.routed": "requests routed to their home shard",
     "serving.shed.expired": "queued requests shed because their deadline passed",
     "serving.shed.rejected": "requests shed at admission by the bounded queue",
     "serving.shutdown_drops": "queued requests dropped during engine shutdown",
+    "store.compaction.dropped": "superseded records dropped by compaction",
+    "store.compaction.kept": "survivor records carried into a new generation",
+    "store.compaction.quarantined": "corrupt survivors quarantined during compaction",
+    "store.compaction.retired": "retired generation directories removed",
+    "store.compaction.runs": "generational compactions completed",
     "store.corrupt_quarantined": "corrupt store records moved to quarantine",
     "store.journal_torn": "torn journal tails detected during recovery scans",
     "store.journal_write_failures": "journal appends that failed",
     "store.load_failures": "store record loads that failed",
     "store.loads": "store records loaded",
     "store.missing_records": "journalled records missing from the store",
+    "store.pitr.recoveries": "point-in-time recoveries performed",
     "store.recovered_records": "records recovered by a store scan",
     "store.recovered_unjournaled": "records recovered that never reached the journal",
     "store.torn_writes": "torn (partial) record writes detected",
@@ -113,6 +122,7 @@ TIMERS: Dict[str, str] = {
     "sequential.rearm": "one sequential-BMF warm rearm",
     "sequential.refit": "one sequential-BMF refit",
     "serving.evaluate": "one engine model evaluation",
+    "store.compaction": "one generational store compaction",
 }
 
 #: Prefixes under which dynamically-formatted metric names are allowed

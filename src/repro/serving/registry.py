@@ -215,6 +215,24 @@ class ModelRegistry:
         self._next_version: Dict[str, int] = {}
         self._bad: Dict[str, Set[int]] = {}  # quarantined version numbers
 
+    def export_config(self) -> Dict[str, object]:
+        """Constructor kwargs (minus ``store``) that reproduce this registry.
+
+        A restart path (e.g. :meth:`~repro.serving.ShardRouter.restart_shard`
+        or a post-crash :class:`~repro.store.RecoveryManager` rebuild)
+        must run the replacement registry with the *same* configuration
+        as the one it replaces, or the rebuild is not bitwise comparable
+        (a different ``max_versions`` prunes a different history).  The
+        shared ``store`` is intentionally excluded: the caller decides
+        whether the replacement re-attaches.
+        """
+        return {
+            "max_versions": self.max_versions,
+            "validate": self.validate,
+            "serve_last_good": self.serve_last_good,
+            "durability": self.durability,
+        }
+
     # ------------------------------------------------------------------
     def publish(self, name: str, model, key: Optional[str] = None) -> ModelVersion:
         """Atomically make ``model`` the current version under ``name``.

@@ -53,7 +53,6 @@ from ..faults import Deadline
 from ..regression.base import FittedModel
 from ..runtime.metrics import metrics
 from ..store.format import CorruptRecordError
-from ..store.recovery import RecoveryManager
 from ..store.store import ModelStore
 from .engine import EngineStoppedError, PredictionEngine
 from .registry import ModelRegistry, ModelVersion
@@ -89,6 +88,15 @@ class JournalFollower:
     skipped idempotently (``serving.shard.replica_skipped``).  A record
     that fails its CRC is counted (``serving.shard.replica_corrupt``) and
     skipped; quarantining is left to the store's owner-side recovery.
+
+    Offsets are *global* journal offsets (see
+    :meth:`~repro.store.ModelStore.journal_view`), so they stay
+    meaningful across store compaction: a generation's checkpoint
+    records how many entries its snapshot stands in for, and a follower
+    that wakes up behind a compaction boundary (its offset predates the
+    live checkpoint) replays the snapshot plus the live tail
+    idempotently -- versions it already holds are skipped, versions that
+    were folded into the snapshot are applied exactly once.
     """
 
     def __init__(
@@ -101,27 +109,42 @@ class JournalFollower:
         self.registry = registry
         self.should_replicate = should_replicate
         self._offset = 0
+        self._generation: Optional[int] = None
         self._lock = named_lock("serving.shard.follower")
 
     @property
     def offset(self) -> int:
-        """Journal entries consumed so far (applied or skipped)."""
+        """Global journal offset consumed so far (applied or skipped)."""
         with self._lock:
             return self._offset
 
+    @property
+    def generation(self) -> Optional[int]:
+        """Store generation of the last consumed journal (``None`` before)."""
+        with self._lock:
+            return self._generation
+
     def lag(self) -> int:
         """Journal entries published but not yet consumed by this follower."""
-        entries, _ = self.store.journal_entries()
+        view = self.store.journal_view()
         with self._lock:
-            return max(0, len(entries) - self._offset)
+            return max(0, view.end_offset - self._offset)
 
     def poll(self) -> int:
         """Consume every new journal entry; returns how many were *applied*."""
-        entries, _ = self.store.journal_entries()
-        applied = 0
+        view = self.store.journal_view()
         with self._lock:
-            new = entries[self._offset :]
-            self._offset = len(entries)
+            if self._offset < view.checkpoint_offset:
+                # Compaction folded entries this follower never consumed
+                # into the snapshot; replay snapshot + live tail
+                # idempotently (held versions are skipped by _apply).
+                new = list(view.snapshot) + list(view.entries)
+                metrics.increment("serving.shard.follower_boundary")
+            else:
+                new = list(view.entries[self._offset - view.checkpoint_offset :])
+            self._offset = view.end_offset
+            self._generation = view.generation
+        applied = 0
         for entry in new:
             if self._apply(entry):
                 applied += 1
@@ -134,18 +157,27 @@ class JournalFollower:
         with history it never saw (or whose tail was damaged): recovery
         re-admits every valid record in the store -- a full replica, a
         superset of the ring's replica set -- and the follower resumes
-        incremental tailing from the current journal end.  Returns the
+        incremental tailing from the current journal end (the *global*
+        end offset, so a resync started after a compaction lands on the
+        same offset scale as one started before it).  Returns the
         number of versions restored.  Raises :class:`RuntimeError` on a
         non-empty registry (use :meth:`poll` for incremental catch-up).
         """
+        # Imported here, not at module top: recovery imports the registry
+        # package, which imports this module -- a top-level import makes
+        # ``import repro.store`` fail when it is the first repro package
+        # loaded.
+        from ..store.recovery import RecoveryManager
+
         if self.registry.names():
             raise RuntimeError(
                 "resync() bootstraps a fresh follower registry; "
                 "use poll() for incremental catch-up"
             )
         with self._lock:
-            entries, _ = self.store.journal_entries()
-            self._offset = len(entries)
+            view = self.store.journal_view()
+            self._offset = view.end_offset
+            self._generation = view.generation
         report = RecoveryManager(self.store).recover(
             registry=self.registry, quarantine_corrupt=False
         )
@@ -244,6 +276,7 @@ class ShardRouter:
         self._names: Dict[str, None] = {}  # insertion-ordered set of names
         self._failovers = 0
         self._rebalanced_keys = 0
+        self._restarts = 0
 
         ring: List[Tuple[int, int]] = []
         for shard_id in range(self.num_shards):
@@ -253,18 +286,22 @@ class ShardRouter:
         self._ring_points = [point for point, _ in ring]
         self._ring_shards = [shard_id for _, shard_id in ring]
 
-        registry_kwargs = dict(registry_kwargs or {})
-        engine_kwargs = dict(engine_kwargs or {})
+        self._registry_kwargs = dict(registry_kwargs or {})
+        self._engine_kwargs = dict(engine_kwargs or {})
         self._shards: List[_Shard] = []
         for shard_id in range(self.num_shards):
-            registry = ModelRegistry(store=self.store, **registry_kwargs)
-            engine = PredictionEngine(registry, **engine_kwargs)
-            follower = JournalFollower(
-                self.store,
-                registry,
-                should_replicate=self._make_replica_predicate(shard_id),
-            )
-            self._shards.append(_Shard(shard_id, registry, engine, follower))
+            self._shards.append(self._build_shard(shard_id))
+
+    def _build_shard(self, shard_id: int) -> "_Shard":
+        """Fresh registry + engine + follower triple for one shard slot."""
+        registry = ModelRegistry(store=self.store, **self._registry_kwargs)
+        engine = PredictionEngine(registry, **self._engine_kwargs)
+        follower = JournalFollower(
+            self.store,
+            registry,
+            should_replicate=self._make_replica_predicate(shard_id),
+        )
+        return _Shard(shard_id, registry, engine, follower)
 
     # ------------------------------------------------------------------
     # Ring placement
@@ -389,6 +426,72 @@ class ShardRouter:
         metrics.increment("serving.shard.rebalanced_keys", rebalanced)
         return rebalanced
 
+    def restart_shard(
+        self,
+        shard_id: int,
+        drive: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Restart one shard from the store: stop, rebuild, resync, rejoin.
+
+        The zero-downtime primitive behind :meth:`rolling_restart`: the
+        shard is taken out of routing (its names fail over to the next
+        live shard, whose follower already holds a warm replica), its
+        engine drains and stops, and a *fresh* registry + engine +
+        follower triple is built with the router's original kwargs --
+        simulating a process restart that owns nothing but the store
+        directory.  The replacement bootstraps via
+        :meth:`JournalFollower.resync` (full-store recovery, no refit)
+        *before* it rejoins routing, so no request ever reaches a cold
+        shard.  ``drive`` is called while the shard is down (after the
+        engine stops, before the replacement is built) so tests can push
+        live traffic through the degraded ring.  Returns the number of
+        versions the replacement restored.  Counts
+        ``serving.shard.restarts`` / ``serving.shard.restart_restored``.
+        Restarting a dead shard revives it.
+        """
+        shard = self._shards[shard_id]
+        with self._lock:
+            was_alive = shard.alive
+            shard.alive = False
+        if was_alive:
+            shard.engine.stop()
+        metrics.increment("serving.shard.restarts")
+        if drive is not None:
+            drive(shard_id)
+        replacement = self._build_shard(shard_id)
+        restored = replacement.follower.resync()
+        replacement.engine.start()
+        # Deliberate lock-free swap: the replacement is fully built and
+        # element assignment is atomic, so readers see either the old
+        # (dead) shard or the new (live) one -- the same visibility
+        # contract every lock-free ``_shards`` read in this class relies
+        # on.
+        self._shards[shard_id] = replacement
+        with self._lock:
+            self._restarts += 1
+        metrics.increment("serving.shard.restart_restored", restored)
+        return restored
+
+    def rolling_restart(
+        self, drive: Optional[Callable[[int], None]] = None
+    ) -> Dict[int, int]:
+        """Restart every live shard one at a time under live traffic.
+
+        The zero-downtime drill: at any moment at most one shard is
+        down, so with ``replication_factor >= 2`` every name stays on a
+        warm replica and 100% of accepted requests are answered -- no
+        refit-from-scratch ever lands on the serving path (warm
+        :meth:`resync <JournalFollower.resync>` restores persisted
+        records; sequential fitters re-arm from their stored Cholesky
+        factors out of band).  ``drive`` is forwarded to each
+        :meth:`restart_shard`.  Returns ``{shard_id: versions
+        restored}`` in restart order.
+        """
+        restored: Dict[int, int] = {}
+        for shard_id in self.alive_shards():
+            restored[shard_id] = self.restart_shard(shard_id, drive=drive)
+        return restored
+
     def alive_shards(self) -> Tuple[int, ...]:
         """Ids of the shards still alive, ascending."""
         return tuple(s.shard_id for s in self._shards if s.alive)
@@ -512,6 +615,7 @@ class ShardRouter:
         with self._lock:
             failovers = self._failovers
             rebalanced = self._rebalanced_keys
+            restarts = self._restarts
             num_names = len(self._names)
         out: Dict[str, object] = {
             "num_shards": self.num_shards,
@@ -519,6 +623,7 @@ class ShardRouter:
             "alive_shards": self.alive_shards(),
             "failovers": failovers,
             "rebalanced_keys": rebalanced,
+            "restarts": restarts,
             "names": num_names,
             "shards": {
                 shard.shard_id: shard.engine.stats()

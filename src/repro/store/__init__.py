@@ -1,6 +1,6 @@
 """Crash-safe model persistence and warm-restart recovery.
 
-Three pieces (see ``docs/store.md``):
+Four pieces (see ``docs/store.md``):
 
 * :mod:`~repro.store.format` -- the checksummed record codec
   (:class:`ModelRecord`, a single CRC32-covered blob per published
@@ -11,8 +11,14 @@ Three pieces (see ``docs/store.md``):
   for deterministic crash simulation;
 * :mod:`~repro.store.recovery` -- :class:`RecoveryManager`, which turns
   a store directory back into a live
-  :class:`~repro.serving.ModelRegistry` and warm-restarts sequential
-  fitters from their persisted Cholesky factors.
+  :class:`~repro.serving.ModelRegistry` (full recovery or
+  point-in-time via :meth:`~RecoveryManager.recover_at`) and
+  warm-restarts sequential fitters from their persisted Cholesky
+  factors;
+* :mod:`~repro.store.compaction` -- :func:`compact`, crash-safe
+  generational snapshot compaction (survivor set + journal checkpoint
+  in a fresh generation directory behind an atomically-swung
+  ``CURRENT`` pointer).
 """
 
 from .format import (
@@ -24,13 +30,24 @@ from .format import (
     encode_record,
     record_crc,
 )
+from .compaction import CompactionReport, compact, stale_generations
 from .recovery import RecoveryManager, RecoveryReport
-from .store import JournalEntry, ModelStore, StoreScan, StoreWriteError
+from .store import (
+    JournalCheckpoint,
+    JournalEntry,
+    JournalView,
+    ModelStore,
+    StoreScan,
+    StoreWriteError,
+)
 
 __all__ = [
+    "CompactionReport",
     "CorruptRecordError",
     "FORMAT_VERSION",
+    "JournalCheckpoint",
     "JournalEntry",
+    "JournalView",
     "MAGIC",
     "ModelRecord",
     "ModelStore",
@@ -38,7 +55,9 @@ __all__ = [
     "RecoveryReport",
     "StoreScan",
     "StoreWriteError",
+    "compact",
     "decode_record",
     "encode_record",
     "record_crc",
+    "stale_generations",
 ]

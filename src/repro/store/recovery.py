@@ -23,6 +23,25 @@ The journal is an audit log, not the source of truth: a valid record the
 journal does not mention (crash between the rename commit point and the
 journal append) is still recovered, and a journal entry whose record file
 is missing (crash before the rename) is reported, not fabricated.
+
+Two recovery modes:
+
+* :meth:`RecoveryManager.recover` -- full crash recovery: every valid
+  record on disk is admitted, journaled or not;
+* :meth:`RecoveryManager.recover_at` -- **point-in-time recovery**: the
+  journal *is* the definition of the prefix.  ``recover_at(k)`` rebuilds
+  exactly the state after the first ``k`` global journal entries -- the
+  compacted generation's snapshot stands in for the retired prefix, so
+  any ``k`` between the checkpoint offset and the journal end is
+  reachable (earlier offsets were compacted away and raise
+  ``ValueError``).
+
+Compaction also leaves an audit trail recovery surfaces: records that
+were journaled in a retired generation but failed validation during
+compaction appear in :attr:`RecoveryReport.compaction_quarantined` (their
+bytes sit in ``quarantine/`` with a generation-tagged ``.reason``
+sidecar) -- they are neither served, nor restored, nor double-counted as
+missing.
 """
 
 from __future__ import annotations
@@ -36,7 +55,7 @@ from ..bmf.sequential import SequentialFitterState
 from ..regression.base import FittedModel
 from ..runtime.metrics import metrics
 from ..serving.registry import ModelRegistry, PublishRejectedError
-from .format import ModelRecord
+from .format import CorruptRecordError, ModelRecord
 from .store import JournalEntry, ModelStore
 
 __all__ = ["RecoveryManager", "RecoveryReport"]
@@ -63,6 +82,15 @@ class RecoveryReport:
     torn_journal_lines: int
     #: Newest restored record per name (the basis for warm restarts).
     latest: Mapping[str, ModelRecord] = field(default_factory=dict)
+    #: Live generation id the recovery ran against (0 before compaction).
+    generation: int = 0
+    #: Global journal offset the generation's snapshot stands in for.
+    checkpoint_offset: int = 0
+    #: ``(name, version, filename)`` journaled in a retired generation but
+    #: quarantined by compaction: present in ``quarantine/`` with a
+    #: generation-tagged ``.reason`` sidecar, absent from both
+    #: :attr:`restored` and :attr:`missing`.
+    compaction_quarantined: Tuple[Tuple[str, int, str], ...] = ()
 
     def sequential_state(self, name: str) -> Optional[SequentialFitterState]:
         """Warm-restart state for ``name``'s newest restored record.
@@ -146,4 +174,84 @@ class RecoveryManager:
             ),
             torn_journal_lines=scan.torn_journal_lines,
             latest=MappingProxyType(latest),
+            generation=scan.generation,
+            checkpoint_offset=scan.checkpoint_offset,
+            compaction_quarantined=scan.compaction_quarantined,
+        )
+
+    def recover_at(
+        self,
+        offset: int,
+        registry: Optional[ModelRegistry] = None,
+    ) -> RecoveryReport:
+        """Point-in-time recovery to global journal offset ``offset``.
+
+        Rebuilds exactly the registry state after the first ``offset``
+        journal entries: the live generation's snapshot manifest (the
+        state at the checkpoint offset) plus the appends up to
+        ``offset``.  Valid offsets span ``[checkpoint_offset,
+        end_offset]`` -- earlier prefixes were folded away by compaction
+        and raise :class:`ValueError`, as does an offset beyond the
+        journal end.
+
+        Unlike :meth:`recover`, PITR is journal-driven and read-only:
+        unjournaled records cannot be placed in the prefix order and are
+        excluded, nothing is quarantined (corrupt records are reported in
+        ``rejected``), and records published after ``offset`` are simply
+        not replayed.
+        """
+        if registry is None:
+            registry = ModelRegistry()
+        view = self.store.journal_view()
+        if not view.checkpoint_offset <= offset <= view.end_offset:
+            raise ValueError(
+                f"offset {offset} is outside the recoverable range "
+                f"[{view.checkpoint_offset}, {view.end_offset}]: entries "
+                f"before the checkpoint were compacted away"
+            )
+        metrics.increment("store.pitr.recoveries")
+        replay = list(view.snapshot) + list(
+            view.entries[: offset - view.checkpoint_offset]
+        )
+        restored = []
+        rejected = []
+        missing = []
+        latest: Dict[str, ModelRecord] = {}
+        for entry in replay:
+            path = self.store.records_dir / entry.filename
+            try:
+                record = self.store.read(path)
+            except CorruptRecordError as exc:
+                if path.exists():
+                    rejected.append((entry.name, entry.version, str(exc)))
+                else:
+                    missing.append(entry)
+                continue
+            model = FittedModel(record.basis(), record.coefficients)
+            try:
+                registry.restore(
+                    record.name,
+                    record.version,
+                    record.key,
+                    record.published_at,
+                    model,
+                )
+            except PublishRejectedError as exc:
+                rejected.append((record.name, record.version, str(exc)))
+                continue
+            restored.append((record.name, record.version))
+            latest[record.name] = record
+            metrics.increment("store.recovered_records")
+        return RecoveryReport(
+            registry=registry,
+            restored=tuple(restored),
+            rejected=tuple(rejected),
+            quarantined=(),
+            missing=tuple(missing),
+            unjournaled=(),
+            torn_journal_lines=view.torn_lines,
+            latest=MappingProxyType(latest),
+            generation=view.generation,
+            checkpoint_offset=view.checkpoint_offset,
+            compaction_quarantined=view.compaction_quarantined,
         )

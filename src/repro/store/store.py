@@ -1,11 +1,31 @@
 """Crash-safe on-disk model store: atomic records plus an append-only journal.
 
-Layout under the store root::
+Layout under the store root (generation 0, the seed layout)::
 
     root/
       records/     one ``.rbmf`` blob per published version (atomic rename)
       quarantine/  records that failed validation, moved aside with a reason
       journal.log  append-only publish log, one checksummed line per record
+
+Generational compaction (:mod:`repro.store.compaction`) folds the journal
+prefix into a snapshot: the survivor records plus a checkpointed journal
+land in a sibling generation directory and an atomically-swung ``CURRENT``
+pointer names the live one::
+
+    root/
+      CURRENT               "gen-00000001" (write-temp -> fsync -> rename)
+      gen-00000001/
+        records/            survivor set (latest per key + history window)
+        quarantine/         carried forward, sidecars tagged with generation
+        journal.log         first line is a ``c1`` checkpoint, then appends
+
+A store whose root has no ``CURRENT`` pointer *is* generation 0 -- the
+layouts are bitwise compatible, and every path in this class resolves
+through the live generation on access, so appends racing a compaction
+swing land on whichever generation owns the append lock's critical
+section.  Journal offsets are **global**: the checkpoint records how many
+entries the retired prefix held (``base``), and entries in the live
+journal continue the count, so follower offsets survive compaction.
 
 Durability protocol (the classic write-temp -> fsync -> rename dance):
 
@@ -52,7 +72,9 @@ from ..runtime.metrics import metrics
 from .format import CorruptRecordError, ModelRecord, decode_record, encode_record
 
 __all__ = [
+    "JournalCheckpoint",
     "JournalEntry",
+    "JournalView",
     "ModelStore",
     "StoreWriteError",
     "StoreScan",
@@ -69,6 +91,19 @@ _FP_FSYNC = failpoint("store.fsync")
 _FP_LOAD = failpoint("store.load")
 
 _JOURNAL_LINE = re.compile(r"^v1 (?P<crc>[0-9a-f]{8}) (?P<payload>\{.*\})$")
+#: Checkpoint line written by compaction as the *first* line of a new
+#: generation's journal; same CRC discipline as ``v1`` entry lines.
+_CHECKPOINT_LINE = re.compile(r"^c1 (?P<crc>[0-9a-f]{8}) (?P<payload>\{.*\})$")
+
+#: ``CURRENT`` pointer file naming the live generation directory.
+CURRENT_POINTER = "CURRENT"
+#: Prefix of generation directory names (``gen-00000001``).
+GENERATION_PREFIX = "gen-"
+
+
+def generation_dir_name(generation: int) -> str:
+    """Directory name of generation ``generation`` (``gen-<8 digits>``)."""
+    return f"{GENERATION_PREFIX}{int(generation):08d}"
 
 
 class StoreWriteError(RuntimeError):
@@ -86,6 +121,53 @@ class JournalEntry:
 
 
 @dataclass(frozen=True)
+class JournalCheckpoint:
+    """The ``c1`` snapshot header of a compacted generation's journal.
+
+    ``base`` is the number of journal entries the retired prefix held --
+    the global offset the snapshot stands in for.  ``snapshot`` lists the
+    survivor records (sorted by ``(name, version)``, so per-name version
+    order is increasing) exactly as entry lines would; ``quarantined``
+    records ``(name, version, filename)`` for records that were journaled
+    in the retired generation but failed validation during compaction and
+    were moved to the new generation's quarantine instead of copied.
+    """
+
+    generation: int
+    base: int
+    snapshot: Tuple[JournalEntry, ...]
+    quarantined: Tuple[Tuple[str, int, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class JournalView:
+    """Generation-aware parse of the live journal.
+
+    Offsets are **global**: entry ``i`` of :attr:`entries` sits at global
+    journal offset ``checkpoint_offset + i``.  Generation 0 (no
+    checkpoint) has ``checkpoint_offset == 0`` and an empty snapshot, so
+    the view degrades to the flat-journal semantics.
+    """
+
+    generation: int
+    #: Global offset the snapshot stands in for (``0`` before compaction).
+    checkpoint_offset: int
+    #: Survivor manifest from the checkpoint (empty for generation 0).
+    snapshot: Tuple[JournalEntry, ...]
+    #: Post-checkpoint appends, in journal order.
+    entries: Tuple[JournalEntry, ...]
+    #: Trailing journal lines dropped as torn.
+    torn_lines: int
+    #: ``(name, version, filename)`` quarantined during compaction.
+    compaction_quarantined: Tuple[Tuple[str, int, str], ...] = ()
+
+    @property
+    def end_offset(self) -> int:
+        """Global offset one past the newest journaled entry."""
+        return self.checkpoint_offset + len(self.entries)
+
+
+@dataclass(frozen=True)
 class StoreScan:
     """Outcome of one full store scan (see :meth:`ModelStore.scan`)."""
 
@@ -100,6 +182,14 @@ class StoreScan:
     unjournaled: Tuple[ModelRecord, ...]
     #: Trailing journal lines dropped as torn (bad per-line CRC / truncated).
     torn_journal_lines: int
+    #: Live generation id the scan ran against (0 before any compaction).
+    generation: int = 0
+    #: Global journal offset folded into the generation's snapshot.
+    checkpoint_offset: int = 0
+    #: ``(name, version, filename)`` journaled in a retired generation but
+    #: quarantined (not copied) by compaction -- the audit trail for
+    #: records that must be neither served nor reported missing.
+    compaction_quarantined: Tuple[Tuple[str, int, str], ...] = ()
 
 
 def _slug(name: str) -> str:
@@ -128,9 +218,6 @@ class ModelStore:
 
     def __init__(self, root, use_fsync: bool = True):
         self.root = Path(root)
-        self.records_dir = self.root / "records"
-        self.quarantine_dir = self.root / "quarantine"
-        self.journal_path = self.root / "journal.log"
         self.use_fsync = bool(use_fsync)
         self._lock = named_lock("store.append")
         # Fingerprint of the torn journal tail last charged to the
@@ -139,6 +226,59 @@ class ModelStore:
         self._torn_counted: Optional[Tuple[int, bytes]] = None
         self.records_dir.mkdir(parents=True, exist_ok=True)
         self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Generation resolution
+    # ------------------------------------------------------------------
+    @property
+    def current_pointer(self) -> Path:
+        """The ``CURRENT`` pointer file naming the live generation."""
+        return self.root / CURRENT_POINTER
+
+    def _resolve_generation(self) -> Tuple[int, Path]:
+        """``(generation id, generation dir)`` of the live generation.
+
+        A missing (or unparseable) ``CURRENT`` pointer means the root
+        itself is generation 0 -- the pre-compaction layout.  The pointer
+        is swung by ``os.replace``, so a read sees either the old or the
+        new generation name, never a torn hybrid.
+        """
+        try:
+            text = self.current_pointer.read_text(encoding="utf-8").strip()
+        except (FileNotFoundError, OSError):
+            return 0, self.root
+        if not text.startswith(GENERATION_PREFIX):
+            return 0, self.root
+        try:
+            generation = int(text[len(GENERATION_PREFIX) :])
+        except ValueError:
+            return 0, self.root
+        return generation, self.root / text
+
+    @property
+    def generation(self) -> int:
+        """Live generation id (0 until the first compaction)."""
+        return self._resolve_generation()[0]
+
+    @property
+    def generation_dir(self) -> Path:
+        """Directory of the live generation (the root for generation 0)."""
+        return self._resolve_generation()[1]
+
+    @property
+    def records_dir(self) -> Path:
+        """``records/`` of the live generation."""
+        return self.generation_dir / "records"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """``quarantine/`` of the live generation."""
+        return self.generation_dir / "quarantine"
+
+    @property
+    def journal_path(self) -> Path:
+        """``journal.log`` of the live generation."""
+        return self.generation_dir / "journal.log"
 
     # ------------------------------------------------------------------
     # Writing
@@ -156,8 +296,6 @@ class ModelStore:
         after performing crash-consistent (possibly torn) on-disk effects.
         """
         blob = encode_record(record)
-        final = self.records_dir / self.record_filename(record.name, record.version)
-        tmp = final.with_suffix(final.suffix + ".tmp")
         metrics.increment("store.writes")
         # Appends are deliberately serialized end-to-end: the write-ahead
         # protocol requires record bytes to hit disk before the journal
@@ -165,6 +303,13 @@ class ModelStore:
         # fsync-under-lock cost is the durability contract, not an
         # accident, so the REP011 findings below are audited suppressions.
         with self._lock:
+            # Resolve the live generation *inside* the critical section:
+            # compaction swings CURRENT under this same lock, so an append
+            # can never land in a generation that is about to be retired.
+            final = self.records_dir / self.record_filename(
+                record.name, record.version
+            )
+            tmp = final.with_suffix(final.suffix + ".tmp")
             try:
                 self._write_atomic(tmp, final, blob)  # repro: noqa[REP011] -- WAL ordering requires fsync under the append lock
             except SimulatedCrash:
@@ -276,7 +421,12 @@ class ModelStore:
             raise
 
     def journal_entries(self) -> Tuple[List[JournalEntry], int]:
-        """Parse the journal; returns ``(entries, torn_trailing_lines)``.
+        """Parse the live journal; returns ``(entries, torn_trailing_lines)``.
+
+        ``entries`` are the live generation's *appends* -- entry ``i``
+        sits at global journal offset ``checkpoint_offset + i`` (see
+        :meth:`journal_view` for the checkpoint offset and the snapshot
+        manifest; before any compaction the two notions coincide).
 
         Lines are validated front to back; the first damaged line (bad
         shape or per-line CRC -- a torn tail from a crashed append) stops
@@ -289,33 +439,86 @@ class ModelStore:
         leave the metric untouched, so it counts damage events, not
         reads.  *New* damage (a different torn tail) is charged again.
         """
+        _, entries, torn = self._parse_journal()
+        return list(entries), torn
+
+    def journal_view(self) -> JournalView:
+        """Generation-aware journal parse with global offsets.
+
+        The view is the compaction-stable contract consumers should code
+        against: :attr:`JournalView.checkpoint_offset` is the global
+        offset the snapshot stands in for, :attr:`JournalView.snapshot`
+        re-lists the survivor records a retired prefix folded into, and
+        :attr:`JournalView.entries` continue the global offset count.  A
+        follower that crossed a compaction boundary (the view's
+        generation differs from the one it last saw) replays the snapshot
+        idempotently instead of rewinding to raw offset 0.
+        """
+        generation = self.generation
+        checkpoint, entries, torn = self._parse_journal()
+        if checkpoint is None:
+            return JournalView(
+                generation=generation,
+                checkpoint_offset=0,
+                snapshot=(),
+                entries=entries,
+                torn_lines=torn,
+            )
+        return JournalView(
+            generation=checkpoint.generation,
+            checkpoint_offset=checkpoint.base,
+            snapshot=checkpoint.snapshot,
+            entries=entries,
+            torn_lines=torn,
+            compaction_quarantined=checkpoint.quarantined,
+        )
+
+    def _parse_journal(
+        self, count_torn: bool = True
+    ) -> Tuple[Optional[JournalCheckpoint], Tuple[JournalEntry, ...], int]:
+        """Shared journal parse: ``(checkpoint, appends, torn_lines)``.
+
+        Only the first line may be a ``c1`` checkpoint (compaction writes
+        it before the generation goes live); a damaged checkpoint line is
+        treated like any torn line -- the parse stops and everything from
+        it on is counted torn.  ``count_torn=False`` skips the damage
+        bookkeeping (used by compaction, which already holds the append
+        lock the bookkeeping would re-acquire).
+        """
         try:
             raw = self.journal_path.read_bytes()
         except FileNotFoundError:
-            return [], 0
+            return None, (), 0
+        checkpoint: Optional[JournalCheckpoint] = None
         entries: List[JournalEntry] = []
         lines = raw.split(b"\n")
         if lines and lines[-1] == b"":
             lines.pop()
         for index, line in enumerate(lines):
+            if index == 0 and line.startswith(b"c1 "):
+                checkpoint = self._parse_checkpoint_line(line)
+                if checkpoint is not None:
+                    continue
             entry = self._parse_journal_line(line)
             if entry is None:
                 torn = len(lines) - index
-                torn_tail = b"\n".join(lines[index:])
-                state = (
-                    index,
-                    hashlib.blake2b(torn_tail, digest_size=16).digest(),
-                )
-                with self._lock:
-                    new_damage = state != self._torn_counted
-                    self._torn_counted = state
-                if new_damage:
-                    metrics.increment("store.journal_torn", torn)
-                return entries, torn
+                if count_torn:
+                    torn_tail = b"\n".join(lines[index:])
+                    state = (
+                        index,
+                        hashlib.blake2b(torn_tail, digest_size=16).digest(),
+                    )
+                    with self._lock:
+                        new_damage = state != self._torn_counted
+                        self._torn_counted = state
+                    if new_damage:
+                        metrics.increment("store.journal_torn", torn)
+                return checkpoint, tuple(entries), torn
             entries.append(entry)
-        with self._lock:
-            self._torn_counted = None
-        return entries, 0
+        if count_torn:
+            with self._lock:
+                self._torn_counted = None
+        return checkpoint, tuple(entries), 0
 
     @staticmethod
     def _parse_journal_line(line: bytes) -> Optional[JournalEntry]:
@@ -342,22 +545,90 @@ class ModelStore:
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
             return None
 
+    @staticmethod
+    def encode_checkpoint(checkpoint: JournalCheckpoint) -> bytes:
+        """Serialize a checkpoint as the ``c1`` journal header line."""
+        payload = json.dumps(
+            {
+                "generation": int(checkpoint.generation),
+                "base": int(checkpoint.base),
+                "snapshot": [
+                    [e.name, e.version, e.filename, e.record_crc]
+                    for e in checkpoint.snapshot
+                ],
+                "quarantined": [
+                    [name, version, filename]
+                    for name, version, filename in checkpoint.quarantined
+                ],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        return f"c1 {crc:08x} {payload}\n".encode("utf-8")
+
+    @staticmethod
+    def _parse_checkpoint_line(line: bytes) -> Optional[JournalCheckpoint]:
+        try:
+            text = line.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        match = _CHECKPOINT_LINE.match(text)
+        if match is None:
+            return None
+        payload = match.group("payload")
+        if int(match.group("crc"), 16) != (
+            zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        ):
+            return None
+        try:
+            body = json.loads(payload)
+            snapshot = tuple(
+                JournalEntry(
+                    name=name,
+                    version=int(version),
+                    filename=filename,
+                    record_crc=int(crc),
+                )
+                for name, version, filename, crc in body["snapshot"]
+            )
+            quarantined = tuple(
+                (name, int(version), filename)
+                for name, version, filename in body.get("quarantined", [])
+            )
+            return JournalCheckpoint(
+                generation=int(body["generation"]),
+                base=int(body["base"]),
+                snapshot=snapshot,
+                quarantined=quarantined,
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
     # ------------------------------------------------------------------
     # Quarantine + scan
     # ------------------------------------------------------------------
-    def quarantine(self, path, reason: str) -> Path:
-        """Move a damaged record aside; it is never served or re-scanned."""
+    def quarantine(self, path, reason: str, generation: Optional[int] = None) -> Path:
+        """Move a damaged record aside; it is never served or re-scanned.
+
+        The ``.reason`` sidecar carries the generation the record came
+        from (``generation:`` line) so records journaled in a retired
+        generation stay attributable after compaction; ``generation``
+        defaults to the live one.
+        """
         path = Path(path)
-        target = self.quarantine_dir / path.name
+        quarantine_dir = self.quarantine_dir
+        target = quarantine_dir / path.name
         suffix = 0
         while target.exists():
             suffix += 1
-            target = self.quarantine_dir / f"{path.name}.{suffix}"
+            target = quarantine_dir / f"{path.name}.{suffix}"
         os.replace(path, target)
+        origin = self.generation if generation is None else int(generation)
         target.with_suffix(target.suffix + ".reason").write_text(
-            reason + "\n", encoding="utf-8"
+            f"{reason}\ngeneration: {origin}\n", encoding="utf-8"
         )
-        self._fsync_dir(self.quarantine_dir)
+        self._fsync_dir(quarantine_dir)
         self._fsync_dir(self.records_dir)
         metrics.increment("store.corrupt_quarantined")
         return target
@@ -368,9 +639,23 @@ class ModelStore:
         Corrupt or torn records are quarantined (when
         ``quarantine_corrupt``) and reported; valid records come back
         sorted by ``(name, version)`` ready for registry restoration.
+        The snapshot manifest of a compacted generation counts as
+        journaled (survivors are re-listed by the checkpoint), and a scan
+        that races a compaction swing retries against the new generation
+        so it never mixes two generations' contents.
         """
-        journal, torn = self.journal_entries()
-        journaled = {entry.filename: entry for entry in journal}
+        for _ in range(3):
+            generation = self.generation
+            result = self._scan_once(quarantine_corrupt)
+            if self.generation == generation:
+                return result
+        return self._scan_once(quarantine_corrupt)
+
+    def _scan_once(self, quarantine_corrupt: bool) -> StoreScan:
+        view = self.journal_view()
+        journaled = {
+            entry.filename: entry for entry in view.snapshot + view.entries
+        }
         records: List[ModelRecord] = []
         quarantined: List[Path] = []
         unjournaled: List[ModelRecord] = []
@@ -390,7 +675,9 @@ class ModelStore:
                 unjournaled.append(record)
                 metrics.increment("store.recovered_unjournaled")
         missing = tuple(
-            entry for entry in journal if entry.filename not in seen_files
+            entry
+            for entry in view.snapshot + view.entries
+            if entry.filename not in seen_files
         )
         if missing:
             metrics.increment("store.missing_records", len(missing))
@@ -400,7 +687,10 @@ class ModelStore:
             quarantined=tuple(quarantined),
             missing=missing,
             unjournaled=tuple(unjournaled),
-            torn_journal_lines=torn,
+            torn_journal_lines=view.torn_lines,
+            generation=view.generation,
+            checkpoint_offset=view.checkpoint_offset,
+            compaction_quarantined=view.compaction_quarantined,
         )
 
     # ------------------------------------------------------------------

@@ -24,7 +24,11 @@ import numpy as np
 import pytest
 
 from repro.basis import OrthonormalBasis
-from repro.experiments import run_chaos_stream, run_crash_recovery_stream
+from repro.experiments import (
+    run_chaos_stream,
+    run_crash_recovery_stream,
+    run_rolling_restart_drill,
+)
 from repro.faults import CircuitBreaker, FaultPlan, inject
 from repro.linalg import SolverError
 from repro.regression import FittedModel
@@ -496,3 +500,91 @@ class TestLockWatchdog:
         )
         assert tracked.store_counters == baseline.store_counters
         assert tracked.serving_counters == baseline.serving_counters
+
+
+def _run_drill(store_root, seed=0, **overrides):
+    kwargs = dict(
+        num_shards=3,
+        replication_factor=2,
+        num_models=3,
+        pre_batches=2,
+        batch_size=12,
+        requests_per_phase=5,
+        seed=seed,
+        engine_kwargs={"workers": 1, "max_delay_seconds": 0.0},
+    )
+    kwargs.update(overrides)
+    return run_rolling_restart_drill(store_root, **kwargs)
+
+
+class TestRollingRestartDrill:
+    """The ISSUE acceptance scenario for zero-downtime restarts: every
+    shard is restarted one at a time under live traffic, over a store
+    that was compacted mid-drill.  100% of accepted requests must be
+    answered, no refit-from-scratch may land on the critical path (warm
+    ``rearm()`` only), and the same seed must produce a bitwise-identical
+    signature."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_zero_failed_requests_across_restarts(self, tmp_path, seed):
+        report = _run_drill(tmp_path, seed=seed)
+        assert report.failed_requests == 0
+        assert report.answered_requests == report.requests_issued
+        assert report.requests_issued >= 1
+        # Every shard restarted exactly once and came back warm.
+        assert tuple(report.restart_order) == (0, 1, 2)
+        assert all(count >= 1 for count in report.restart_restored)
+        # The drill crossed a real compaction boundary.
+        assert report.compacted and report.generation == 1
+        assert report.checkpoint_offset >= 1
+        # Warm path only: one rearm per model, zero refits-from-scratch.
+        assert report.rearms == report.num_models
+        assert report.woodbury_fallbacks == 0
+        assert all(mode == "incremental" for mode in report.rearm_modes)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_is_bitwise_identical(self, tmp_path, seed):
+        first = _run_drill(tmp_path / "a", seed=seed)
+        second = _run_drill(tmp_path / "b", seed=seed)
+        assert (
+            first.deterministic_signature() == second.deterministic_signature()
+        )
+
+    def test_drill_without_compaction_also_holds(self, tmp_path):
+        report = _run_drill(tmp_path, seed=SEEDS[0], compact_between=False)
+        assert report.failed_requests == 0
+        assert report.generation == 0
+        assert report.checkpoint_offset == 0
+        assert all(mode == "incremental" for mode in report.rearm_modes)
+
+    def test_rolling_restart_acquisition_graph_is_clean(self, tmp_path):
+        from repro.locks import watch_locks
+
+        with watch_locks() as wd:
+            report = _run_drill(tmp_path, seed=SEEDS[0])
+        payload = wd.report()
+        assert payload["cycles"] == []
+        assert payload["inversions"] == []
+        tracked = set(payload["locks"])
+        assert any(name.startswith("serving.") for name in tracked)
+        assert report.failed_requests == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_watchdog_preserves_drill_signature(self, tmp_path, seed):
+        from repro.locks import watch_locks
+
+        baseline = _run_drill(tmp_path / "off", seed=seed)
+        with watch_locks() as wd:
+            tracked = _run_drill(tmp_path / "on", seed=seed)
+            wd.publish_metrics()  # lock.* counters are signature-exempt
+        assert (
+            tracked.deterministic_signature()
+            == baseline.deterministic_signature()
+        )
+
+    def test_report_format_is_human_readable(self, tmp_path):
+        report = _run_drill(tmp_path)
+        text = report.format()
+        assert "Rolling-restart drill" in text
+        assert "requests answered" in text
+        assert "warm rearms" in text

@@ -329,3 +329,118 @@ class TestIntrospection:
             applied = router.catch_up()
             assert applied == len(router.replicas("power"))
             assert max(router.follower_lag().values()) == 0
+
+
+class TestRollingRestart:
+    def test_restart_shard_rebuilds_from_store(self, store):
+        with make_router(store) as router:
+            names = [f"model-{i:04d}" for i in range(6)]
+            for name in names:
+                router.publish(name, make_model())
+            old_shard = router.shard(0)
+            restarts_before = _counter("serving.shard.restarts")
+            restored = router.restart_shard(0)
+            assert restored == len(names)  # resync is a full replica
+            assert router.shard(0) is not old_shard
+            assert _counter("serving.shard.restarts") - restarts_before == 1
+            assert 0 in router.alive_shards()
+            # The replacement serves immediately, warm from the store.
+            for name in names:
+                assert router.predict(name, np.zeros(NUM_VARS)).shape == (1,)
+
+    def test_drive_callback_runs_while_shard_is_down(self, store):
+        with make_router(store) as router:
+            router.publish("power", make_model())
+            observed = {}
+
+            def drive(shard_id):
+                observed["alive_during"] = router.alive_shards()
+                # Live traffic keeps flowing through the degraded ring.
+                assert router.predict("power", np.zeros(NUM_VARS)).shape == (1,)
+
+            router.restart_shard(router.primary("power"), drive=drive)
+            assert router.primary("power") not in observed["alive_during"]
+            assert router.alive_shards() == (0, 1, 2)
+
+    def test_rolling_restart_answers_every_request(self, store):
+        with make_router(store, num_shards=3, replication_factor=2) as router:
+            names = [f"model-{i:04d}" for i in range(8)]
+            for name in names:
+                router.publish(name, make_model())
+            rng = np.random.default_rng(9)
+            answered = 0
+
+            def drive(shard_id):
+                nonlocal answered
+                for _ in range(10):
+                    name = names[int(rng.integers(len(names)))]
+                    x = rng.normal(size=NUM_VARS)
+                    assert router.predict(name, x, timeout=10.0).shape == (1,)
+                    answered += 1
+
+            restored = router.rolling_restart(drive=drive)
+            assert set(restored) == {0, 1, 2}
+            assert all(count == len(names) for count in restored.values())
+            assert answered == 30  # every request during every restart
+            assert router.stats()["restarts"] == 3
+            assert router.alive_shards() == (0, 1, 2)
+            assert router.max_version_lag() == 0
+
+    def test_restart_preserves_registry_config(self, store):
+        with make_router(
+            store,
+            registry_kwargs={"max_versions": 3, "serve_last_good": False},
+        ) as router:
+            router.publish("power", make_model())
+            config_before = router.shard(1).registry.export_config()
+            router.restart_shard(1)
+            assert router.shard(1).registry.export_config() == config_before
+            assert router.shard(1).registry.max_versions == 3
+            assert router.shard(1).registry.serve_last_good is False
+
+    def test_restart_revives_a_dead_shard(self, store):
+        with make_router(store) as router:
+            router.publish("power", make_model())
+            router.kill_shard(0)
+            assert 0 not in router.alive_shards()
+            router.restart_shard(0)
+            assert 0 in router.alive_shards()
+            assert router.predict("power", np.zeros(NUM_VARS)).shape == (1,)
+
+    def test_rolling_restart_across_compaction_boundary(self, store):
+        from repro.store import compact
+
+        with make_router(store) as router:
+            names = [f"model-{i:04d}" for i in range(4)]
+            for name in names:
+                router.publish(name, make_model(seed=1))
+                router.publish(name, make_model(seed=2))
+            compact(store, history_window=0)
+            restored = router.rolling_restart()
+            # Only the surviving latest version per name is restorable.
+            assert all(count == len(names) for count in restored.values())
+            for shard_id in router.alive_shards():
+                follower = router.shard(shard_id).follower
+                assert follower.generation == 1
+                assert follower.offset == store.journal_view().end_offset
+            for name in names:
+                assert router.predict(name, np.zeros(NUM_VARS)).shape == (1,)
+
+
+class TestRegistryExportConfig:
+    def test_round_trips_constructor_kwargs(self):
+        registry = ModelRegistry(
+            max_versions=5,
+            validate=False,
+            serve_last_good=False,
+            durability="best-effort",
+        )
+        config = registry.export_config()
+        assert config == {
+            "max_versions": 5,
+            "validate": False,
+            "serve_last_good": False,
+            "durability": "best-effort",
+        }
+        clone = ModelRegistry(**config)
+        assert clone.export_config() == config
