@@ -21,6 +21,7 @@ from .contracts import (
     ContractViolationError,
     accepts_arrays,
     check_array,
+    check_close,
     contracts_enabled,
     returns_array,
     set_contracts_enabled,
@@ -38,6 +39,7 @@ __all__ = [
     "Violation",
     "accepts_arrays",
     "check_array",
+    "check_close",
     "concurrency",
     "contracts_enabled",
     "filter_baselined",

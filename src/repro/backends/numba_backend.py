@@ -1,0 +1,113 @@
+"""Optional numba-JIT backend (``pip install repro[numba]``).
+
+Accelerates the two Python/numpy-loop-bound primitives -- design-matrix
+gather-product assembly and the fused assembly->predict serving kernel --
+with parallel ``@njit`` loops that fuse the per-level gathers into a single
+pass over the Hermite table (the numpy path makes ``depth`` blocked
+``np.take`` passes plus multiplies; the JIT kernel reads each table cell
+once).  ``fastmath`` stays **off** so the per-column multiply order matches
+the numpy backend exactly: float64 assembly is bitwise identical to the
+canonical backend, which the conformance suite checks.
+
+Dense BLAS contractions (``matmul_t`` / ``matvec`` / ``triangular_solve``)
+deliberately delegate to the numpy backend: numba brings nothing over
+tuned BLAS there, and delegation keeps those results bitwise equal to the
+canonical bits (so mixed numba/numpy runs share solver behavior).
+
+When numba is not importable this module still imports cleanly;
+:meth:`NumbaBackend.available` reports ``False`` and the registry falls
+back to numpy (counted as ``backends.fallbacks``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..locks import named_lock
+from .numpy_backend import NumpyBackend
+
+try:
+    import numba
+except ImportError:  # the extra is optional; the registry gates on available()
+    numba = None
+
+import numpy as np
+
+__all__ = ["NumbaBackend"]
+
+
+def _gather_product_impl(stacked, gather, out):
+    num_samples = stacked.shape[0]
+    num_cols = gather.shape[0]
+    depth = gather.shape[1]
+    for k in numba.prange(num_samples):
+        row = stacked[k]
+        for j in range(num_cols):
+            acc = row[gather[j, 0]]
+            for level in range(1, depth):
+                acc = acc * row[gather[j, level]]
+            out[k, j] = acc
+
+
+def _fused_gather_matvec_impl(stacked, gather, coefficients, out):
+    num_samples = stacked.shape[0]
+    num_cols = gather.shape[0]
+    depth = gather.shape[1]
+    for k in numba.prange(num_samples):
+        row = stacked[k]
+        # Dtype-preserving zero: column 0 of the table is the ones column.
+        total = row[0] - row[0]
+        for j in range(num_cols):
+            acc = row[gather[j, 0]]
+            for level in range(1, depth):
+                acc = acc * row[gather[j, level]]
+            total = total + acc * coefficients[j]
+        out[k] = total
+    return out
+
+
+_jit_lock = named_lock("backends.numba.jit")
+_jit_cache: Dict[str, Callable] = {}
+
+
+def _jitted(name: str, impl: Callable) -> Callable:
+    """Compile ``impl`` lazily, once, under a lock (import stays cheap)."""
+    with _jit_lock:
+        compiled = _jit_cache.get(name)
+        if compiled is None:
+            compiled = numba.njit(parallel=True, fastmath=False, cache=False)(impl)
+            _jit_cache[name] = compiled
+        return compiled
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT assembly/fused kernels; BLAS contractions delegate to numpy."""
+
+    name = "numba"
+
+    @classmethod
+    def available(cls) -> bool:
+        return numba is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return "numba is not installed (pip install repro[numba])"
+
+    def gather_product(self, stacked: np.ndarray, gather: np.ndarray) -> np.ndarray:
+        out = np.empty((stacked.shape[0], gather.shape[0]), dtype=stacked.dtype)
+        kernel = _jitted("gather_product", _gather_product_impl)
+        kernel(np.ascontiguousarray(stacked), gather, out)
+        return out
+
+    def fused_gather_matvec(
+        self, stacked: np.ndarray, gather: np.ndarray, coefficients: np.ndarray
+    ) -> np.ndarray:
+        out = np.empty(stacked.shape[0], dtype=stacked.dtype)
+        kernel = _jitted("fused_gather_matvec", _fused_gather_matvec_impl)
+        kernel(
+            np.ascontiguousarray(stacked),
+            gather,
+            np.ascontiguousarray(coefficients),
+            out,
+        )
+        return out

@@ -1,0 +1,105 @@
+"""The default (and canonical) numpy backend.
+
+The float64 results of this backend define the reference bits: design
+matrices it assembles are bitwise identical to the pre-backend
+``OrthonormalBasis`` assembly (the per-column reference loop), and its
+contractions are the exact BLAS calls the library made before the backend
+seam existed.  The conformance suite's meta-test pins this: the numpy
+backend must stay *bitwise* equal to the deterministic oracle on assembly
+and deterministic-mode kernels, so cache keys do not need a backend tag
+for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from .base import Backend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(Backend):
+    """Pure numpy/scipy implementation of the hot-path primitives."""
+
+    name = "numpy"
+
+    # Sample rows are processed in blocks of this size so the per-block
+    # gather buffers (2 x block x C doubles) stay inside the L2 cache;
+    # larger blocks push the gather traffic out to L3/DRAM and measurably
+    # slow the assembly down on memory-bandwidth-bound hosts.
+    _ROW_BLOCK = 8
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def gather_product(self, stacked: np.ndarray, gather: np.ndarray) -> np.ndarray:
+        num_samples = stacked.shape[0]
+        num_cols, depth = gather.shape
+        dtype = stacked.dtype
+        out = np.empty((num_samples, num_cols), dtype=dtype)
+        block = self._ROW_BLOCK
+        product = np.empty((block, num_cols), dtype=dtype)
+        factor = np.empty((block, num_cols), dtype=dtype)
+        first = gather[:, 0]
+        middle = [gather[:, level] for level in range(1, depth - 1)]
+        last = gather[:, depth - 1] if depth > 1 else None
+        for k0 in range(0, num_samples, block):
+            k1 = min(k0 + block, num_samples)
+            rows = k1 - k0
+            sub = stacked[k0:k1]
+            if last is None:
+                np.take(sub, first, axis=1, out=out[k0:k1])
+                continue
+            np.take(sub, first, axis=1, out=product[:rows])
+            for level_cols in middle:
+                np.take(sub, level_cols, axis=1, out=factor[:rows])
+                product[:rows] *= factor[:rows]
+            np.take(sub, last, axis=1, out=factor[:rows])
+            np.multiply(product[:rows], factor[:rows], out=out[k0:k1])
+        return out
+
+    def fused_gather_matvec(
+        self, stacked: np.ndarray, gather: np.ndarray, coefficients: np.ndarray
+    ) -> np.ndarray:
+        """Blocked assembly-and-dot: only a ``block x C`` scratch is live."""
+        num_samples = stacked.shape[0]
+        num_cols, depth = gather.shape
+        dtype = stacked.dtype
+        out = np.empty(num_samples, dtype=dtype)
+        block = self._ROW_BLOCK
+        product = np.empty((block, num_cols), dtype=dtype)
+        factor = np.empty((block, num_cols), dtype=dtype)
+        first = gather[:, 0]
+        rest = [gather[:, level] for level in range(1, depth)]
+        for k0 in range(0, num_samples, block):
+            k1 = min(k0 + block, num_samples)
+            rows = k1 - k0
+            sub = stacked[k0:k1]
+            np.take(sub, first, axis=1, out=product[:rows])
+            for level_cols in rest:
+                np.take(sub, level_cols, axis=1, out=factor[:rows])
+                product[:rows] *= factor[:rows]
+            np.dot(product[:rows], coefficients, out=out[k0:k1])
+        return out
+
+    # ------------------------------------------------------------------
+    def matmul_t(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return left @ right.T
+
+    def matvec(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        return matrix @ vector
+
+    def triangular_solve(
+        self, lower: np.ndarray, rhs: np.ndarray, trans: bool = False
+    ) -> np.ndarray:
+        if trans:
+            return scipy.linalg.solve_triangular(
+                lower.T, rhs, lower=False, check_finite=False
+            )
+        return scipy.linalg.solve_triangular(
+            lower, rhs, lower=True, check_finite=False
+        )

@@ -1,0 +1,213 @@
+"""Backend registration and selection.
+
+Selection order for the process-wide active backend:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call;
+2. the ``REPRO_BACKEND`` environment variable (read when the selection is
+   first resolved, and again after :func:`reset_backend_selection`);
+3. the ``numpy`` default.
+
+A *known but unavailable* backend (its optional extra is not installed, or
+its ``available()`` probe fails) falls back to numpy **gracefully**: the
+resolution is counted once as ``backends.fallbacks``, the requested name is
+kept visible in :func:`describe_selection`, and everything keeps running on
+the canonical backend.  An *unknown* name passed programmatically raises
+``ValueError`` -- that is a caller bug, not a deployment condition -- while
+an unknown name in the environment variable falls back like an unavailable
+one (a typo in a deployment env file must not take serving down).
+
+Every resolution increments ``backends.selections``; resolutions are
+cached, so the hot paths pay one lock acquisition per call to
+:func:`get_backend`, not a re-resolution.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from ..locks import named_lock
+from ..runtime.metrics import metrics
+from .base import Backend
+
+__all__ = [
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "backend_available",
+    "backend_unavailable_reason",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "active_backend_name",
+    "describe_selection",
+    "reset_backend_selection",
+]
+
+#: Environment variable naming the default backend for the process.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_DEFAULT_NAME = "numpy"
+
+_state_lock = named_lock("backends.registry")
+_classes: Dict[str, Type[Backend]] = {}
+_instances: Dict[str, Backend] = {}
+#: Explicitly requested name (set_backend/use_backend); None = env/default.
+_requested: List[Optional[str]] = [None]
+#: Cached resolution: (requested_name, active Backend) or None when stale.
+_resolved: List[Optional[Tuple[Optional[str], Backend]]] = [None]
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator: make ``cls`` selectable under ``cls.name``."""
+    name = cls.name
+    with _state_lock:
+        existing = _classes.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"backend {name!r} is already registered")
+        _classes[name] = cls
+        _resolved[0] = None
+    return cls
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Every registered backend name (available or not), sorted."""
+    with _state_lock:
+        return tuple(sorted(_classes))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The subset of registered backends whose extras import here."""
+    with _state_lock:
+        classes = dict(_classes)
+    return tuple(sorted(name for name, cls in classes.items() if cls.available()))
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and currently usable."""
+    with _state_lock:
+        cls = _classes.get(name)
+    return cls is not None and cls.available()
+
+
+def backend_unavailable_reason(name: str) -> str:
+    """Skip-with-reason text for an unusable backend."""
+    with _state_lock:
+        cls = _classes.get(name)
+    if cls is None:
+        return f"backend {name!r} is not registered"
+    if cls.available():
+        return f"backend {name!r} is available"
+    return cls.unavailable_reason()
+
+
+def _instance_locked(name: str) -> Backend:
+    instance = _instances.get(name)
+    if instance is None:
+        instance = _classes[name]()
+        _instances[name] = instance
+    return instance
+
+
+def _resolve_locked(requested: Optional[str]) -> Tuple[Backend, bool]:
+    """Resolve a request to a usable Backend, falling back gracefully."""
+    name = requested
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or _DEFAULT_NAME
+    fell_back = False
+    cls = _classes.get(name)
+    if cls is None or not cls.available():
+        fell_back = name != _DEFAULT_NAME
+        name = _DEFAULT_NAME
+    active = _instance_locked(name)
+    _resolved[0] = (requested, active)
+    return active, fell_back
+
+
+def get_backend(name: Optional[str] = None) -> Backend:
+    """The active backend, or the named one (with graceful fallback).
+
+    With no argument, returns (and caches) the process-wide selection.
+    With ``name``, returns that backend if usable, the numpy fallback if
+    registered-but-unavailable (counted as ``backends.fallbacks``), and
+    raises ``ValueError`` for an unregistered name.
+    """
+    fell_back = False
+    if name is not None:
+        with _state_lock:
+            cls = _classes.get(name)
+            if cls is None:
+                known = ", ".join(sorted(_classes))
+                raise ValueError(f"unknown backend {name!r}; registered: {known}")
+            if cls.available():
+                backend = _instance_locked(name)
+            else:
+                backend = _instance_locked(_DEFAULT_NAME)
+                fell_back = True
+    else:
+        with _state_lock:
+            cached = _resolved[0]
+            if cached is not None and cached[0] == _requested[0]:
+                return cached[1]
+            backend, fell_back = _resolve_locked(_requested[0])
+        metrics.increment("backends.selections")
+    if fell_back:
+        metrics.increment("backends.fallbacks")
+    return backend
+
+
+def set_backend(name: Optional[str]) -> Optional[str]:
+    """Select the process-wide backend; returns the previous request.
+
+    ``None`` restores environment/default resolution.  A registered but
+    unavailable name is accepted -- resolution falls back to numpy and
+    counts ``backends.fallbacks`` -- so deployment configuration can ask
+    for an accelerator unconditionally.
+    """
+    with _state_lock:
+        if name is not None and name not in _classes:
+            known = ", ".join(sorted(_classes))
+            raise ValueError(f"unknown backend {name!r}; registered: {known}")
+        previous = _requested[0]
+        _requested[0] = name
+        _resolved[0] = None
+    return previous
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[Backend]:
+    """Scoped :func:`set_backend`; restores the previous selection."""
+    previous = set_backend(name)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)
+
+
+def active_backend_name() -> str:
+    """Name of the backend :func:`get_backend` currently resolves to."""
+    return get_backend().name
+
+
+def describe_selection() -> Dict[str, object]:
+    """Diagnostic snapshot: requested vs. active backend, availability."""
+    active = get_backend()
+    with _state_lock:
+        requested = _requested[0]
+        names = dict(_classes)
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
+    return {
+        "requested": requested,
+        "environment": env,
+        "active": active.name,
+        "fell_back": (requested or env or _DEFAULT_NAME) != active.name,
+        "registered": {name: cls.available() for name, cls in sorted(names.items())},
+    }
+
+
+def reset_backend_selection() -> None:
+    """Drop the cached resolution and any explicit request (test helper)."""
+    with _state_lock:
+        _requested[0] = None
+        _resolved[0] = None

@@ -1,0 +1,107 @@
+"""Optional torch backend (``pip install repro[torch]``).
+
+Runs every primitive through torch tensor kernels (CPU by default; set
+``REPRO_TORCH_DEVICE=cuda`` to target a GPU).  Unlike the numba backend,
+the dense contractions do *not* delegate to numpy -- torch's own GEMM /
+triangular-solve kernels are exercised end to end, which is exactly what
+the differential conformance suite is for: torch results may differ
+bitwise from the canonical numpy bits (different BLAS, different reduction
+order), so the registry tags this backend's design-matrix cache entries
+with its name and the conformance tolerances for ``torch`` are finite
+rather than zero.
+
+When torch is not importable this module still imports cleanly;
+:meth:`TorchBackend.available` reports ``False`` and the registry falls
+back to numpy (counted as ``backends.fallbacks``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .base import Backend
+
+try:
+    import torch
+except ImportError:  # the extra is optional; the registry gates on available()
+    torch = None
+
+__all__ = ["TorchBackend"]
+
+
+def _tensor(array: np.ndarray):
+    """Wrap an ndarray, copying only when torch cannot share the buffer.
+
+    Cached design matrices are served read-only; ``torch.from_numpy``
+    refuses non-writeable buffers, so those are copied.
+    """
+    if not array.flags.writeable or not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array).copy()
+    tensor = torch.from_numpy(array)
+    device = os.environ.get("REPRO_TORCH_DEVICE", "").strip()
+    if device:
+        tensor = tensor.to(device)
+    return tensor
+
+
+def _numpy(tensor) -> np.ndarray:
+    return np.ascontiguousarray(tensor.cpu().numpy())
+
+
+class TorchBackend(Backend):
+    """Torch tensor kernels for every hot-path primitive."""
+
+    name = "torch"
+
+    @classmethod
+    def available(cls) -> bool:
+        return torch is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return "torch is not installed (pip install repro[torch])"
+
+    # ------------------------------------------------------------------
+    def _assembled(self, stacked: np.ndarray, gather: np.ndarray):
+        table = _tensor(stacked)
+        product = table[:, gather[:, 0]].clone()
+        for level in range(1, gather.shape[1]):
+            product *= table[:, gather[:, level]]
+        return product
+
+    def gather_product(self, stacked: np.ndarray, gather: np.ndarray) -> np.ndarray:
+        return _numpy(self._assembled(stacked, gather))
+
+    def fused_gather_matvec(
+        self, stacked: np.ndarray, gather: np.ndarray, coefficients: np.ndarray
+    ) -> np.ndarray:
+        # One level-sized temporary at a time; the (K, C) product block is
+        # consumed by the matvec without a numpy round trip.
+        product = self._assembled(stacked, gather)
+        return _numpy(torch.mv(product, _tensor(coefficients)))
+
+    # ------------------------------------------------------------------
+    def matmul_t(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return _numpy(torch.matmul(_tensor(left), _tensor(right).T))
+
+    def matvec(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        return _numpy(torch.mv(_tensor(matrix), _tensor(vector)))
+
+    def triangular_solve(
+        self, lower: np.ndarray, rhs: np.ndarray, trans: bool = False
+    ) -> np.ndarray:
+        matrix = _tensor(lower)
+        if trans:
+            matrix = matrix.T
+        target = _tensor(rhs)
+        squeeze = target.dim() == 1
+        if squeeze:
+            target = target.unsqueeze(1)
+        solved = torch.linalg.solve_triangular(
+            matrix, target, upper=bool(trans), left=True
+        )
+        if squeeze:
+            solved = solved.squeeze(1)
+        return _numpy(solved)

@@ -13,12 +13,13 @@ the variables.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis.contracts import returns_array
-from ..runtime.cache import design_cache, fingerprint_array
+from ..analysis.contracts import check_array
+from ..backends import get_backend, resolve_dtype
+from ..runtime.cache import design_cache, design_key
 from ..runtime.metrics import metrics
 from .hermite import hermite_orthonormal_all
 from .multiindex import (
@@ -127,8 +128,12 @@ class OrthonormalBasis:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    @returns_array(dtype=np.float64, ndim=2, c_contiguous=True, name="design matrix G")
-    def design_matrix(self, x: np.ndarray, columns: Optional[Sequence[int]] = None) -> np.ndarray:
+    def design_matrix(
+        self,
+        x: np.ndarray,
+        columns: Optional[Sequence[int]] = None,
+        dtype: Optional[object] = None,
+    ) -> np.ndarray:
         """Assemble the design matrix **G** of eq. (9).
 
         Parameters
@@ -139,6 +144,12 @@ class OrthonormalBasis:
         columns:
             Optional subset of basis-function indices to evaluate; defaults
             to all ``M`` functions.
+        dtype:
+            Result dtype: ``None``/float64 (the canonical bits) or float32
+            (the opt-in reduced-precision serving mode; see
+            ``docs/backends.md``).  Cache entries are keyed per dtype (and
+            per non-canonical backend), so mixed-precision callers never
+            cross-serve each other's matrices.
 
         Returns
         -------
@@ -146,15 +157,32 @@ class OrthonormalBasis:
             ``G`` of shape ``(K, len(columns))`` with
             ``G[k, j] = g_{columns[j]}(x[k])``.
         """
+        out_dtype = resolve_dtype(dtype)
         x = self._coerce_samples(x)
         wanted = self._resolve_columns(columns)
 
         cache = design_cache()
         if cache is None or x.shape[0] * max(len(wanted), 1) < cache.min_result_cells:
-            return self._assemble(x, wanted)
-        signature = None if columns is None else tuple(wanted)
-        key = (self.cache_token(), fingerprint_array(x), signature)
-        return cache.get_or_compute(key, lambda: self._assemble(x, wanted))
+            result = self._assemble(x, wanted, out_dtype)
+        else:
+            signature = None if columns is None else tuple(wanted)
+            key = design_key(
+                self.cache_token(),
+                x,
+                signature,
+                dtype=out_dtype,
+                backend=get_backend().name,
+            )
+            result = cache.get_or_compute(
+                key, lambda: self._assemble(x, wanted, out_dtype), dtype=out_dtype
+            )
+        return check_array(
+            result,
+            name="design matrix G",
+            dtype=out_dtype,
+            ndim=2,
+            c_contiguous=True,
+        )
 
     def _coerce_samples(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
@@ -187,42 +215,46 @@ class OrthonormalBasis:
             wanted.append(c)
         return wanted
 
-    def _assemble(self, x: np.ndarray, wanted: List[int]) -> np.ndarray:
+    def _assemble(
+        self, x: np.ndarray, wanted: List[int], dtype: np.dtype
+    ) -> np.ndarray:
         with metrics.timer("design_matrix"):
             metrics.increment("design_matrix.calls")
             metrics.increment("design_matrix.cells", x.shape[0] * len(wanted))
             if self.is_linear():
-                return self._linear_design_matrix(x, wanted)
-            return self._design_matrix_vectorized(x, wanted)
+                return self._linear_design_matrix(x, wanted, dtype)
+            plan = self._gather_plan(x, wanted, dtype)
+            if plan is None:
+                return np.ones((x.shape[0], len(wanted)), dtype=dtype)
+            stacked, gather = plan
+            return get_backend().gather_product(stacked, gather)
 
-    # Sample rows are processed in blocks of this size so the per-block
-    # gather buffers (2 x block x M doubles) stay inside the L2 cache;
-    # larger blocks push the gather traffic out to L3/DRAM and measurably
-    # slow the assembly down on memory-bandwidth-bound hosts.
-    _ROW_BLOCK = 8
-
-    def _design_matrix_vectorized(self, x: np.ndarray, wanted: List[int]) -> np.ndarray:
-        """General-path assembly as blocked gather-products of Hermite tables.
+    def _gather_plan(
+        self, x: np.ndarray, wanted: List[int], dtype: np.dtype
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Build the ``(stacked table, gather indices)`` assembly plan.
 
         The univariate orthonormal Hermite tables are evaluated in one
         batched recurrence over every active variable, only up to the
         highest degree the *selected* columns actually use, and stacked
         next to a shared ones column with a ``(degree, variable)``-major
         column layout, samples along the leading axis.  Each output column
-        is a product of ``depth`` columns of that table (padded with the
-        ones column for lower-order terms); the product is formed for all
-        columns at once, one small block of sample rows at a time, by
-        gathering the factor columns into reused scratch buffers and
-        multiplying straight into the matching rows of the C-contiguous
-        result.  The former per-column Python loop becomes
-        O(depth * K / block) NumPy calls, every write lands contiguously,
-        and no final transpose copy is needed to satisfy the C-contiguity
-        contract.
+        is then a product of ``depth`` columns of that table (zero-padded
+        gather rows multiply by the ones column for lower-order terms) --
+        the exact shape every :class:`repro.backends.Backend` implements
+        as ``gather_product`` (blocked take/multiply on numpy, a parallel
+        JIT loop on numba, tensor gathers on torch) and as the fused
+        ``fused_gather_matvec`` serving kernel.
+
+        The recurrence always runs in float64; a float32 plan downcasts
+        the stacked table once, so every backend consumes identical bits.
+        Returns ``None`` when the selection needs no table at all (empty
+        selection or constant-only columns -- the result is all ones).
         """
         num_samples = x.shape[0]
         num_cols = len(wanted)
         if num_cols == 0:
-            return np.ones((num_samples, 0), dtype=float)
+            return None
 
         max_deg: dict = {}
         depth = 1
@@ -236,14 +268,14 @@ class OrthonormalBasis:
         active = sorted(max_deg)
         table_degree = max(max_deg.values(), default=0)
         if table_degree == 0:
-            return np.ones((num_samples, num_cols), dtype=float)
+            return None
         # Batched recurrence over all active variables at once:
         # (table_degree + 1, K, V) -> columns laid out (degree, variable)-
         # major with samples as the leading axis.
         batch = hermite_orthonormal_all(table_degree, x[:, active])
         num_active = len(active)
         stacked = np.empty(
-            (num_samples, 1 + table_degree * num_active), dtype=float
+            (num_samples, 1 + table_degree * num_active), dtype=dtype
         )
         stacked[:, 0] = 1.0
         stacked[:, 1:] = batch[1:].transpose(1, 0, 2).reshape(num_samples, -1)
@@ -253,28 +285,7 @@ class OrthonormalBasis:
         for j, m in enumerate(wanted):
             for level, (var, deg) in enumerate(self.indices[m]):
                 gather[j, level] = 1 + (deg - 1) * num_active + position[var]
-
-        out = np.empty((num_samples, num_cols), dtype=float)
-        block = self._ROW_BLOCK
-        product = np.empty((block, num_cols), dtype=float)
-        factor = np.empty((block, num_cols), dtype=float)
-        first = gather[:, 0]
-        middle = [gather[:, level] for level in range(1, depth - 1)]
-        last = gather[:, depth - 1] if depth > 1 else None
-        for k0 in range(0, num_samples, block):
-            k1 = min(k0 + block, num_samples)
-            rows = k1 - k0
-            sub = stacked[k0:k1]
-            if last is None:
-                np.take(sub, first, axis=1, out=out[k0:k1])
-                continue
-            np.take(sub, first, axis=1, out=product[:rows])
-            for level_cols in middle:
-                np.take(sub, level_cols, axis=1, out=factor[:rows])
-                product[:rows] *= factor[:rows]
-            np.take(sub, last, axis=1, out=factor[:rows])
-            np.multiply(product[:rows], factor[:rows], out=out[k0:k1])
-        return out
+        return stacked, gather
 
     def _design_matrix_loop(
         self, x: np.ndarray, columns: Optional[Sequence[int]] = None
@@ -288,7 +299,7 @@ class OrthonormalBasis:
         wanted = self._resolve_columns(columns)
         num_samples = x.shape[0]
         if self.is_linear():
-            return self._linear_design_matrix(x, wanted)
+            return self._linear_design_matrix(x, wanted, np.dtype(np.float64))
         active_vars = sorted({v for m in wanted for v, _ in self.indices[m]})
         per_var = {
             v: hermite_orthonormal_all(self._max_degree, x[:, v]) for v in active_vars
@@ -301,9 +312,11 @@ class OrthonormalBasis:
             out[:, j] = col
         return out
 
-    def _linear_design_matrix(self, x: np.ndarray, wanted: List[int]) -> np.ndarray:
+    def _linear_design_matrix(
+        self, x: np.ndarray, wanted: List[int], dtype: np.dtype
+    ) -> np.ndarray:
         """Fast path for linear bases: columns are 1 or a raw variable."""
-        out = np.empty((x.shape[0], len(wanted)), dtype=float)
+        out = np.empty((x.shape[0], len(wanted)), dtype=dtype)
         const_pos: List[int] = []
         var_pos: List[int] = []
         var_ids: List[int] = []
@@ -319,6 +332,61 @@ class OrthonormalBasis:
         if var_pos:
             out[:, var_pos] = x[:, var_ids]
         return out
+
+    def fused_predict(
+        self,
+        x: np.ndarray,
+        coefficients: np.ndarray,
+        dtype: Optional[object] = None,
+    ) -> np.ndarray:
+        """Fused design-matrix -> prediction serving kernel.
+
+        Computes ``design_matrix(x) @ coefficients`` in one backend
+        dispatch.  On a design-cache hit the cached matrix feeds a single
+        ``matvec`` (no re-assembly); on a cache miss for a cacheable size
+        the matrix is materialized once, cached for the next batch of the
+        same samples, and consumed by the same ``matvec``.  Below the
+        cache's ``min_result_cells`` threshold -- the common serving
+        micro-batch -- the backend's ``fused_gather_matvec`` streams
+        block-sized slices of the assembly straight into the dot product,
+        so no ``K x M`` intermediate is ever materialized.
+
+        ``dtype`` selects the serving precision (``None``/float64 or the
+        opt-in float32 mode bounded by
+        :data:`repro.backends.FLOAT32_SERVING_RTOL`); the result has that
+        dtype.  Counted as ``backends.fused_predicts``.
+        """
+        out_dtype = resolve_dtype(dtype)
+        x = self._coerce_samples(x)
+        coefficients = np.ascontiguousarray(coefficients, dtype=out_dtype)
+        if coefficients.shape != (self.size,):
+            raise ValueError(
+                f"expected {self.size} coefficients, got shape {coefficients.shape}"
+            )
+        metrics.increment("backends.fused_predicts")
+        backend = get_backend()
+        cache = design_cache()
+        wanted = list(range(self.size))
+        if (
+            cache is not None
+            and x.shape[0] * max(self.size, 1) >= cache.min_result_cells
+        ):
+            key = design_key(
+                self.cache_token(), x, None, dtype=out_dtype, backend=backend.name
+            )
+            design = cache.get_or_compute(
+                key, lambda: self._assemble(x, wanted, out_dtype), dtype=out_dtype
+            )
+            return backend.matvec(design, coefficients)
+        if self.is_linear():
+            design = self._linear_design_matrix(x, wanted, out_dtype)
+            return backend.matvec(design, coefficients)
+        plan = self._gather_plan(x, wanted, out_dtype)
+        if plan is None:
+            design = np.ones((x.shape[0], self.size), dtype=out_dtype)
+            return backend.matvec(design, coefficients)
+        stacked, gather = plan
+        return backend.fused_gather_matvec(stacked, gather, coefficients)
 
     def evaluate(self, coefficients: np.ndarray, x: np.ndarray) -> np.ndarray:
         """Evaluate ``sum_m alpha_m g_m(x)`` for each row of ``x`` (eq. 2)."""

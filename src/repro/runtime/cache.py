@@ -40,6 +40,7 @@ _FP_CACHE_LOOKUP = failpoint("cache.lookup")
 
 __all__ = [
     "DesignMatrixCache",
+    "design_key",
     "fingerprint_array",
     "design_cache",
     "set_design_cache",
@@ -48,12 +49,39 @@ __all__ = [
 
 CacheKey = Tuple[Hashable, ...]
 
+#: The canonical backend whose float64 results define the reference bits;
+#: entries computed by it need no backend tag in their key.
+_CANONICAL_BACKEND = "numpy"
+
 
 def fingerprint_array(x: np.ndarray) -> Tuple[Hashable, ...]:
     """Value fingerprint of a float array: shape plus a content digest."""
     x = np.ascontiguousarray(x)
     digest = hashlib.blake2b(x.view(np.uint8), digest_size=16).hexdigest()
     return (x.shape, digest)
+
+
+def design_key(
+    basis_token: str,
+    x: np.ndarray,
+    signature: Optional[Tuple[int, ...]],
+    dtype: "np.dtype" = np.dtype(np.float64),
+    backend: str = _CANONICAL_BACKEND,
+) -> CacheKey:
+    """Cache key for one assembled design matrix.
+
+    Value identity (basis digest + sample fingerprint + column signature)
+    is joined by *numeric* identity: the result dtype always participates
+    -- a float32 and a float64 assembly of the same samples are different
+    arrays and must never collide or cross-serve -- and the backend name
+    participates whenever the active backend is not the canonical numpy
+    one, whose bits non-canonical backends are not required to reproduce
+    exactly.
+    """
+    key: CacheKey = (basis_token, fingerprint_array(x), signature, np.dtype(dtype).str)
+    if backend != _CANONICAL_BACKEND:
+        key = key + (backend,)
+    return key
 
 
 class DesignMatrixCache:
@@ -126,12 +154,17 @@ class DesignMatrixCache:
 
     # ------------------------------------------------------------------
     def get_or_compute(
-        self, key: CacheKey, compute: Callable[[], np.ndarray]
+        self,
+        key: CacheKey,
+        compute: Callable[[], np.ndarray],
+        dtype: Optional["np.dtype"] = None,
     ) -> np.ndarray:
         """Return the cached matrix for ``key``, computing it on a miss.
 
         The stored (and returned) array is marked read-only; callers that
-        need to mutate must copy.
+        need to mutate must copy.  ``dtype``, when given, is re-validated
+        on every hit alongside the read-only flag -- a dtype-keyed entry
+        must serve exactly the dtype its key promises.
 
         A hit entry that fails re-validation (its read-only contract was
         broken, or the ``cache.lookup`` failpoint injects a corruption
@@ -151,6 +184,7 @@ class DesignMatrixCache:
                 return check_array(
                     cached,
                     name="cached design matrix",
+                    dtype=dtype,
                     writeable=False,
                     c_contiguous=True,
                 )

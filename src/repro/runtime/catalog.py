@@ -35,6 +35,11 @@ __all__ = [
 
 #: Counter names -> one-line description (what one increment means).
 METRICS: Dict[str, str] = {
+    "backends.fallbacks": "backend resolutions that fell back to numpy",
+    "backends.float32_bound_checks": "float32 serving batches checked against the float64 bound",
+    "backends.float32_serves": "serving batches evaluated in float32",
+    "backends.fused_predicts": "predictions served through the fused design-predict kernel",
+    "backends.selections": "process-wide backend resolutions performed",
     "bmf.cv_evaluations": "candidate models scored during BMF cross-validation",
     "design_cache.corrupt_evictions": "cached design matrices evicted by contract violation",
     "design_cache.evictions": "design-matrix cache LRU evictions",

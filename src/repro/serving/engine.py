@@ -60,6 +60,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import check_close, contracts_enabled
+from ..backends import FLOAT32_SERVING_RTOL, resolve_dtype
 from ..faults import (
     CircuitBreaker,
     CircuitOpenError,
@@ -254,6 +256,18 @@ class PredictionEngine:
         queue sheds its oldest expired entries first and then rejects
         new submits with :class:`EngineOverloadedError`; ``None``
         disables the bound (pre-overload-protection behavior).
+    serving_dtype:
+        Numeric precision of the serving path: ``None``/float64
+        (default, the canonical bits) or float32 (opt-in
+        reduced-precision mode -- predictions and response arrays are
+        float32).  With contracts enabled (``REPRO_CONTRACTS``), every
+        float32 batch is additionally evaluated in float64 and the
+        float32 result must stay within ``float32_rtol`` of it
+        (inf-norm relative; violations surface as caller errors and
+        never trip the circuit breaker).  See ``docs/backends.md``.
+    float32_rtol:
+        Relative error bound enforced on float32 batches; defaults to
+        :data:`repro.backends.FLOAT32_SERVING_RTOL`.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -269,6 +283,8 @@ class PredictionEngine:
         serve_last_good: bool = True,
         default_timeout_seconds: Optional[float] = None,
         max_queue_depth: Optional[int] = 1024,
+        serving_dtype: Optional[object] = None,
+        float32_rtol: float = FLOAT32_SERVING_RTOL,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -306,6 +322,11 @@ class PredictionEngine:
         self.max_queue_depth = (
             None if max_queue_depth is None else int(max_queue_depth)
         )
+        self.serving_dtype = resolve_dtype(serving_dtype)
+        if float32_rtol <= 0:
+            raise ValueError(f"float32_rtol must be > 0, got {float32_rtol}")
+        self.float32_rtol = float(float32_rtol)
+        self._reduced_precision = self.serving_dtype != np.dtype(np.float64)
         self._queue = _BoundedRequestQueue(self.max_queue_depth)
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -579,16 +600,39 @@ class PredictionEngine:
     # ------------------------------------------------------------------
     def _attempt(self, version: ModelVersion, stacked: np.ndarray) -> np.ndarray:
         _FP_EVALUATE.hit()
+        basis = version.model.basis
+        coefficients = version.model.coefficients
         with metrics.timer("serving.evaluate"):
-            design = version.model.basis.design_matrix(stacked)
             # Overflow is converted to an explicit error below, not a warning.
             with np.errstate(over="ignore", invalid="ignore"):
-                values = design @ version.model.coefficients
+                values = basis.fused_predict(
+                    stacked, coefficients, dtype=self.serving_dtype
+                )
         if not np.all(np.isfinite(values)):
             raise ModelEvaluationError(
                 f"model {version.name!r} v{version.version} produced "
                 "non-finite predictions"
             )
+        if self._reduced_precision:
+            metrics.increment("backends.float32_serves")
+            if contracts_enabled():
+                # The float32 accuracy contract: re-evaluate the batch in
+                # float64 and bound the drift.  A violation raises
+                # ContractViolationError (a TypeError), which the retry and
+                # breaker layers classify as a caller error -- an accuracy
+                # bound miss says nothing about the version's health.
+                metrics.increment("backends.float32_bound_checks")
+                with np.errstate(over="ignore", invalid="ignore"):
+                    reference = basis.fused_predict(stacked, coefficients)
+                check_close(
+                    values,
+                    reference,
+                    rtol=self.float32_rtol,
+                    name=(
+                        f"float32 predictions for model {version.name!r} "
+                        f"v{version.version}"
+                    ),
+                )
         return values
 
     def _evaluate_with_retry(

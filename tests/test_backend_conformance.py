@@ -1,0 +1,232 @@
+"""Cross-backend differential conformance suite.
+
+Every registered backend x {float64, float32} is driven over the hot-path
+operations -- design-matrix assembly, Gram kernels, MAP solves, incremental
+Woodbury refits, and fused serving predictions -- and compared to the
+bitwise-deterministic float64 oracle (:mod:`repro.backends.oracle`) within
+the documented tolerance table (:data:`repro.backends.TOLERANCES`, whose
+prose copy lives in ``docs/backends.md``).  A tolerance of ``0.0`` means
+*bitwise equal*; the meta-tests at the bottom pin the numpy backend to the
+oracle's exact bits so the reference itself cannot drift.
+
+Backends whose optional extra is not installed skip with the registry's
+reason text -- unless named in ``REPRO_REQUIRE_BACKENDS`` (comma-separated),
+in which case the guard test FAILS: the CI backend matrix sets that
+variable per job, so a silently-skipped backend can never go green.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    TOLERANCES,
+    active_backend_name,
+    backend_available,
+    backend_unavailable_reason,
+    registered_backends,
+    use_backend,
+)
+from repro.backends.oracle import (
+    oracle_design_matrix,
+    oracle_gram_kernel,
+    oracle_map_solve,
+    oracle_predict,
+)
+from repro.basis import OrthonormalBasis
+from repro.bmf import GaussianCoefficientPrior, KernelMapSolver
+from repro.linalg import extend_gram_kernel, gram_kernel
+
+from test_properties_woodbury import random_config
+
+DTYPES = ("float64", "float32")
+
+#: Seeds driving the randomized solve/refit conformance cases.
+SOLVE_SEEDS = tuple(range(0, 40, 4))
+
+
+def _required_backends():
+    raw = os.environ.get("REPRO_REQUIRE_BACKENDS", "")
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+@pytest.fixture(params=sorted(registered_backends()))
+def backend_name(request):
+    name = request.param
+    if not backend_available(name):
+        reason = backend_unavailable_reason(name)
+        if name in _required_backends():
+            pytest.fail(f"required backend unavailable: {reason}")
+        pytest.skip(reason)
+    return name
+
+
+@pytest.fixture(params=DTYPES)
+def dtype(request):
+    return np.dtype(request.param)
+
+
+def tolerance(backend_name, dtype, operation):
+    return TOLERANCES[(backend_name, dtype.name)].for_operation(operation)
+
+
+def assert_conforms(actual, reference, tol, label):
+    """Inf-norm relative comparison; ``tol == 0`` demands bitwise equality."""
+    actual = np.asarray(actual, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    assert actual.shape == reference.shape, label
+    if tol == 0:
+        assert np.array_equal(actual, reference), f"{label}: expected bitwise equality"
+        return
+    scale = max(float(np.max(np.abs(reference), initial=0.0)), 1e-300)
+    error = float(np.max(np.abs(actual - reference), initial=0.0)) / scale
+    assert error <= tol, f"{label}: relative error {error:.3e} exceeds {tol:.1e}"
+
+
+@pytest.fixture(scope="module")
+def problem():
+    """One moderate dense problem: basis, samples, coefficients."""
+    basis = OrthonormalBasis.total_degree(4, 3)
+    rng = np.random.default_rng(77)
+    x = rng.standard_normal((61, 4))
+    coefficients = rng.standard_normal(basis.size)
+    return basis, x, coefficients
+
+
+class TestDesignMatrixConformance:
+    def test_assembly_matches_oracle(self, backend_name, dtype, problem):
+        basis, x, _ = problem
+        reference = oracle_design_matrix(basis, x)
+        with use_backend(backend_name):
+            actual = basis.design_matrix(x, dtype=dtype)
+        assert actual.dtype == dtype
+        tol = tolerance(backend_name, dtype, "design")
+        # float32 tolerances are measured against the float64 oracle, so
+        # the float32 rounding of the reference itself is inside the bound.
+        assert_conforms(actual, reference, tol, f"design[{backend_name}/{dtype}]")
+
+    def test_column_subsets_match_oracle(self, backend_name, dtype, problem):
+        basis, x, _ = problem
+        columns = list(range(0, basis.size, 3))
+        reference = oracle_design_matrix(basis, x)[:, columns]
+        with use_backend(backend_name):
+            actual = basis.design_matrix(x, columns=columns, dtype=dtype)
+        tol = tolerance(backend_name, dtype, "design")
+        assert_conforms(actual, reference, tol, f"design-cols[{backend_name}/{dtype}]")
+
+
+class TestGramKernelConformance:
+    def test_gram_kernel_matches_oracle(self, backend_name, dtype, problem):
+        basis, x, _ = problem
+        design64 = oracle_design_matrix(basis, x)
+        design = design64.astype(dtype)
+        rng = np.random.default_rng(5)
+        scale_sq = np.abs(rng.standard_normal(basis.size)) + 0.1
+        reference = oracle_gram_kernel(design64, scale_sq)
+        with use_backend(backend_name):
+            actual = gram_kernel(design, scale_sq)
+        tol = tolerance(backend_name, dtype, "gram")
+        assert_conforms(actual, reference, tol, f"gram[{backend_name}/{dtype}]")
+
+    def test_extend_gram_kernel_matches_oracle(self, backend_name, dtype, problem):
+        basis, x, _ = problem
+        design64 = oracle_design_matrix(basis, x)
+        design = design64.astype(dtype)
+        split = design.shape[0] // 2
+        reference = oracle_gram_kernel(design64)
+        with use_backend(backend_name):
+            base = gram_kernel(design[:split])
+            actual = extend_gram_kernel(base, design[:split], design[split:])
+        tol = tolerance(backend_name, dtype, "gram")
+        assert_conforms(actual, reference, tol, f"extend[{backend_name}/{dtype}]")
+
+
+class TestSolveConformance:
+    @pytest.mark.parametrize("seed", SOLVE_SEEDS)
+    def test_map_solve_matches_oracle(self, backend_name, dtype, seed):
+        _, design64, target, prior, eta, missing_scale = random_config(seed)
+        design = design64.astype(dtype)
+        reference = oracle_map_solve(design64, target, prior, eta, missing_scale)
+        with use_backend(backend_name):
+            solver = KernelMapSolver(design, target, prior, missing_scale)
+            actual = solver.solve(eta)
+        tol = tolerance(backend_name, dtype, "solve")
+        assert_conforms(actual, reference, tol, f"solve[{backend_name}/{dtype}]")
+
+    @pytest.mark.parametrize("seed", SOLVE_SEEDS)
+    def test_incremental_refit_matches_oracle(self, backend_name, dtype, seed):
+        num_old, design64, target, prior, eta, missing_scale = random_config(seed)
+        design = design64.astype(dtype)
+        reference = oracle_map_solve(design64, target, prior, eta, missing_scale)
+        with use_backend(backend_name):
+            base = KernelMapSolver(
+                design[:num_old], target[:num_old], prior, missing_scale
+            )
+            grown = base.extended(design[num_old:], target[num_old:])
+            actual = grown.solve(eta)
+        tol = tolerance(backend_name, dtype, "refit")
+        assert_conforms(actual, reference, tol, f"refit[{backend_name}/{dtype}]")
+
+
+class TestServingConformance:
+    def test_fused_predict_matches_oracle(self, backend_name, dtype, problem):
+        basis, x, coefficients = problem
+        reference = oracle_predict(basis, coefficients, x)
+        with use_backend(backend_name):
+            actual = basis.fused_predict(x, coefficients, dtype=dtype)
+        assert actual.dtype == dtype
+        tol = tolerance(backend_name, dtype, "serving")
+        assert_conforms(actual, reference, tol, f"serving[{backend_name}/{dtype}]")
+
+
+class TestNumpyBitwiseMetaTest:
+    """The canonical backend must reproduce the oracle's exact bits.
+
+    These are the anchors of the whole tolerance table: if numpy/float64
+    drifted from the oracle, every other row would silently be measured
+    against a moved reference.
+    """
+
+    def test_design_assembly_is_bitwise(self, problem):
+        basis, x, _ = problem
+        with use_backend("numpy"):
+            actual = basis.design_matrix(x)
+        assert np.array_equal(actual, oracle_design_matrix(basis, x))
+
+    def test_deterministic_gram_is_bitwise(self, problem):
+        basis, x, _ = problem
+        design = oracle_design_matrix(basis, x)
+        rng = np.random.default_rng(9)
+        scale_sq = np.abs(rng.standard_normal(basis.size)) + 0.1
+        with use_backend("numpy"):
+            actual = gram_kernel(design, scale_sq, deterministic=True)
+        assert np.array_equal(actual, oracle_gram_kernel(design, scale_sq))
+
+    @pytest.mark.parametrize("seed", SOLVE_SEEDS[:3])
+    def test_deterministic_solve_is_bitwise(self, seed):
+        _, design, target, prior, eta, missing_scale = random_config(seed)
+        with use_backend("numpy"):
+            solver = KernelMapSolver(
+                design, target, prior, missing_scale, deterministic=True
+            )
+            actual = solver.solve(eta)
+        reference = oracle_map_solve(design, target, prior, eta, missing_scale)
+        assert np.array_equal(actual, reference)
+
+
+class TestRequiredBackendGuard:
+    """CI matrix guard: required backends must run, not skip."""
+
+    def test_required_backends_are_available(self):
+        for name in _required_backends():
+            assert backend_available(name), backend_unavailable_reason(name)
+
+    def test_required_selection_did_not_fall_back(self):
+        """When the matrix pins REPRO_BACKEND to a required backend, the
+        process-wide selection must resolve to it (no silent numpy
+        fallback turning the whole job into a duplicate numpy run)."""
+        requested = os.environ.get("REPRO_BACKEND", "").strip()
+        if not requested or requested not in _required_backends():
+            pytest.skip("REPRO_BACKEND does not name a required backend")
+        assert active_backend_name() == requested
