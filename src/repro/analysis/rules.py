@@ -1,4 +1,4 @@
-"""Domain-specific correctness rules (REP001-REP009, REP013) for this codebase.
+"""Domain-specific correctness rules (REP001-REP009, REP013-REP014) for this codebase.
 
 Each rule guards an invariant the runtime layer depends on: deterministic
 seeded RNG flow, no silent float-equality traps, no shared mutable state
@@ -26,6 +26,7 @@ __all__ = [
     "SleepInLibraryRule",
     "UnmanagedFileHandleRule",
     "UndeclaredMetricRule",
+    "UntimedBlockingWaitRule",
 ]
 
 
@@ -491,3 +492,52 @@ class UndeclaredMetricRule(Rule):
                     "declared DYNAMIC_PREFIXES entry from "
                     "repro.runtime.catalog",
                 )
+
+
+@register_rule
+class UntimedBlockingWaitRule(Rule):
+    """REP014: un-timed ``.result()`` / ``.join()`` / ``.wait()`` in library code."""
+
+    rule_id = "REP014"
+    description = "un-timed blocking wait (.result/.join/.wait) in library code"
+    rationale = (
+        "An un-timed Future.result(), Thread.join(), or Event.wait() is a "
+        "hang in disguise: if the producer died (a dispatcher crash, an "
+        "engine stopped without resolving the future) the caller is "
+        "stranded forever with no error.  Library waits must carry a "
+        "timeout, poll with a liveness check (PredictionEngine."
+        "await_result), or be provably bounded and noqa-sanctioned.  "
+        "Complements REP011, which only covers blocking *under a lock*."
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+    applies_to_tests = False
+
+    #: Path fragments whose modules may block without a timeout: the
+    #: fault substrate's latency injection and deadline plumbing are the
+    #: sanctioned home of deliberate blocking.
+    _SANCTIONED = ("repro/faults/",)
+    _METHODS = frozenset({"result", "join", "wait"})
+
+    def check(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._METHODS:
+            return
+        # Any positional argument is a timeout (or, for str.join, an
+        # iterable -- not a blocking wait at all); an explicit timeout=
+        # keyword is the bounded form; **kwargs is opaque, give it the
+        # benefit of the doubt.
+        if node.args:
+            return
+        if any(kw.arg is None or kw.arg == "timeout" for kw in node.keywords):
+            return
+        normalized = ctx.path.replace("\\", "/")
+        if any(fragment in normalized for fragment in self._SANCTIONED):
+            return
+        yield self.violation(
+            node,
+            ctx,
+            f"un-timed .{func.attr}() can strand the caller if the "
+            "producer dies; pass a timeout, use a liveness-checked wait, "
+            "or sanction a provably bounded join with a noqa",
+        )

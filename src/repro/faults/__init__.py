@@ -15,6 +15,7 @@ suite (``tests/test_faults_chaos.py``) drives them end to end.
 """
 
 from .breaker import CircuitBreaker, CircuitOpenError
+from .clock import ManualClock
 from .failpoints import (
     Failpoint,
     FailpointRegistry,
@@ -38,6 +39,7 @@ __all__ = [
     "FaultPlan",
     "FaultSession",
     "InjectedFault",
+    "ManualClock",
     "RetryPolicy",
     "SimulatedCrash",
     "failpoint",

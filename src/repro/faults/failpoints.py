@@ -106,6 +106,11 @@ class FaultPlan:
     probability: Optional[float] = None
     seed: Optional[int] = None
     max_triggers: Optional[int] = None
+    #: Scope the plan to hits carrying this tag (``Failpoint.hit(tag=...)``);
+    #: ``None`` matches every hit.  The sharded serving tier tags each
+    #: engine's hits ``"shard-<id>"``, so a slow-shard chaos plan can
+    #: degrade exactly one shard while its ring peers stay healthy.
+    tag: Optional[str] = None
 
     def __post_init__(self):
         if not self.failpoint:
@@ -189,13 +194,21 @@ class FaultPlan:
         seconds: float,
         every: Optional[int] = None,
         max_triggers: Optional[int] = None,
+        tag: Optional[str] = None,
     ) -> "FaultPlan":
-        """Sleep ``seconds`` at the failpoint (a hung-worker / slow-IO spike)."""
+        """Sleep ``seconds`` at the failpoint (a hung-worker / slow-IO spike).
+
+        ``tag`` scopes the delay to hits carrying that tag -- the
+        slow-*shard* (not slow-cluster) chaos scenario arms
+        ``latency("engine.evaluate", ..., tag="shard-1")`` so only shard
+        1's evaluations stall.
+        """
         return cls(
             failpoint=failpoint,
             latency_seconds=float(seconds),
             every=every,
             max_triggers=max_triggers,
+            tag=tag,
         )
 
     # -- runtime helpers ------------------------------------------------
@@ -319,7 +332,7 @@ class FailpointRegistry:
             return bool(self._sessions)
 
     # -- hit dispatch (armed path only) ---------------------------------
-    def dispatch(self, name: str) -> None:
+    def dispatch(self, name: str, tag: Optional[str] = None) -> None:
         # Lock-free snapshot: _sessions is only ever rebound to a fresh
         # tuple under _lock, so one atomic read yields a consistent view;
         # taking the lock here would serialize every failpoint dispatch.
@@ -331,6 +344,11 @@ class FailpointRegistry:
                 continue
             metrics.increment("faults.hits")
             for armed in armed_list:
+                # Tag-scoped plans only see matching hits: an untagged
+                # hit never fires them and their hit/trigger counters
+                # advance only on their own shard's traffic.
+                if armed.plan.tag is not None and armed.plan.tag != tag:
+                    continue
                 if not armed.should_trigger():
                     continue
                 plan = armed.plan
@@ -366,11 +384,16 @@ class Failpoint:
     def __init__(self, name: str):
         self.name = name
 
-    def hit(self) -> None:
-        """Evaluate the failpoint: no-op unless a plan is armed for it."""
+    def hit(self, tag: Optional[str] = None) -> None:
+        """Evaluate the failpoint: no-op unless a plan is armed for it.
+
+        ``tag`` identifies the hitting instance (e.g. ``"shard-2"``) so
+        tag-scoped plans can target one instance of a shared code path;
+        untagged plans match regardless.
+        """
         active = _ACTIVE
         if active is not None:
-            active.dispatch(self.name)
+            active.dispatch(self.name, tag)
 
     def __enter__(self) -> "Failpoint":
         self.hit()

@@ -5,6 +5,12 @@ Run a load::
     python -m repro.loadgen --requests 2000 --tenants 16 --shards 3 \\
         --kill-shard-after 1000 --output benchmarks/results/loadgen_serving.json
 
+Run the slow-shard hedging scenario (nightly chaos CI)::
+
+    python -m repro.loadgen --requests 400 --hedge --hedge-budget 0.1 \\
+        --slow-shard-latency 0.05 --slow-shard-every 4 \\
+        --output benchmarks/results/slowshard_hedge.json
+
 Validate an existing report against the schema (CI's drift gate)::
 
     python -m repro.loadgen --check-schema benchmarks/results/loadgen_serving.json
@@ -71,6 +77,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="saturation factor of the optional overload-burst phase",
     )
     parser.add_argument(
+        "--hedge",
+        action="store_true",
+        help="enable hedged requests on the router",
+    )
+    parser.add_argument(
+        "--hedge-budget",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="hedge token-bucket accrual per request (default: 0.05)",
+    )
+    parser.add_argument(
+        "--hedge-max-delay",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="ceiling on the adaptive hedge delay (default: 1.0)",
+    )
+    parser.add_argument(
+        "--slow-shard",
+        type=int,
+        default=None,
+        help="shard id to slow down (default: the first model's primary)",
+    )
+    parser.add_argument(
+        "--slow-shard-latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="inject this much latency into the slow shard's evaluations",
+    )
+    parser.add_argument(
+        "--slow-shard-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="stall every Nth evaluation on the slow shard (default: 1)",
+    )
+    parser.add_argument(
+        "--brownout",
+        action="store_true",
+        help="enable brownout shedding of low-priority work",
+    )
+    parser.add_argument(
+        "--low-priority-fraction",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="seeded fraction of traffic submitted at PRIORITY_LOW",
+    )
+    parser.add_argument(
         "--store",
         default=None,
         metavar="DIR",
@@ -120,6 +177,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             kill_shard_after=args.kill_shard_after,
             kill_shard=args.kill_shard,
             overload_burst=args.overload_burst,
+            hedge=args.hedge,
+            hedge_budget_fraction=args.hedge_budget,
+            hedge_max_delay_seconds=args.hedge_max_delay,
+            slow_shard=args.slow_shard,
+            slow_shard_latency_seconds=args.slow_shard_latency,
+            slow_shard_every=args.slow_shard_every,
+            brownout=args.brownout,
+            low_priority_fraction=args.low_priority_fraction,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -30,6 +30,7 @@ archives under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -37,10 +38,18 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..basis import OrthonormalBasis
-from ..faults import Deadline, DeadlineExpiredError
+from ..faults import Deadline, DeadlineExpiredError, FaultPlan, inject
 from ..regression.base import FittedModel
 from ..runtime.metrics import counters_delta, metrics
-from ..serving import EngineOverloadedError, ShardRouter
+from ..serving import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    BrownoutController,
+    BrownoutShedError,
+    EngineOverloadedError,
+    HedgePolicy,
+    ShardRouter,
+)
 from .report import LoadReport, latency_percentiles
 
 __all__ = ["LoadConfig", "run_load"]
@@ -79,6 +88,26 @@ class LoadConfig:
     #: the queue is filled with ``max_queue_depth`` expired requests, then
     #: ``overload_burst * max_queue_depth`` live ones are submitted.
     overload_burst: int = 0
+    #: Enable hedged requests on the router (see ``docs/serving.md``,
+    #: "Health, hedging, and brownout").
+    hedge: bool = False
+    hedge_budget_fraction: float = 0.05
+    hedge_min_samples: int = 16
+    hedge_initial_delay_seconds: float = 0.05
+    hedge_min_delay_seconds: float = 0.001
+    hedge_max_delay_seconds: float = 1.0
+    #: Inject latency into one shard's ``engine.evaluate`` during the
+    #: traffic phase (the slow-shard chaos scenario).  ``slow_shard=None``
+    #: with a positive latency degrades the first model's primary, so the
+    #: slow shard is guaranteed to serve traffic.
+    slow_shard: Optional[int] = None
+    slow_shard_latency_seconds: float = 0.0
+    slow_shard_every: int = 1
+    #: Enable brownout shedding (engines reject low-priority work while
+    #: their health score is degraded).
+    brownout: bool = False
+    #: Seeded fraction of traffic submitted at ``PRIORITY_LOW``.
+    low_priority_fraction: float = 0.0
 
     def __post_init__(self):
         for name in (
@@ -122,6 +151,47 @@ class LoadConfig:
                 "request_timeout_seconds must be > 0, got "
                 f"{self.request_timeout_seconds}"
             )
+        if not 0.0 < self.hedge_budget_fraction <= 1.0:
+            raise ValueError(
+                "hedge_budget_fraction must be in (0, 1], got "
+                f"{self.hedge_budget_fraction}"
+            )
+        if self.hedge_min_samples < 1:
+            raise ValueError(
+                f"hedge_min_samples must be >= 1, got {self.hedge_min_samples}"
+            )
+        for name in (
+            "hedge_initial_delay_seconds",
+            "hedge_min_delay_seconds",
+            "hedge_max_delay_seconds",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        if self.hedge_min_delay_seconds > self.hedge_max_delay_seconds:
+            raise ValueError(
+                "hedge_min_delay_seconds must be <= hedge_max_delay_seconds"
+            )
+        if self.slow_shard is not None and not (
+            0 <= self.slow_shard < self.num_shards
+        ):
+            raise ValueError(
+                f"slow_shard must be in [0, {self.num_shards}), "
+                f"got {self.slow_shard}"
+            )
+        if self.slow_shard_latency_seconds < 0:
+            raise ValueError(
+                "slow_shard_latency_seconds must be >= 0, got "
+                f"{self.slow_shard_latency_seconds}"
+            )
+        if self.slow_shard_every < 1:
+            raise ValueError(
+                f"slow_shard_every must be >= 1, got {self.slow_shard_every}"
+            )
+        if not 0.0 <= self.low_priority_fraction <= 1.0:
+            raise ValueError(
+                "low_priority_fraction must be in [0, 1], got "
+                f"{self.low_priority_fraction}"
+            )
 
 
 def _model_name(index: int) -> str:
@@ -150,19 +220,38 @@ def run_load(config: LoadConfig, store_root) -> LoadReport:
     shed_rejected = answered = failed = expired = 0
     post_kill_admitted = post_kill_answered = 0
     burst_staged = burst_submitted = burst_rejected = burst_answered = 0
+    brownout_shed = 0
     killed_shard: Optional[int] = None
     tenant_admitted: Dict[str, int] = {}
     latencies: List[float] = []
+
+    hedge_policy = (
+        HedgePolicy(
+            budget_fraction=config.hedge_budget_fraction,
+            min_samples=config.hedge_min_samples,
+            initial_delay_seconds=config.hedge_initial_delay_seconds,
+            min_delay_seconds=config.hedge_min_delay_seconds,
+            max_delay_seconds=config.hedge_max_delay_seconds,
+        )
+        if config.hedge
+        else None
+    )
+    engine_kwargs = {
+        "max_queue_depth": config.max_queue_depth,
+        "workers": config.workers,
+        "max_delay_seconds": config.max_delay_seconds,
+    }
+    if config.brownout:
+        # One controller shared by every shard: the harness wants fleet-wide
+        # shed counts, and admit() takes the per-engine score per call.
+        engine_kwargs["brownout"] = BrownoutController()
 
     router = ShardRouter(
         store_root,
         num_shards=config.num_shards,
         replication_factor=config.replication_factor,
-        engine_kwargs={
-            "max_queue_depth": config.max_queue_depth,
-            "workers": config.workers,
-            "max_delay_seconds": config.max_delay_seconds,
-        },
+        engine_kwargs=engine_kwargs,
+        hedge=hedge_policy,
     )
     with router:
         # ----- Phase 1: publish the synthetic model fleet ---------------
@@ -175,52 +264,83 @@ def run_load(config: LoadConfig, store_root) -> LoadReport:
         if kill_target is None:
             kill_target = router.primary(names[0])
 
+        slow_target: Optional[int] = None
+        if config.slow_shard_latency_seconds > 0:
+            slow_target = config.slow_shard
+            if slow_target is None:
+                # Degrade the first model's primary so the slow shard is
+                # guaranteed to serve (and therefore stall) real traffic.
+                slow_target = router.primary(names[0])
+
         # A fixed seeded pool of query rows: requests index into it, so
         # the design-matrix cache sees realistic repetition.
         pool = rng.normal(size=(max(64, config.rows_per_request), basis.num_vars))
 
         # ----- Phase 2: seeded tenant traffic (sequential awaits) -------
-        traffic_start = time.perf_counter()
-        for index in range(config.num_requests):
-            if (
-                config.kill_shard_after is not None
-                and index == config.kill_shard_after
-                and killed_shard is None
-            ):
-                router.kill_shard(kill_target)
-                killed_shard = kill_target
-            tenant = f"tenant-{int(rng.integers(config.num_tenants)):03d}"
-            name = names[int(rng.integers(config.num_models))]
-            rows = rng.integers(0, pool.shape[0], size=config.rows_per_request)
-            x = pool[rows]
-            if (
-                config.tenant_quota is not None
-                and tenant_admitted.get(tenant, 0) >= config.tenant_quota
-            ):
-                quota_rejected += 1
-                continue
-            tenant_admitted[tenant] = tenant_admitted.get(tenant, 0) + 1
-            submitted += 1
-            start = time.perf_counter()
-            try:
-                future = router.submit(name, x)
-            except EngineOverloadedError:
-                shed_rejected += 1
-                continue
-            if killed_shard is not None:
-                post_kill_admitted += 1
-            try:
-                future.result(timeout=config.request_timeout_seconds)
-            except DeadlineExpiredError:
-                expired += 1
-            except Exception:
-                failed += 1
-            else:
-                answered += 1
+        fault_scope = contextlib.ExitStack()
+        if slow_target is not None:
+            fault_scope.enter_context(
+                inject(
+                    FaultPlan.latency(
+                        "engine.evaluate",
+                        config.slow_shard_latency_seconds,
+                        every=config.slow_shard_every,
+                        tag=f"shard-{slow_target}",
+                    )
+                )
+            )
+        with fault_scope:
+            traffic_start = time.perf_counter()
+            for index in range(config.num_requests):
+                if (
+                    config.kill_shard_after is not None
+                    and index == config.kill_shard_after
+                    and killed_shard is None
+                ):
+                    router.kill_shard(kill_target)
+                    killed_shard = kill_target
+                tenant = f"tenant-{int(rng.integers(config.num_tenants)):03d}"
+                name = names[int(rng.integers(config.num_models))]
+                rows = rng.integers(0, pool.shape[0], size=config.rows_per_request)
+                x = pool[rows]
+                priority = PRIORITY_NORMAL
+                if (
+                    config.low_priority_fraction > 0
+                    and rng.random() < config.low_priority_fraction
+                ):
+                    priority = PRIORITY_LOW
+                if (
+                    config.tenant_quota is not None
+                    and tenant_admitted.get(tenant, 0) >= config.tenant_quota
+                ):
+                    quota_rejected += 1
+                    continue
+                tenant_admitted[tenant] = tenant_admitted.get(tenant, 0) + 1
+                submitted += 1
+                start = time.perf_counter()
+                try:
+                    future = router.submit(name, x, priority=priority)
+                except BrownoutShedError:
+                    brownout_shed += 1
+                    shed_rejected += 1
+                    continue
+                except EngineOverloadedError:
+                    shed_rejected += 1
+                    continue
                 if killed_shard is not None:
-                    post_kill_answered += 1
-                latencies.append(time.perf_counter() - start)
-        duration = time.perf_counter() - traffic_start
+                    post_kill_admitted += 1
+                try:
+                    future.result(timeout=config.request_timeout_seconds)
+                except DeadlineExpiredError:
+                    expired += 1
+                except Exception:
+                    failed += 1
+                else:
+                    answered += 1
+                    if killed_shard is not None:
+                        post_kill_answered += 1
+                    latencies.append(time.perf_counter() - start)
+            duration = time.perf_counter() - traffic_start
 
         # ----- Phase 3: optional deterministic overload burst -----------
         if config.overload_burst > 0:
@@ -256,6 +376,7 @@ def run_load(config: LoadConfig, store_root) -> LoadReport:
                 future.exception(timeout=config.request_timeout_seconds)
 
         max_version_lag = router.max_version_lag()
+        hedge_stats = router.hedge_stats() or {}
         router_stats = router.stats()
         shed_expired_total = sum(
             int(shard_stats["shed_expired"])
@@ -281,6 +402,10 @@ def run_load(config: LoadConfig, store_root) -> LoadReport:
         rows_per_request=config.rows_per_request,
         kill_shard_after=config.kill_shard_after,
         killed_shard=killed_shard,
+        hedge_enabled=config.hedge,
+        brownout_enabled=config.brownout,
+        slow_shard=slow_target,
+        slow_shard_latency_ms=config.slow_shard_latency_seconds * 1e3,
         submitted=submitted,
         admitted=submitted - shed_rejected,
         answered=answered,
@@ -295,6 +420,12 @@ def run_load(config: LoadConfig, store_root) -> LoadReport:
         burst_submitted=burst_submitted,
         burst_rejected=burst_rejected,
         burst_answered=burst_answered,
+        hedged=int(hedge_stats.get("attempts", 0)),
+        hedge_wins=int(hedge_stats.get("wins", 0)),
+        hedge_primary_wins=int(hedge_stats.get("primary_wins", 0)),
+        hedge_budget_denied=int(hedge_stats.get("budget_denied", 0)),
+        hedge_cancelled=int(hedge_stats.get("cancelled", 0)),
+        brownout_shed=brownout_shed,
         rebalanced_keys=int(router_stats["rebalanced_keys"]),
         failovers=int(router_stats["failovers"]),
         failover_routes=delta.get("serving.shard.failover_routes", 0),

@@ -29,11 +29,12 @@ __all__ = [
     "validate_report",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The report contract: key -> allowed JSON types.  ``"int"`` means a
 #: JSON integer (bools excluded), ``"float"`` accepts integers too (JSON
-#: has one number type), ``"null"`` allows ``None``.
+#: has one number type), ``"bool"`` is a JSON boolean, ``"null"`` allows
+#: ``None``.
 REPORT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "schema_version": ("int",),
     "kind": ("str",),
@@ -49,6 +50,10 @@ REPORT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "rows_per_request": ("int",),
     "kill_shard_after": ("int", "null"),
     "killed_shard": ("int", "null"),
+    "hedge_enabled": ("bool",),
+    "brownout_enabled": ("bool",),
+    "slow_shard": ("int", "null"),
+    "slow_shard_latency_ms": ("float",),
     # -- admission / outcome counts (deterministic) ------------------------
     "submitted": ("int",),
     "admitted": ("int",),
@@ -64,6 +69,13 @@ REPORT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "burst_submitted": ("int",),
     "burst_rejected": ("int",),
     "burst_answered": ("int",),
+    # -- hedging / brownout counts (timing-dependent; not in the signature) -
+    "hedged": ("int",),
+    "hedge_wins": ("int",),
+    "hedge_primary_wins": ("int",),
+    "hedge_budget_denied": ("int",),
+    "hedge_cancelled": ("int",),
+    "brownout_shed": ("int",),
     # -- sharding / replication counts (deterministic) ---------------------
     "rebalanced_keys": ("int",),
     "failovers": ("int",),
@@ -85,6 +97,7 @@ _TYPE_CHECKS = {
     "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
     "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
     "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
     "null": lambda v: v is None,
 }
 
@@ -160,6 +173,10 @@ class LoadReport:
     rows_per_request: int
     kill_shard_after: Optional[int]
     killed_shard: Optional[int]
+    hedge_enabled: bool
+    brownout_enabled: bool
+    slow_shard: Optional[int]
+    slow_shard_latency_ms: float
     # deterministic outcome counts
     submitted: int
     admitted: int
@@ -175,6 +192,13 @@ class LoadReport:
     burst_submitted: int
     burst_rejected: int
     burst_answered: int
+    # timing-dependent tail-tolerance counts (excluded from the signature)
+    hedged: int
+    hedge_wins: int
+    hedge_primary_wins: int
+    hedge_budget_denied: int
+    hedge_cancelled: int
+    brownout_shed: int
     rebalanced_keys: int
     failovers: int
     failover_routes: int
@@ -203,10 +227,18 @@ class LoadReport:
         Latency and throughput are wall-clock and deliberately excluded;
         what remains is pure event counting driven by the seed (with
         requests awaited sequentially, ``concurrency`` semantics of the
-        harness).
+        harness).  Hedge and brownout *event counts* depend on whether a
+        hedge timer fired before the primary answered -- pure timing --
+        so they are excluded too; the *configuration* that enables them
+        (``hedge_enabled``, ``brownout_enabled``, ``slow_shard``) is part
+        of the signature, because two runs with different tail-tolerance
+        settings are not the same scenario.
         """
         return {
             "seed": self.seed,
+            "hedge_enabled": self.hedge_enabled,
+            "brownout_enabled": self.brownout_enabled,
+            "slow_shard": self.slow_shard,
             "submitted": self.submitted,
             "admitted": self.admitted,
             "answered": self.answered,
@@ -269,6 +301,14 @@ class LoadReport:
             f" {self.backfills} backfills",
             f"  post-kill answered   : {self.post_kill_answered}"
             f"/{self.post_kill_admitted}",
+            f"  hedging              : "
+            + (
+                f"{self.hedged} hedged ({self.hedge_wins} backup wins,"
+                f" {self.hedge_budget_denied} budget-denied,"
+                f" {self.brownout_shed} brownout-shed)"
+                if self.hedge_enabled or self.brownout_enabled
+                else "off"
+            ),
             f"  latency p50/p99/p999 : {self.latency_p50_ms:.3f}"
             f"/{self.latency_p99_ms:.3f}/{self.latency_p999_ms:.3f} ms",
             f"  throughput           : {self.throughput_rps:.0f} req/s",

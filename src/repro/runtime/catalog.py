@@ -70,10 +70,23 @@ METRICS: Dict[str, str] = {
     "serving.breaker.half_opened": "circuit breakers that entered half-open probing",
     "serving.breaker.opened": "circuit breakers tripped open by failures",
     "serving.breaker.rejected": "requests rejected by an open circuit breaker",
+    "serving.brownout.entered": "brownout activations (health score crossed below healthy)",
+    "serving.brownout.exited": "brownout deactivations (health score recovered)",
+    "serving.brownout.shed": "requests shed by brownout priority admission",
+    "serving.cancelled": "queued requests dropped because their future was cancelled",
     "serving.degraded": "requests answered from the last-good degraded path",
     "serving.degraded_rollbacks": "degraded answers later superseded by a rollback",
     "serving.expired": "requests whose deadline expired before evaluation",
     "serving.failed": "requests that failed evaluation",
+    "serving.health.degraded": "readiness probes that observed a not-ready transition",
+    "serving.health.recovered": "readiness probes that observed a ready-again transition",
+    "serving.hedge.attempts": "hedged backup attempts dispatched to warm replicas",
+    "serving.hedge.budget_denied": "hedge opportunities denied by the token budget",
+    "serving.hedge.cancelled": "hedge losers cancelled before evaluation",
+    "serving.hedge.primary_wins": "hedged requests where the primary still answered first",
+    "serving.hedge.wins": "hedged requests won by the backup replica",
+    "serving.limit.decreases": "adaptive-limit multiplicative decreases",
+    "serving.limit.increases": "adaptive-limit additive increases",
     "serving.marked_bad": "model versions marked bad",
     "serving.publish_persist_skipped": "publishes that skipped store persistence",
     "serving.publishes": "model versions published to a registry",

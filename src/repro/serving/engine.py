@@ -55,8 +55,9 @@ from ..locks import named_condition, named_lock
 import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -71,9 +72,16 @@ from ..faults import (
     failpoint,
 )
 from ..runtime.metrics import metrics
+from .health import (
+    PRIORITY_NORMAL,
+    AIMDLimiter,
+    BrownoutController,
+    HealthTracker,
+)
 from .registry import ModelRegistry, ModelVersion
 
 __all__ = [
+    "BrownoutShedError",
     "EngineOverloadedError",
     "EngineStoppedError",
     "ModelEvaluationError",
@@ -96,6 +104,18 @@ class EngineOverloadedError(RuntimeError):
     an overloaded caller gets backpressure in microseconds instead of a
     deadline expiry seconds later.  Shedding already-expired queued
     requests is always tried first; see ``serving.shed.*``.
+    """
+
+
+class BrownoutShedError(EngineOverloadedError):
+    """A request was shed by brownout priority admission.
+
+    Raised at the submission site when a :class:`~repro.serving.health.
+    BrownoutController` is configured and the engine's health score has
+    degraded below the floor for the request's priority.  Subclasses
+    :class:`EngineOverloadedError` so existing overload handling (the
+    load harness, callers treating overload as backpressure) degrades
+    gracefully without knowing about brownout.
     """
 
 
@@ -122,6 +142,12 @@ _STOP = object()
 #: (a shared default instance would couple unrelated engines' states).
 _DEFAULT_BREAKER = object()
 
+#: Slice length of the liveness-checked un-timed wait
+#: (:meth:`PredictionEngine.await_result`): long enough that the poll is
+#: free next to any real evaluation, short enough that a dead dispatcher
+#: is noticed promptly.
+_LIVENESS_POLL_SECONDS = 0.05
+
 
 class _BoundedRequestQueue:
     """FIFO of :class:`_Request` s with a hard depth bound.
@@ -134,9 +160,14 @@ class _BoundedRequestQueue:
     Control sentinels (stop markers) bypass the bound; they must always
     be deliverable.  :meth:`pause` parks consumers without blocking
     producers, so tests can stage a deterministic backlog.
+
+    ``bound`` may be a static int, ``None`` (unbounded), or a callable
+    returning the live bound -- the adaptive-concurrency path passes
+    :meth:`AIMDLimiter.current_limit <repro.serving.health.AIMDLimiter.
+    current_limit>` so every admission reads the freshest limit.
     """
 
-    def __init__(self, bound: Optional[int]):
+    def __init__(self, bound: Union[int, Callable[[], Optional[int]], None]):
         self._bound = bound
         self._cond = named_condition("serving.engine.queue")
         self._items: "deque" = deque()
@@ -152,10 +183,11 @@ class _BoundedRequestQueue:
         runs even when the newcomer is ultimately rejected, so a full
         queue of dead requests never starves live traffic.
         """
+        bound = self._bound() if callable(self._bound) else self._bound
         with self._cond:
             shed: List[_Request] = []
-            if self._bound is not None and self._depth >= self._bound:
-                need = self._depth - self._bound + 1
+            if bound is not None and self._depth >= bound:
+                need = self._depth - bound + 1
                 retained: "deque" = deque()
                 for item in self._items:
                     if (
@@ -169,7 +201,7 @@ class _BoundedRequestQueue:
                         retained.append(item)
                 self._items = retained
                 self._depth -= len(shed)
-            if self._bound is not None and self._depth >= self._bound:
+            if bound is not None and self._depth >= bound:
                 return False, shed
             self._items.append(request)
             self._depth += 1
@@ -268,6 +300,25 @@ class PredictionEngine:
     float32_rtol:
         Relative error bound enforced on float32 batches; defaults to
         :data:`repro.backends.FLOAT32_SERVING_RTOL`.
+    limiter:
+        Optional :class:`~repro.serving.health.AIMDLimiter`.  When set,
+        the bounded queue reads the limiter's live limit on every
+        admission instead of the static ``max_queue_depth`` (which then
+        only seeds the limiter-less fallback), and every successful
+        request latency feeds the limiter's AIMD windows.
+    brownout:
+        Optional :class:`~repro.serving.health.BrownoutController`.
+        When set, every :meth:`submit` is gated on the request's
+        ``priority`` against the live health score; shed requests raise
+        :class:`BrownoutShedError` at the submission site.
+    ready_threshold:
+        Health-score floor for the :meth:`ready` probe (liveness is
+        separate; see :meth:`live`).
+    fault_tag:
+        Tag attached to this engine's failpoint hits
+        (``engine.evaluate``), so tag-scoped fault plans can target one
+        engine instance; the shard router tags each shard
+        ``"shard-<id>"``.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -285,6 +336,11 @@ class PredictionEngine:
         max_queue_depth: Optional[int] = 1024,
         serving_dtype: Optional[object] = None,
         float32_rtol: float = FLOAT32_SERVING_RTOL,
+        limiter: Optional[AIMDLimiter] = None,
+        brownout: Optional[BrownoutController] = None,
+        health: Optional[HealthTracker] = None,
+        ready_threshold: float = 0.5,
+        fault_tag: Optional[str] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -327,7 +383,22 @@ class PredictionEngine:
             raise ValueError(f"float32_rtol must be > 0, got {float32_rtol}")
         self.float32_rtol = float(float32_rtol)
         self._reduced_precision = self.serving_dtype != np.dtype(np.float64)
-        self._queue = _BoundedRequestQueue(self.max_queue_depth)
+        if not 0.0 <= ready_threshold <= 1.0:
+            raise ValueError(
+                f"ready_threshold must be in [0, 1], got {ready_threshold}"
+            )
+        self.limiter = limiter
+        self.brownout = brownout
+        self.health = health if health is not None else HealthTracker()
+        self.ready_threshold = float(ready_threshold)
+        self.fault_tag = fault_tag
+        self._last_ready: Optional[bool] = None
+        # With a limiter, the queue bound is the live AIMD limit; the
+        # static max_queue_depth stays as the limiter-less fallback.
+        if limiter is not None:
+            self._queue = _BoundedRequestQueue(limiter.current_limit)
+        else:
+            self._queue = _BoundedRequestQueue(self.max_queue_depth)
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._running = False
@@ -345,6 +416,8 @@ class PredictionEngine:
         self._max_version_lag = 0
         self._shed_expired = 0
         self._shed_rejected = 0
+        self._cancelled = 0
+        self._brownout_shed = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -385,7 +458,10 @@ class PredictionEngine:
         # A paused dispatcher would never see the stop sentinel.
         self._queue.resume()
         if dispatcher is not None:
-            dispatcher.join()
+            # Un-timed by design: the sentinel above guarantees the
+            # dispatcher exits after at most one in-flight batch, and
+            # stop() must not return before the queue is drained.
+            dispatcher.join()  # repro: noqa[REP014] -- bounded by the stop sentinel
         self._drain_queue_failing_fast()
         if pool is not None:
             pool.shutdown(wait=True)
@@ -422,6 +498,73 @@ class PredictionEngine:
             return self._running
 
     # ------------------------------------------------------------------
+    # Health probes
+    # ------------------------------------------------------------------
+    def queue_bound(self) -> Optional[int]:
+        """The live admission bound: the limiter's limit, else the static one."""
+        if self.limiter is not None:
+            return self.limiter.current_limit()
+        return self.max_queue_depth
+
+    def live(self) -> bool:
+        """Liveness probe: the engine is running and its dispatcher breathes.
+
+        Pure state inspection -- no metrics, no side effects -- so it is
+        safe on arbitrary hot paths (``await_result`` polls it).
+        """
+        with self._state_lock:
+            running = self._running
+            dispatcher = self._dispatcher
+        return running and dispatcher is not None and dispatcher.is_alive()
+
+    def health_score(self) -> float:
+        """Current health in ``[0, 1]``; see :class:`HealthTracker`.
+
+        Folds the tracker's latency/error view with this engine's live
+        queue pressure and the fraction of open breaker keys.
+        """
+        bound = self.queue_bound()
+        depth = self._queue.depth()
+        queue_fraction = depth / bound if bound else 0.0
+        breaker_open_fraction = 0.0
+        if self.breaker is not None:
+            snapshot = self.breaker.snapshot()
+            if snapshot:
+                open_keys = sum(
+                    1
+                    for state in snapshot.values()
+                    if state.get("state") == "open"
+                )
+                breaker_open_fraction = open_keys / len(snapshot)
+        return self.health.score(
+            queue_fraction=queue_fraction,
+            breaker_open_fraction=breaker_open_fraction,
+        )
+
+    def ready(self) -> bool:
+        """Readiness probe: live *and* healthy enough to take traffic.
+
+        Transition edges are counted (``serving.health.degraded`` /
+        ``serving.health.recovered``) so an operator sees flaps, not just
+        the current state; the counters only move when a probe is
+        actually called -- an unprobed engine emits nothing.
+        """
+        is_ready = self.live() and self.health_score() >= self.ready_threshold
+        transition: Optional[str] = None
+        with self._stats_lock:
+            # Baseline is "ready": an engine failing its very first probe
+            # is a degradation, not a non-event.
+            previous = True if self._last_ready is None else self._last_ready
+            if previous != is_ready:
+                transition = "recovered" if is_ready else "degraded"
+            self._last_ready = is_ready
+        if transition == "degraded":
+            metrics.increment("serving.health.degraded")
+        elif transition == "recovered":
+            metrics.increment("serving.health.recovered")
+        return is_ready
+
+    # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit(
@@ -430,6 +573,7 @@ class PredictionEngine:
         x: np.ndarray,
         timeout: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        priority: int = PRIORITY_NORMAL,
     ) -> Future:
         """Enqueue a prediction request; returns a ``Future`` of the result.
 
@@ -439,10 +583,14 @@ class PredictionEngine:
         an explicit ``deadline`` attaches an expiry the dispatcher and
         workers enforce -- an expired request is dropped *before* any
         evaluation work and its future fails with
-        :class:`~repro.faults.DeadlineExpiredError`.  Raises
-        :class:`EngineStoppedError` if the engine is not running and
-        :class:`EngineOverloadedError` if the bounded queue is full even
-        after shedding its oldest expired entries.
+        :class:`~repro.faults.DeadlineExpiredError`.  ``priority`` only
+        matters with a brownout controller configured: a degraded engine
+        sheds :data:`~repro.serving.health.PRIORITY_LOW` (then
+        ``PRIORITY_NORMAL``) work at the submission site with
+        :class:`BrownoutShedError`.  Raises :class:`EngineStoppedError`
+        if the engine is not running and :class:`EngineOverloadedError`
+        if the bounded queue is full even after shedding its oldest
+        expired entries.
         """
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
@@ -458,6 +606,15 @@ class PredictionEngine:
                 deadline = Deadline.after(self.default_timeout_seconds)
         if not self.running:
             raise EngineStoppedError("PredictionEngine is not running")
+        if self.brownout is not None and not self.brownout.admit(
+            priority, self.health_score()
+        ):
+            with self._stats_lock:
+                self._brownout_shed += 1
+            raise BrownoutShedError(
+                f"request for {name!r} (priority {priority}) shed by "
+                "brownout: engine health degraded"
+            )
         request = _Request(
             name=name,
             x=x,
@@ -472,7 +629,7 @@ class PredictionEngine:
             with self._stats_lock:
                 self._shed_rejected += 1
             raise EngineOverloadedError(
-                f"request queue full ({self.max_queue_depth} deep); "
+                f"request queue full ({self.queue_bound()} deep); "
                 f"request for {name!r} rejected"
             )
         metrics.increment("serving.requests")
@@ -493,12 +650,43 @@ class PredictionEngine:
         *remaining* after submission.  (Passing ``timeout`` to both
         :meth:`submit` and ``Future.result`` would restart the clock at
         the wait and double the worst-case wall time.)
+
+        ``timeout=None`` means "no deadline on the *request*", not "wait
+        forever on a corpse": the wait polls the engine's liveness (see
+        :meth:`await_result`), so a dead dispatcher fails the call fast
+        with :class:`EngineStoppedError` instead of stranding the caller.
         """
         if timeout is None:
-            return self.submit(name, x).result()
+            return self.await_result(self.submit(name, x), name=name)
         deadline = Deadline.after(timeout)
         future = self.submit(name, x, deadline=deadline)
         return future.result(timeout=deadline.remaining())
+
+    def await_result(self, future: Future, name: str = "request") -> np.ndarray:
+        """Wait for ``future`` without a deadline but with a liveness check.
+
+        The un-timed ``Future.result()`` convenience is a hang in
+        disguise: a dispatcher that died (or an engine stopped without
+        resolving this future) strands the caller forever.  This wait
+        polls in short slices and re-checks :meth:`live` between them --
+        when the engine is no longer live it makes one final grab (a
+        racing :meth:`stop` may have just resolved the future) and then
+        fails fast with :class:`EngineStoppedError`.
+        """
+        while True:
+            try:
+                return future.result(timeout=_LIVENESS_POLL_SECONDS)
+            except FuturesTimeoutError:
+                if self.live():
+                    continue
+            try:
+                return future.result(timeout=_LIVENESS_POLL_SECONDS)
+            except FuturesTimeoutError:
+                raise EngineStoppedError(
+                    f"engine is not live; abandoning un-timed wait for "
+                    f"{name!r} (submit with a timeout/deadline for "
+                    "bounded waits)"
+                ) from None
 
     # ------------------------------------------------------------------
     # Dispatcher
@@ -586,7 +774,8 @@ class PredictionEngine:
                 version = self.registry.current(name)
             except KeyError as exc:
                 for request in requests:
-                    request.future.set_exception(exc)
+                    if not request.future.done():  # a cancel may have landed
+                        request.future.set_exception(exc)
                 continue
             metrics.increment("serving.batches")
             metrics.increment("serving.batch_size", len(requests))
@@ -599,7 +788,7 @@ class PredictionEngine:
     # Evaluation (worker side)
     # ------------------------------------------------------------------
     def _attempt(self, version: ModelVersion, stacked: np.ndarray) -> np.ndarray:
-        _FP_EVALUATE.hit()
+        _FP_EVALUATE.hit(tag=self.fault_tag)
         basis = version.model.basis
         coefficients = version.model.coefficients
         with metrics.timer("serving.evaluate"):
@@ -654,12 +843,30 @@ class PredictionEngine:
             on_retry=on_retry,
         )
 
+    def _cancelled_drop(self, request: _Request) -> None:
+        """Account a request whose future was cancelled while queued.
+
+        The cancellation-aware lifecycle: a hedged request's losing
+        attempt (or any caller-side ``Future.cancel()``) that is still
+        queued is dropped here *before* any stacking or design-matrix
+        work -- a cancelled hedge costs its queue slot and nothing else.
+        """
+        metrics.increment("serving.cancelled")
+        with self._stats_lock:
+            self._cancelled += 1
+
     def _evaluate(self, version: ModelVersion, requests: List[_Request]) -> None:
         live: List[_Request] = []
         for request in requests:
             # Re-check at the worker: the group may have aged in the pool.
             if request.deadline is not None and request.deadline.expired:
                 self._expire(request)
+            elif not request.future.set_running_or_notify_cancel():
+                # Cancelled while queued (hedge loser, caller gave up):
+                # skip it before it costs evaluation work.  Futures that
+                # survive this gate are RUNNING and can no longer be
+                # cancelled, so the set_result below cannot race a cancel.
+                self._cancelled_drop(request)
             else:
                 live.append(request)
         if not live:
@@ -732,6 +939,7 @@ class PredictionEngine:
             with self._stats_lock:
                 self._failed += len(live)
             for request in live:
+                self.health.observe_outcome(False)
                 if not request.future.done():
                     request.future.set_exception(error)
             return
@@ -743,6 +951,12 @@ class PredictionEngine:
             request.future.set_result(values[offset : offset + rows])
             offset += rows
             latency = done - request.enqueued_at
+            # Feed the health tracker (always; pure bookkeeping) and the
+            # AIMD limiter (opt-in) with the served latency.
+            self.health.observe_latency(latency)
+            self.health.observe_outcome(True)
+            if self.limiter is not None:
+                self.limiter.observe(latency)
             with self._stats_lock:
                 self._latency_total += latency
                 if latency > self._latency_max:
@@ -764,6 +978,14 @@ class PredictionEngine:
         in that window produced a stats dict whose breaker state was
         newer than its ``failed`` count.)
         """
+        # Health inputs are gathered before the stats lock: the tracker,
+        # limiter, and brownout controller have locks of their own and
+        # nesting them under _stats_lock would add lock-order edges for
+        # no consistency gain (they are monotone counters).
+        health_score = self.health_score()
+        is_live = self.live()
+        limit = None if self.limiter is None else self.limiter.current_limit()
+        brownout_active = False if self.brownout is None else self.brownout.active
         with self._stats_lock:
             requests = self._requests
             batches = self._batches
@@ -783,9 +1005,20 @@ class PredictionEngine:
                 "max_version_lag": self._max_version_lag,
                 "shed_expired": self._shed_expired,
                 "shed_rejected": self._shed_rejected,
+                "cancelled": self._cancelled,
+                "brownout_shed": self._brownout_shed,
                 "queue_depth": self._queue.depth(),
                 "peak_queue_depth": self._queue.peak_depth(),
-                "queue_bound": self.max_queue_depth,
+                "queue_bound": (
+                    limit if limit is not None else self.max_queue_depth
+                ),
+                "limit": limit,
+                "health_score": health_score,
+                "live": is_live,
+                "ready": (
+                    is_live and health_score >= self.ready_threshold
+                ),
+                "brownout_active": brownout_active,
                 "breaker": self.breaker.snapshot() if self.breaker else {},
             }
         return out

@@ -1,0 +1,782 @@
+"""Tail-tolerant serving primitives: health scoring, hedging, AIMD limits.
+
+The sharded tier (``repro.serving.sharding``) treats a *dead* shard
+correctly -- the ring skips it and warm replicas absorb its names -- but
+a *slow* shard (GC pause, cold cache after restart, noisy neighbor) is
+still routed to as if it were healthy, so one straggler drags p99 for
+every model it owns while idle replicas hold the same bits.  This module
+supplies the four pieces that close that gap (``docs/serving.md`` has
+the operator-facing runbook):
+
+* :class:`LatencyDigest` -- a fixed-bucket, log-spaced latency histogram
+  (stdlib + numpy only; no new deps).  Constant memory, O(buckets)
+  quantile reads, thread-safe.
+* :class:`HealthTracker` -- folds the digest's quantiles, a windowed
+  error rate, breaker state, and queue depth into one health score in
+  ``[0, 1]``; the engine exposes it through liveness/readiness probes.
+* :class:`HedgePolicy` + :class:`HedgedFuture` -- hedged requests: when
+  the primary shard has not answered within an adaptive hedge delay
+  (the router's tracked latency quantile, clamped), a second attempt is
+  dispatched to a warm replica that already holds the model via journal
+  replication; the first result wins and the loser is cancelled.  A
+  token-bucket **hedge budget** caps hedges at a fraction of submitted
+  requests, so hedging can never amplify an overload into a retry storm.
+* :class:`AIMDLimiter` -- an adaptive concurrency limit (additive
+  increase / multiplicative decrease on observed latency vs. a target,
+  clamped to ``[min, max]``) as an opt-in alternative to a static
+  ``max_queue_depth``; :class:`BrownoutController` sheds optional /
+  low-priority work first when the health score degrades.
+
+Determinism: nothing here spawns a thread or reads a hidden clock.  The
+limiter advances on *count-based* observation windows (same latency
+trace -> same limit trace, the property suite pins this down), the
+brownout controller is a pure function of the score it is handed, and
+hedge decisions -- inherently timing-driven -- are confined to counters
+(``serving.hedge.*``) that are excluded from the chaos suite's
+deterministic signatures, exactly like the ``lock.*`` watchdog family.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..locks import named_lock
+from ..runtime.metrics import metrics
+
+__all__ = [
+    "AIMDLimiter",
+    "BrownoutController",
+    "HealthTracker",
+    "HedgePolicy",
+    "HedgedFuture",
+    "LatencyDigest",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+]
+
+#: Request priorities for brownout shedding: LOW is optional work shed
+#: first, HIGH survives the deepest brownout.
+PRIORITY_LOW = 0
+PRIORITY_NORMAL = 1
+PRIORITY_HIGH = 2
+
+
+class LatencyDigest:
+    """Fixed-bucket log-spaced latency histogram with quantile reads.
+
+    Buckets are geometrically spaced between ``min_seconds`` and
+    ``max_seconds`` (``buckets_per_decade`` per power of ten), plus one
+    underflow and one overflow bucket -- constant memory regardless of
+    how many samples stream through, which is what lets every request
+    feed it on the hot path.  :meth:`quantile` returns the *upper edge*
+    of the bucket where the cumulative count crosses the rank, a
+    conservative (never under-reporting) estimate with bounded relative
+    error ``10^(1/buckets_per_decade) - 1`` (~17% at the default 15
+    buckets per decade).
+    """
+
+    def __init__(
+        self,
+        min_seconds: float = 1e-5,
+        max_seconds: float = 60.0,
+        buckets_per_decade: int = 15,
+    ):
+        if min_seconds <= 0 or max_seconds <= min_seconds:
+            raise ValueError(
+                f"need 0 < min_seconds < max_seconds, got "
+                f"{min_seconds} / {max_seconds}"
+            )
+        if buckets_per_decade < 1:
+            raise ValueError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self._log_min = math.log10(min_seconds)
+        decades = math.log10(max_seconds) - self._log_min
+        self._per_decade = int(buckets_per_decade)
+        inner = max(1, math.ceil(decades * self._per_decade))
+        # index 0 = underflow, 1..inner = log-spaced, inner+1 = overflow
+        self._counts = [0] * (inner + 2)
+        self._inner = inner
+        self._total = 0
+        self._lock = named_lock("serving.health.digest")
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= 0:
+            return 0
+        position = (math.log10(seconds) - self._log_min) * self._per_decade
+        if position < 0:
+            return 0
+        index = int(position) + 1
+        return min(index, self._inner + 1)
+
+    def _edge(self, index: int) -> float:
+        """Upper edge of bucket ``index`` in seconds."""
+        if index <= 0:
+            return 10.0 ** self._log_min
+        exponent = self._log_min + index / self._per_decade
+        return 10.0 ** exponent
+
+    def observe(self, seconds: float) -> None:
+        """Fold one latency sample into the histogram."""
+        index = self._bucket(float(seconds))
+        with self._lock:
+            self._counts[index] += 1
+            self._total += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._total
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Conservative ``q``-quantile in seconds; ``None`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._total
+            counts = list(self._counts)
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                return self._edge(index)
+        return self._edge(len(counts) - 1)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Point-in-time p50/p95/p99 plus the sample count."""
+        with self._lock:
+            total = self._total
+        out: Dict[str, float] = {"count": float(total)}
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            value = self.quantile(q)
+            out[label] = 0.0 if value is None else value
+        return out
+
+
+class HealthTracker:
+    """Folds latency, errors, breaker state, and queue depth into a score.
+
+    The score is ``1 - (weighted penalties)``, clamped to ``[0, 1]``:
+
+    * **error rate** over the last ``window`` outcomes (weight
+      ``error_weight``) -- a shard failing half its evaluations is sick
+      no matter how fast it fails;
+    * **latency**: how far the digest's ``latency_quantile`` sits above
+      ``target_latency_seconds`` (weight ``latency_weight``, penalty
+      saturating at 3x the target).  With no target configured the
+      latency term is skipped -- absolute latency is workload-specific;
+    * **queue pressure** and **breaker state** are positional arguments
+      to :meth:`score` because they live with the caller (the engine
+      knows its queue bound and its breaker snapshot, the tracker does
+      not).
+
+    Pure bookkeeping: no metrics, no clock, no threads -- every engine
+    carries one tracker whether or not anything reads it, so it must be
+    free of side effects on the default path (the chaos suite's bitwise
+    counter signatures depend on that).
+    """
+
+    def __init__(
+        self,
+        window: int = 128,
+        target_latency_seconds: Optional[float] = None,
+        latency_quantile: float = 0.95,
+        error_weight: float = 1.0,
+        latency_weight: float = 0.5,
+        queue_weight: float = 0.5,
+        breaker_weight: float = 1.0,
+        digest: Optional[LatencyDigest] = None,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if target_latency_seconds is not None and target_latency_seconds <= 0:
+            raise ValueError(
+                "target_latency_seconds must be > 0 or None, got "
+                f"{target_latency_seconds}"
+            )
+        self.window = int(window)
+        self.target_latency_seconds = target_latency_seconds
+        self.latency_quantile = float(latency_quantile)
+        self.error_weight = float(error_weight)
+        self.latency_weight = float(latency_weight)
+        self.queue_weight = float(queue_weight)
+        self.breaker_weight = float(breaker_weight)
+        self.digest = digest if digest is not None else LatencyDigest()
+        self._lock = named_lock("serving.health.tracker")
+        self._outcomes: List[bool] = []
+        self._next = 0  # ring-buffer write cursor once the window fills
+
+    def observe_latency(self, seconds: float) -> None:
+        self.digest.observe(seconds)
+
+    def observe_outcome(self, ok: bool) -> None:
+        """Record one request outcome into the rolling window."""
+        with self._lock:
+            if len(self._outcomes) < self.window:
+                self._outcomes.append(bool(ok))
+            else:
+                self._outcomes[self._next] = bool(ok)
+                self._next = (self._next + 1) % self.window
+
+    def error_rate(self) -> float:
+        """Fraction of failures over the rolling window (0.0 when empty)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            failures = sum(1 for ok in self._outcomes if not ok)
+            return failures / len(self._outcomes)
+
+    def _latency_penalty(self) -> float:
+        if self.target_latency_seconds is None:
+            return 0.0
+        observed = self.digest.quantile(self.latency_quantile)
+        if observed is None or observed <= self.target_latency_seconds:
+            return 0.0
+        # Saturates at 3x target: beyond that the shard is simply "slow".
+        excess = observed / self.target_latency_seconds - 1.0
+        return min(1.0, excess / 2.0)
+
+    def score(
+        self,
+        queue_fraction: float = 0.0,
+        breaker_open_fraction: float = 0.0,
+    ) -> float:
+        """Health in ``[0, 1]``: 1.0 = healthy, 0.0 = unusable.
+
+        ``queue_fraction`` is queued depth over the queue bound;
+        ``breaker_open_fraction`` is the fraction of this engine's
+        breaker keys currently open.
+        """
+        penalty = (
+            self.error_weight * self.error_rate()
+            + self.latency_weight * self._latency_penalty()
+            + self.queue_weight * max(0.0, min(1.0, queue_fraction))
+            + self.breaker_weight * max(0.0, min(1.0, breaker_open_fraction))
+        )
+        return max(0.0, min(1.0, 1.0 - penalty))
+
+    def snapshot(self, **score_kwargs: float) -> Dict[str, float]:
+        out = self.digest.snapshot()
+        out["error_rate"] = self.error_rate()
+        out["score"] = self.score(**score_kwargs)
+        return out
+
+
+class AIMDLimiter:
+    """Adaptive concurrency limit: AIMD on observed latency vs. a target.
+
+    Observations accumulate into **count-based** windows of
+    ``window`` samples; when a window closes, the limit moves once:
+
+    * window mean latency <= ``target_latency_seconds``: additive
+      increase (``limit + increase``, capped at ``max_limit``,
+      ``serving.limit.increases``);
+    * window mean latency  > target: multiplicative decrease
+      (``floor(limit * decrease_factor)``, floored at ``min_limit``,
+      ``serving.limit.decreases``), rate-limited by
+      ``cooldown_seconds`` on the injectable ``clock`` so a burst of
+      slow windows cannot collapse the limit in one swoop.
+
+    Count-based windows make the limit trace a pure function of the
+    latency trace (plus the clock for cooldowns) -- the hypothesis suite
+    in ``tests/test_limiter_properties.py`` asserts the clamp, the
+    monotone decrease under sustained overload, the recovery to
+    ``max_limit`` under sustained health, and same-trace determinism.
+
+    Wire into an engine with ``PredictionEngine(limiter=...)``: the
+    bounded queue then reads :meth:`current_limit` as its live bound on
+    every admission instead of the static ``max_queue_depth``.
+    """
+
+    def __init__(
+        self,
+        target_latency_seconds: float,
+        min_limit: int = 4,
+        max_limit: int = 1024,
+        initial_limit: Optional[int] = None,
+        increase: int = 1,
+        decrease_factor: float = 0.5,
+        window: int = 16,
+        cooldown_seconds: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if target_latency_seconds <= 0:
+            raise ValueError(
+                f"target_latency_seconds must be > 0, got {target_latency_seconds}"
+            )
+        if min_limit < 1:
+            raise ValueError(f"min_limit must be >= 1, got {min_limit}")
+        if max_limit < min_limit:
+            raise ValueError(
+                f"max_limit must be >= min_limit, got {max_limit} < {min_limit}"
+            )
+        if initial_limit is None:
+            initial_limit = max_limit
+        if not min_limit <= initial_limit <= max_limit:
+            raise ValueError(
+                f"initial_limit must be in [{min_limit}, {max_limit}], "
+                f"got {initial_limit}"
+            )
+        if increase < 1:
+            raise ValueError(f"increase must be >= 1, got {increase}")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {decrease_factor}"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        self.target_latency_seconds = float(target_latency_seconds)
+        self.min_limit = int(min_limit)
+        self.max_limit = int(max_limit)
+        self.increase = int(increase)
+        self.decrease_factor = float(decrease_factor)
+        self.window = int(window)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.clock = clock
+        self._lock = named_lock("serving.health.limiter")
+        self._limit = int(initial_limit)
+        self._sum = 0.0
+        self._count = 0
+        self._last_decrease: Optional[float] = None
+        self._increases = 0
+        self._decreases = 0
+
+    def current_limit(self) -> int:
+        with self._lock:
+            return self._limit
+
+    def observe(self, latency_seconds: float) -> None:
+        """Fold one request latency in; may close a window and move the limit."""
+        moved: Optional[str] = None
+        with self._lock:
+            self._sum += float(latency_seconds)
+            self._count += 1
+            if self._count < self.window:
+                return
+            mean = self._sum / self._count
+            self._sum = 0.0
+            self._count = 0
+            if mean <= self.target_latency_seconds:
+                raised = min(self.max_limit, self._limit + self.increase)
+                if raised != self._limit:
+                    self._limit = raised
+                    self._increases += 1
+                    moved = "increase"
+            else:
+                now = self.clock()
+                if (
+                    self._last_decrease is not None
+                    and self.cooldown_seconds > 0
+                    and now - self._last_decrease < self.cooldown_seconds
+                ):
+                    return
+                lowered = max(
+                    self.min_limit, int(self._limit * self.decrease_factor)
+                )
+                if lowered != self._limit:
+                    self._limit = lowered
+                    self._decreases += 1
+                    moved = "decrease"
+                self._last_decrease = now
+        # Metrics fire outside the lock (REP011 discipline) and only when
+        # the limit actually moved -- an idle limiter is metrics-silent.
+        if moved == "increase":
+            metrics.increment("serving.limit.increases")
+        elif moved == "decrease":
+            metrics.increment("serving.limit.decreases")
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "limit": self._limit,
+                "increases": self._increases,
+                "decreases": self._decreases,
+            }
+
+
+class BrownoutController:
+    """Sheds optional work first when the health score degrades.
+
+    Two thresholds partition the score axis into three regimes:
+
+    * ``score >= low_threshold``: healthy -- everything admitted;
+    * ``normal_threshold <= score < low_threshold``: brownout --
+      :data:`PRIORITY_LOW` (optional) work is shed;
+    * ``score < normal_threshold``: deep brownout -- only
+      :data:`PRIORITY_HIGH` work is admitted.
+
+    :meth:`admit` is a pure function of ``(priority, score)`` except for
+    the transition bookkeeping (``serving.brownout.entered`` /
+    ``exited`` fire when the regime crosses the healthy boundary,
+    ``serving.brownout.shed`` per rejected request) -- all of which only
+    happens once a controller is explicitly wired into an engine.
+    """
+
+    def __init__(self, low_threshold: float = 0.7, normal_threshold: float = 0.4):
+        if not 0.0 < normal_threshold < low_threshold <= 1.0:
+            raise ValueError(
+                "need 0 < normal_threshold < low_threshold <= 1, got "
+                f"{normal_threshold} / {low_threshold}"
+            )
+        self.low_threshold = float(low_threshold)
+        self.normal_threshold = float(normal_threshold)
+        self._lock = named_lock("serving.health.brownout")
+        self._active = False
+        self._shed = 0
+        self._entered = 0
+        self._exited = 0
+
+    def min_priority(self, score: float) -> int:
+        """Lowest priority admitted at ``score``."""
+        if score >= self.low_threshold:
+            return PRIORITY_LOW
+        if score >= self.normal_threshold:
+            return PRIORITY_NORMAL
+        return PRIORITY_HIGH
+
+    @property
+    def active(self) -> bool:
+        with self._lock:
+            return self._active
+
+    def admit(self, priority: int, score: float) -> bool:
+        """Admission decision for one request; updates transition state."""
+        floor = self.min_priority(score)
+        browned_out = floor > PRIORITY_LOW
+        admitted = priority >= floor
+        transition: Optional[str] = None
+        with self._lock:
+            if browned_out and not self._active:
+                self._active = True
+                self._entered += 1
+                transition = "entered"
+            elif not browned_out and self._active:
+                self._active = False
+                self._exited += 1
+                transition = "exited"
+            if not admitted:
+                self._shed += 1
+        if transition == "entered":
+            metrics.increment("serving.brownout.entered")
+        elif transition == "exited":
+            metrics.increment("serving.brownout.exited")
+        if not admitted:
+            metrics.increment("serving.brownout.shed")
+        return admitted
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "active": self._active,
+                "shed": self._shed,
+                "entered": self._entered,
+                "exited": self._exited,
+            }
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Frozen configuration of hedged requests on a :class:`ShardRouter`.
+
+    ``budget_fraction`` is the hedge budget: a token bucket accrues that
+    many tokens per submitted request (capped at ``burst``) and every
+    hedge spends one, so hedges can never exceed
+    ``budget_fraction * submitted + burst`` -- an overloaded tier sends
+    *fewer* hedges, never more.  The hedge delay adapts to the router's
+    observed latency: the ``delay_quantile`` of the shared digest,
+    clamped to ``[min_delay_seconds, max_delay_seconds]``;
+    ``initial_delay_seconds`` applies until ``min_samples`` latencies
+    have been observed.
+    """
+
+    budget_fraction: float = 0.05
+    burst: float = 4.0
+    delay_quantile: float = 0.95
+    initial_delay_seconds: float = 0.05
+    min_delay_seconds: float = 0.001
+    max_delay_seconds: float = 1.0
+    min_samples: int = 16
+
+    def __post_init__(self):
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ValueError(
+                f"budget_fraction must be in (0, 1], got {self.budget_fraction}"
+            )
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if not 0.0 < self.delay_quantile < 1.0:
+            raise ValueError(
+                f"delay_quantile must be in (0, 1), got {self.delay_quantile}"
+            )
+        if self.initial_delay_seconds <= 0:
+            raise ValueError(
+                "initial_delay_seconds must be > 0, got "
+                f"{self.initial_delay_seconds}"
+            )
+        if not 0.0 < self.min_delay_seconds <= self.max_delay_seconds:
+            raise ValueError(
+                "need 0 < min_delay_seconds <= max_delay_seconds, got "
+                f"{self.min_delay_seconds} / {self.max_delay_seconds}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+
+class _HedgeCoordinator:
+    """Router-side hedge state: shared digest, token budget, counters.
+
+    One per :class:`ShardRouter` (when hedging is enabled); every
+    :class:`HedgedFuture` the router hands out reports its outcome here,
+    so budget accounting and the adaptive delay see the whole tier, not
+    one request.  The token bucket is **count-based** (tokens accrue per
+    submitted request, not per second): under zero traffic no budget
+    accrues, and a traffic spike earns budget proportional to itself --
+    the property that makes "hedging cannot amplify overload" hold at
+    every timescale.
+    """
+
+    def __init__(self, policy: HedgePolicy):
+        self.policy = policy
+        self.digest = LatencyDigest()
+        self._lock = named_lock("serving.health.hedge")
+        self._tokens = float(policy.burst)
+        self._attempts = 0
+        self._wins = 0
+        self._primary_wins = 0
+        self._budget_denied = 0
+        self._cancelled = 0
+
+    def note_request(self) -> None:
+        """Accrue budget for one submitted (primary) request."""
+        with self._lock:
+            self._tokens = min(
+                float(self.policy.burst),
+                self._tokens + self.policy.budget_fraction,
+            )
+
+    def try_acquire(self) -> bool:
+        """Spend one hedge token; False (and counted) when broke."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                acquired = True
+            else:
+                self._budget_denied += 1
+                acquired = False
+        if not acquired:
+            metrics.increment("serving.hedge.budget_denied")
+        return acquired
+
+    def refund(self) -> None:
+        """Return an unspent token (no warm replica was available)."""
+        with self._lock:
+            self._tokens = min(float(self.policy.burst), self._tokens + 1.0)
+
+    def record_attempt(self) -> None:
+        """Count one backup actually dispatched to a replica."""
+        with self._lock:
+            self._attempts += 1
+        metrics.increment("serving.hedge.attempts")
+
+    def delay(self) -> float:
+        """Current hedge delay in seconds (adaptive quantile, clamped)."""
+        policy = self.policy
+        if self.digest.count < policy.min_samples:
+            return policy.initial_delay_seconds
+        observed = self.digest.quantile(policy.delay_quantile)
+        if observed is None:
+            return policy.initial_delay_seconds
+        return max(
+            policy.min_delay_seconds, min(policy.max_delay_seconds, observed)
+        )
+
+    def observe(self, latency_seconds: float) -> None:
+        self.digest.observe(latency_seconds)
+
+    def record_winner(self, backup_won: bool, loser_cancelled: bool) -> None:
+        with self._lock:
+            if backup_won:
+                self._wins += 1
+            else:
+                self._primary_wins += 1
+            if loser_cancelled:
+                self._cancelled += 1
+        metrics.increment(
+            "serving.hedge.wins" if backup_won else "serving.hedge.primary_wins"
+        )
+        if loser_cancelled:
+            metrics.increment("serving.hedge.cancelled")
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            out: Dict[str, object] = {
+                "attempts": self._attempts,
+                "wins": self._wins,
+                "primary_wins": self._primary_wins,
+                "budget_denied": self._budget_denied,
+                "cancelled": self._cancelled,
+                "tokens": self._tokens,
+            }
+        out["delay_seconds"] = self.delay()  # digest lock; outside ours
+        return out
+
+
+class HedgedFuture:
+    """A future that hedges to a warm replica while being awaited.
+
+    Wraps the primary shard's future; hedging happens **at await time**
+    (no timer threads, no background polling): :meth:`result` first
+    waits the coordinator's adaptive hedge delay on the primary alone,
+    and only if that window elapses -- and the token budget grants a
+    hedge -- calls ``spawn()`` to dispatch the backup attempt, then
+    races both.  The first future to complete *with a result* wins; the
+    loser is cancelled (a still-queued loser is dropped by the engine's
+    cancellation-aware dispatcher, a running one finishes harmlessly).
+    An exception only propagates once no sibling can still answer, so a
+    fast-failing primary falls back to a healthy backup instead of
+    failing the request.
+
+    A caller that never awaits never hedges -- fire-and-forget traffic
+    costs no budget.  :meth:`result` and :meth:`exception` accept the
+    standard ``timeout`` semantics; the hedge delay always fits inside
+    the caller's remaining budget.
+    """
+
+    def __init__(
+        self,
+        primary: Future,
+        coordinator: _HedgeCoordinator,
+        spawn: Callable[[], Optional[Future]],
+    ):
+        self._primary = primary
+        self._coordinator = coordinator
+        self._spawn = spawn
+        self._backup: Optional[Future] = None
+        self._hedge_attempted = False
+        self._started = time.perf_counter()
+        self._lock = named_lock("serving.health.hedged_future")
+
+    # -- Future-like surface -------------------------------------------
+    def done(self) -> bool:
+        with self._lock:
+            backup = self._backup
+        return self._primary.done() or (backup is not None and backup.done())
+
+    def cancel(self) -> bool:
+        with self._lock:
+            backup = self._backup
+        cancelled = self._primary.cancel()
+        if backup is not None:
+            cancelled = backup.cancel() or cancelled
+        return cancelled
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        try:
+            self.result(timeout=timeout)
+        except (FuturesTimeoutError, CancelledError):
+            raise
+        except BaseException as exc:  # the raced outcome, whatever it is
+            return exc
+        return None
+
+    # -- the await-time hedging protocol --------------------------------
+    def _maybe_spawn(self) -> None:
+        """Dispatch the backup once, budget and replica permitting."""
+        with self._lock:
+            if self._hedge_attempted:
+                return
+            self._hedge_attempted = True
+        if not self._coordinator.try_acquire():
+            return
+        backup = self._spawn()
+        if backup is None:  # no warm replica could take the hedge
+            self._coordinator.refund()
+            return
+        self._coordinator.record_attempt()
+        with self._lock:
+            self._backup = backup
+
+    def _settle(self, winner: Future, backup_won: bool) -> object:
+        with self._lock:
+            backup = self._backup
+        if backup is not None:
+            loser = self._primary if backup_won else backup
+            self._coordinator.record_winner(backup_won, loser.cancel())
+        self._coordinator.observe(time.perf_counter() - self._started)
+        return winner.result(timeout=0)
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._lock:
+            attempted = self._hedge_attempted
+        if not attempted:
+            delay = self._coordinator.delay()
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.perf_counter()))
+            try:
+                value = self._primary.result(timeout=delay)
+            except FuturesTimeoutError:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    raise
+                self._maybe_spawn()
+            except CancelledError:
+                raise
+            except BaseException:
+                # A fast-failing primary is exactly when a warm replica
+                # helps; hedge immediately instead of waiting the delay.
+                self._maybe_spawn()
+                with self._lock:
+                    if self._backup is None:
+                        raise
+            else:
+                self._coordinator.observe(time.perf_counter() - self._started)
+                return value
+        return self._race(deadline)
+
+    def _race(self, deadline: Optional[float]) -> object:
+        with self._lock:
+            backup = self._backup
+        pending = [self._primary] + ([backup] if backup is not None else [])
+        while True:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.perf_counter())
+            )
+            done, not_done = futures_wait(
+                pending, timeout=remaining, return_when="FIRST_COMPLETED"
+            )
+            if not done:
+                raise FuturesTimeoutError()
+            for finished in done:
+                if finished.cancelled():
+                    continue
+                if finished.exception(timeout=0) is None:
+                    return self._settle(finished, backup_won=finished is backup)
+            if not_done:
+                # Every finished sibling failed; keep waiting on the rest.
+                pending = list(not_done)
+                continue
+            # All attempts failed: surface the primary's error (the
+            # backup's failure is secondary -- it only existed to help).
+            if not self._primary.cancelled():
+                primary_error = self._primary.exception(timeout=0)
+                if primary_error is not None:
+                    raise primary_error
+            raise CancelledError()

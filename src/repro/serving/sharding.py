@@ -54,7 +54,8 @@ from ..regression.base import FittedModel
 from ..runtime.metrics import metrics
 from ..store.format import CorruptRecordError
 from ..store.store import ModelStore
-from .engine import EngineStoppedError, PredictionEngine
+from .engine import EngineOverloadedError, EngineStoppedError, PredictionEngine
+from .health import HedgedFuture, HedgePolicy, _HedgeCoordinator
 from .registry import ModelRegistry, ModelVersion
 
 __all__ = ["JournalFollower", "ShardRouter", "ShardDeadError"]
@@ -244,7 +245,15 @@ class ShardRouter:
     registry_kwargs / engine_kwargs:
         Forwarded to every shard's :class:`ModelRegistry` /
         :class:`PredictionEngine` (the registry always gets the shared
-        ``store``).
+        ``store``, and each engine a ``fault_tag`` of ``"shard-<id>"``
+        unless the kwargs override it).
+    hedge:
+        Optional :class:`~repro.serving.health.HedgePolicy` enabling
+        hedged requests: a :meth:`submit` whose primary shard has not
+        answered within the adaptive hedge delay dispatches one backup
+        attempt to a warm replica (first result wins, loser cancelled),
+        gated by the policy's token-bucket budget.  ``None`` (default)
+        returns plain futures with unchanged behavior.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     Routing methods raise :class:`ShardDeadError` once every shard is
@@ -259,6 +268,7 @@ class ShardRouter:
         virtual_nodes: int = 32,
         registry_kwargs: Optional[Dict[str, object]] = None,
         engine_kwargs: Optional[Dict[str, object]] = None,
+        hedge: Optional[HedgePolicy] = None,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -288,6 +298,7 @@ class ShardRouter:
 
         self._registry_kwargs = dict(registry_kwargs or {})
         self._engine_kwargs = dict(engine_kwargs or {})
+        self._hedge = _HedgeCoordinator(hedge) if hedge is not None else None
         self._shards: List[_Shard] = []
         for shard_id in range(self.num_shards):
             self._shards.append(self._build_shard(shard_id))
@@ -295,7 +306,11 @@ class ShardRouter:
     def _build_shard(self, shard_id: int) -> "_Shard":
         """Fresh registry + engine + follower triple for one shard slot."""
         registry = ModelRegistry(store=self.store, **self._registry_kwargs)
-        engine = PredictionEngine(registry, **self._engine_kwargs)
+        engine_kwargs = dict(self._engine_kwargs)
+        # Per-shard failpoint tag: slow-shard chaos plans target exactly
+        # one engine instance (FaultPlan.latency(..., tag="shard-1")).
+        engine_kwargs.setdefault("fault_tag", f"shard-{shard_id}")
+        engine = PredictionEngine(registry, **engine_kwargs)
         follower = JournalFollower(
             self.store,
             registry,
@@ -543,19 +558,67 @@ class ShardRouter:
         :meth:`kill_shard` is re-routed once (``serving.shard.rerouted``).
         Overload (:class:`~repro.serving.EngineOverloadedError`) and
         unknown names (:class:`KeyError`) propagate to the caller.
+
+        With a :class:`~repro.serving.health.HedgePolicy` configured the
+        returned object is a :class:`~repro.serving.health.HedgedFuture`:
+        awaiting it past the adaptive hedge delay dispatches one backup
+        attempt to a warm replica successor (budget permitting), the
+        first result wins, and the loser is cancelled.  Without a policy
+        the plain engine future is returned unchanged.
         """
+        shard, future = self._submit_routed(name, x, **kwargs)
+        hedge = self._hedge
+        if hedge is None:
+            return future
+        hedge.note_request()
+        primary_id = shard.shard_id
+        return HedgedFuture(
+            primary=future,
+            coordinator=hedge,
+            spawn=lambda: self._hedge_backup(name, x, primary_id, kwargs),
+        )
+
+    def _submit_routed(
+        self, name: str, x: np.ndarray, **kwargs
+    ) -> Tuple[_Shard, Future]:
+        """Route + submit, returning the serving shard with the future."""
         shard = self._route(name)
         metrics.increment("serving.shard.routed")
         self._ensure_holds(shard, name)
         try:
-            return shard.engine.submit(name, x, **kwargs)
+            return shard, shard.engine.submit(name, x, **kwargs)
         except EngineStoppedError:
             # The shard died between routing and submission; route again
             # (the dead shard is now marked, so this terminates).
             metrics.increment("serving.shard.rerouted")
             shard = self._route(name)
             self._ensure_holds(shard, name)
-            return shard.engine.submit(name, x, **kwargs)
+            return shard, shard.engine.submit(name, x, **kwargs)
+
+    def _hedge_backup(
+        self, name: str, x: np.ndarray, primary_shard_id: int, kwargs: Dict
+    ) -> Optional[Future]:
+        """Dispatch the hedged backup to a warm replica of ``name``.
+
+        Replica-selection rules: candidates are the name's *live*
+        replica set in ring preference order, minus the shard the
+        primary attempt went to -- those shards already hold the model
+        via journal replication, so the hedge costs one queue slot and
+        an evaluation, never a backfill-from-store on the hot path.  A
+        candidate that is stopped, overloaded, or missing the name is
+        skipped (hedging must never *add* load to a shard that cannot
+        absorb it); ``None`` when no candidate can take the hedge.
+        """
+        for shard_id in self._live_replicas(name):
+            if shard_id == primary_shard_id:
+                continue
+            shard = self._shards[shard_id]
+            try:
+                self._ensure_holds(shard, name)
+                return shard.engine.submit(name, x, **kwargs)
+            except (EngineStoppedError, EngineOverloadedError, KeyError):
+                continue
+        return None
 
     def _ensure_holds(self, shard: "_Shard", name: str) -> None:
         """Backfill ``name`` into ``shard``'s registry from the store log."""
@@ -572,10 +635,18 @@ class ShardRouter:
         """Blocking convenience wrapper around :meth:`submit`.
 
         Single time budget semantics, matching
-        :meth:`~repro.serving.PredictionEngine.predict`.
+        :meth:`~repro.serving.PredictionEngine.predict`.  With
+        ``timeout=None`` the wait is liveness-checked against the shard
+        that holds the request (see
+        :meth:`~repro.serving.PredictionEngine.await_result`), so a dead
+        dispatcher fails fast with
+        :class:`~repro.serving.EngineStoppedError` instead of stranding
+        the caller; this un-timed path routes directly and does not
+        hedge (hedging needs a bounded await to race attempts against).
         """
         if timeout is None:
-            return self.submit(name, x).result()
+            shard, future = self._submit_routed(name, x)
+            return shard.engine.await_result(future, name=name)
         deadline = Deadline.after(timeout)
         future = self.submit(name, x, deadline=deadline)
         return future.result(timeout=deadline.remaining())
@@ -598,6 +669,35 @@ class ShardRouter:
     def resume_dispatch(self, shard_id: int) -> None:
         """Resume one shard's dispatcher."""
         self._shards[shard_id].engine.resume_dispatch()
+
+    def health(self) -> Dict[int, Dict[str, object]]:
+        """Per-live-shard health view: score, liveness, readiness, queue.
+
+        The operator-facing probe surface: a shard with a sagging score
+        (slow, erroring, or queue-pressured) shows up here before it
+        shows up in p99.  ``ready`` uses each engine's configured
+        ``ready_threshold``; probing counts readiness transitions
+        (``serving.health.degraded`` / ``recovered``).
+        """
+        out: Dict[int, Dict[str, object]] = {}
+        for shard in self._shards:
+            if not shard.alive:
+                continue
+            engine = shard.engine
+            out[shard.shard_id] = {
+                "score": engine.health_score(),
+                "live": engine.live(),
+                "ready": engine.ready(),
+                "queue_depth": engine.stats()["queue_depth"],
+                "health": engine.health.snapshot(),
+            }
+        return out
+
+    def hedge_stats(self) -> Optional[Dict[str, object]]:
+        """Hedge counters and live budget; ``None`` when hedging is off."""
+        if self._hedge is None:
+            return None
+        return self._hedge.stats()
 
     def names(self) -> Tuple[str, ...]:
         """Every name published through this router, in publish order."""
@@ -625,6 +725,7 @@ class ShardRouter:
             "rebalanced_keys": rebalanced,
             "restarts": restarts,
             "names": num_names,
+            "hedge": self.hedge_stats(),
             "shards": {
                 shard.shard_id: shard.engine.stats()
                 for shard in self._shards

@@ -1,4 +1,4 @@
-"""Tests for the AST lint engine, rules REP001-REP009, noqa, and baseline."""
+"""Tests for the AST lint engine, rules REP001-REP009/REP013-REP014, noqa, and baseline."""
 
 import json
 import os
@@ -246,6 +246,61 @@ class TestRep009UnmanagedFileHandle:
         assert lint("f = open('x.txt')  # repro: noqa[REP009]\n") == []
 
 
+class TestRep014UntimedBlockingWait:
+    @staticmethod
+    def _lint_at(source, path, is_test=False):
+        return LintEngine().lint_source(source, path=path, is_test=is_test)
+
+    def test_untimed_result_flagged(self):
+        out = lint("value = future.result()\n")
+        assert rule_ids(out) == ["REP014"]
+
+    def test_untimed_join_and_wait_flagged(self):
+        for call in ("thread.join()", "event.wait()", "cond.wait()"):
+            out = lint(f"{call}\n")
+            assert "REP014" in rule_ids(out), call
+
+    def test_timed_positional_ok(self):
+        for call in ("future.result(5.0)", "thread.join(1)", "event.wait(0.1)"):
+            assert lint(f"{call}\n") == [], call
+
+    def test_timed_keyword_ok(self):
+        assert lint("future.result(timeout=5.0)\n") == []
+        assert lint("thread.join(timeout=None)\n") == []
+
+    def test_str_join_with_args_ok(self):
+        assert lint("s = ', '.join(parts)\n") == []
+
+    def test_opaque_kwargs_given_benefit_of_doubt(self):
+        assert lint("future.result(**kwargs)\n") == []
+
+    def test_bare_function_call_not_flagged(self):
+        # Only attribute calls: a local helper named wait()/join() is not
+        # the concurrency primitive this rule targets.
+        assert lint("wait()\njoin()\n") == []
+
+    def test_sanctioned_faults_module_exempt(self):
+        out = self._lint_at(
+            "value = future.result()\n", "src/repro/faults/retry.py"
+        )
+        assert "REP014" not in rule_ids(out)
+
+    def test_backslash_paths_normalized(self):
+        out = self._lint_at(
+            "value = future.result()\n", "src\\repro\\faults\\retry.py"
+        )
+        assert "REP014" not in rule_ids(out)
+
+    def test_tests_exempt(self):
+        assert lint("value = future.result()\n", is_test=True) == []
+
+    def test_noqa_suppresses(self):
+        assert (
+            lint("t.join()  # repro: noqa[REP014] -- bounded by sentinel\n")
+            == []
+        )
+
+
 class TestSuppressions:
     def test_targeted_noqa_suppresses(self):
         out = lint("x = 1\ny = x == 0.0  # repro: noqa[REP003]\n")
@@ -287,7 +342,7 @@ class TestEngine:
     def test_registry_has_all_thirteen_rules(self):
         ids = set(registered_rules())
         expected = {f"REP00{i}" for i in range(1, 10)}
-        expected |= {"REP010", "REP011", "REP012", "REP013"}
+        expected |= {"REP010", "REP011", "REP012", "REP013", "REP014"}
         assert expected <= ids
 
     def test_violations_sorted_by_location(self):
@@ -412,7 +467,7 @@ class TestCli:
         out = capsys.readouterr().out
         for i in range(1, 10):
             assert f"REP00{i}" in out
-        for rule_id in ("REP010", "REP011", "REP012", "REP013"):
+        for rule_id in ("REP010", "REP011", "REP012", "REP013", "REP014"):
             assert rule_id in out
 
     def test_github_format(self, tmp_path, capsys):

@@ -1,0 +1,134 @@
+"""Property-based tests for the AIMD concurrency limiter (hypothesis).
+
+The limiter's contract is a set of trajectory invariants, not single
+examples, so it gets the randomized treatment:
+
+* the limit never leaves ``[min_limit, max_limit]`` under any
+  observation sequence;
+* sustained over-target latency is monotone non-increasing (and reaches
+  ``min_limit`` given enough windows);
+* sustained under-target latency recovers the limit to ``max_limit``;
+* the whole trajectory is a pure function of the observation sequence
+  and the injected clock -- replaying the same trace yields the same
+  limits at every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.faults import ManualClock  # noqa: E402
+from repro.serving import AIMDLimiter  # noqa: E402
+
+TARGET = 0.01
+
+limiter_params = st.tuples(
+    st.integers(min_value=1, max_value=8),      # min_limit
+    st.integers(min_value=8, max_value=128),    # max_limit (>= min)
+    st.integers(min_value=1, max_value=8),      # window
+    st.integers(min_value=1, max_value=4),      # increase
+    st.floats(min_value=0.1, max_value=0.9),    # decrease_factor
+)
+
+latency_trace = st.lists(
+    st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=200,
+)
+
+
+def build(params, clock=None, cooldown=0.0):
+    min_limit, max_limit, window, increase, decrease_factor = params
+    return AIMDLimiter(
+        target_latency_seconds=TARGET,
+        min_limit=min_limit,
+        max_limit=max_limit,
+        window=window,
+        increase=increase,
+        decrease_factor=decrease_factor,
+        cooldown_seconds=cooldown,
+        clock=clock if clock is not None else ManualClock(),
+    )
+
+
+class TestClampInvariant:
+    @settings(max_examples=100, deadline=None)
+    @given(params=limiter_params, trace=latency_trace)
+    def test_limit_stays_in_bounds_for_any_trace(self, params, trace):
+        limiter = build(params)
+        min_limit, max_limit = params[0], params[1]
+        for latency in trace:
+            limiter.observe(latency)
+            assert min_limit <= limiter.current_limit() <= max_limit
+
+
+class TestMonotoneDecrease:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        params=limiter_params,
+        windows=st.integers(min_value=1, max_value=40),
+    )
+    def test_sustained_over_target_never_increases(self, params, windows):
+        limiter = build(params)
+        window = params[2]
+        previous = limiter.current_limit()
+        for _ in range(windows * window):
+            limiter.observe(TARGET * 10)
+            current = limiter.current_limit()
+            assert current <= previous
+            previous = current
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=limiter_params)
+    def test_enough_slow_windows_reach_min_limit(self, params):
+        limiter = build(params)
+        min_limit, max_limit, window = params[0], params[1], params[2]
+        # Each closed window multiplies by decrease_factor < 1, so
+        # max_limit windows are far more than enough to bottom out.
+        for _ in range(max_limit * window):
+            limiter.observe(TARGET * 10)
+        assert limiter.current_limit() == min_limit
+
+
+class TestRecovery:
+    @settings(max_examples=60, deadline=None)
+    @given(params=limiter_params)
+    def test_sustained_under_target_recovers_to_max(self, params):
+        limiter = build(params)
+        min_limit, max_limit, window, increase, _ = params
+        for _ in range(max_limit * window):
+            limiter.observe(TARGET * 10)
+        assert limiter.current_limit() == min_limit
+        # Additive increase of >= 1 per fast window: (max - min) windows
+        # of under-target traffic are enough to climb all the way back.
+        for _ in range((max_limit - min_limit) * window + window):
+            limiter.observe(TARGET / 10)
+        assert limiter.current_limit() == max_limit
+
+
+class TestTraceDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        params=limiter_params,
+        trace=latency_trace,
+        cooldown=st.floats(min_value=0.0, max_value=5.0),
+        step=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_same_trace_same_clock_same_limits(self, params, trace, cooldown, step):
+        """Replaying a trace against an identical injected clock schedule
+        reproduces the limit trajectory bit for bit."""
+        trajectories = []
+        for _ in range(2):
+            clock = ManualClock()
+            limiter = build(params, clock=clock, cooldown=cooldown)
+            seen = []
+            for latency in trace:
+                limiter.observe(latency)
+                seen.append(limiter.current_limit())
+                clock.advance(step)
+            trajectories.append((seen, limiter.stats()))
+        assert trajectories[0] == trajectories[1]

@@ -72,6 +72,26 @@ class TestLoadConfig:
         with pytest.raises(ValueError, match="request_timeout_seconds"):
             LoadConfig(request_timeout_seconds=0.0)
 
+    def test_hedge_and_slow_shard_bounds(self):
+        with pytest.raises(ValueError, match="hedge_budget_fraction"):
+            LoadConfig(hedge_budget_fraction=0.0)
+        with pytest.raises(ValueError, match="hedge_budget_fraction"):
+            LoadConfig(hedge_budget_fraction=1.5)
+        with pytest.raises(ValueError, match="hedge_min_samples"):
+            LoadConfig(hedge_min_samples=0)
+        with pytest.raises(ValueError, match="hedge_max_delay_seconds"):
+            LoadConfig(hedge_max_delay_seconds=0.0)
+        with pytest.raises(ValueError, match="hedge_min_delay_seconds"):
+            LoadConfig(hedge_min_delay_seconds=0.5, hedge_max_delay_seconds=0.1)
+        with pytest.raises(ValueError, match="slow_shard"):
+            LoadConfig(num_shards=2, slow_shard=2)
+        with pytest.raises(ValueError, match="slow_shard_latency_seconds"):
+            LoadConfig(slow_shard_latency_seconds=-1.0)
+        with pytest.raises(ValueError, match="slow_shard_every"):
+            LoadConfig(slow_shard_every=0)
+        with pytest.raises(ValueError, match="low_priority_fraction"):
+            LoadConfig(low_priority_fraction=1.5)
+
 
 class TestReportSchema:
     def _valid_report(self, tmp_path):
@@ -119,6 +139,46 @@ class TestReportSchema:
         data = json.loads(path.read_text())
         validate_report(data)
         assert data["submitted"] == report.submitted
+
+    def test_bool_fields_reject_ints(self, tmp_path):
+        data = self._valid_report(tmp_path)
+        assert isinstance(data["hedge_enabled"], bool)
+        assert isinstance(data["brownout_enabled"], bool)
+        data["hedge_enabled"] = 1
+        with pytest.raises(ValueError, match="'hedge_enabled'"):
+            validate_report(data)
+
+    def test_schema_v2_has_tail_tolerance_fields(self, tmp_path):
+        assert SCHEMA_VERSION == 2
+        data = self._valid_report(tmp_path)
+        for key in (
+            "hedge_enabled",
+            "brownout_enabled",
+            "slow_shard",
+            "slow_shard_latency_ms",
+            "hedged",
+            "hedge_wins",
+            "hedge_primary_wins",
+            "hedge_budget_denied",
+            "hedge_cancelled",
+            "brownout_shed",
+        ):
+            assert key in REPORT_SCHEMA
+            assert key in data
+        del data["hedged"]
+        with pytest.raises(ValueError, match="missing key 'hedged'"):
+            validate_report(data)
+
+    def test_signature_echoes_config_but_not_hedge_counts(self, tmp_path):
+        report = run_load(small_config(num_requests=10), tmp_path / "store")
+        signature = report.deterministic_signature()
+        assert signature["hedge_enabled"] is False
+        assert signature["brownout_enabled"] is False
+        assert signature["slow_shard"] is None
+        # Hedge/brownout event counts are wall-clock races; they must
+        # never enter the bitwise same-seed signature.
+        for key in ("hedged", "hedge_wins", "brownout_shed"):
+            assert key not in signature
 
     def test_percentiles_empty_and_ordered(self):
         empty = latency_percentiles([])
@@ -191,6 +251,42 @@ class TestRunLoad:
         assert (
             first.deterministic_signature() == second.deterministic_signature()
         )
+
+    def test_hedged_slow_shard_answers_everything(self, tmp_path):
+        report = run_load(
+            small_config(
+                num_requests=60,
+                num_shards=3,
+                hedge=True,
+                hedge_budget_fraction=0.2,
+                hedge_max_delay_seconds=0.01,
+                slow_shard_latency_seconds=0.03,
+                slow_shard_every=3,
+            ),
+            tmp_path / "store",
+        )
+        assert report.hedge_enabled
+        assert report.slow_shard is not None
+        assert report.slow_shard_latency_ms == pytest.approx(30.0)
+        assert report.failed == 0
+        assert report.answered == report.admitted
+        # Budget cap: hedges never exceed fraction * submitted + burst.
+        assert report.hedged <= 0.2 * report.submitted + 4.0
+        assert report.hedge_wins <= report.hedged
+
+    def test_brownout_run_accounts_shed_requests(self, tmp_path):
+        report = run_load(
+            small_config(
+                num_requests=60,
+                brownout=True,
+                low_priority_fraction=0.5,
+            ),
+            tmp_path / "store",
+        )
+        assert report.brownout_enabled
+        # Healthy engines: low-priority work sails through.
+        assert report.brownout_shed == 0
+        assert report.answered == report.admitted
 
     def test_different_seeds_differ(self, tmp_path):
         first = run_load(small_config(seed=1), tmp_path / "a")

@@ -338,6 +338,13 @@ class TestStatsSnapshot:
         "peak_queue_depth",
         "queue_bound",
         "breaker",
+        "cancelled",
+        "brownout_shed",
+        "limit",
+        "health_score",
+        "live",
+        "ready",
+        "brownout_active",
     }
 
     def test_stats_carries_every_field_in_one_snapshot(self, registry, sample):
